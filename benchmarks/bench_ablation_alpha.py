@@ -1,0 +1,52 @@
+"""Ablation: Succinct sampling rate alpha (§3.1's space/latency knob).
+
+Storage for the sampled SA/ISA shrinks as 1/alpha while every unsampled
+lookup costs up to alpha NPA hops; this bench sweeps alpha and verifies
+both directions of the tradeoff on a real dataset.
+"""
+
+from conftest import EXTRA_PROPERTY_IDS
+
+from repro.bench.datasets import build_dataset
+from repro.bench.reporting import format_table
+from repro.bench.systems import ZipGSystem
+from repro.workloads import TAOWorkload
+
+ALPHAS = (4, 16, 64)
+OPS = 100
+
+
+def sweep():
+    graph = build_dataset("orkut")
+    results = []
+    for alpha in ALPHAS:
+        system = ZipGSystem.load(
+            graph, num_shards=4, alpha=alpha,
+            extra_property_ids=list(EXTRA_PROPERTY_IDS),
+        )
+        workload = TAOWorkload(graph, seed=6)
+        system.reset_stats()
+        for operation in workload.operations(OPS):
+            operation.run(system)
+        stats = system.aggregate_stats()
+        results.append(
+            (alpha, system.storage_footprint_bytes(), stats.npa_hops / OPS)
+        )
+    return results
+
+
+def test_ablation_sampling_rate(benchmark):
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        (alpha, f"{footprint / 1e6:.2f} MB", f"{hops:.0f}")
+        for alpha, footprint, hops in results
+    ]
+    print(format_table("Ablation: sampling rate alpha",
+                       ["alpha", "footprint", "NPA hops/op"], rows))
+
+    footprints = [footprint for _, footprint, _ in results]
+    hops = [h for _, _, h in results]
+    # Larger alpha -> strictly smaller footprint...
+    assert footprints[0] > footprints[1] > footprints[2]
+    # ...and strictly more NPA hops per query.
+    assert hops[0] < hops[1] < hops[2]

@@ -1,0 +1,57 @@
+"""Figure 13 (Appendix B.2): breadth-first traversal latency.
+
+Depth-5 BFS from 100 random roots on ZipG and Neo4j. Paper shape: when
+the graph fits in memory (orkut) Neo4j is faster (ZipG pays the
+compressed-execution and shard-aggregation overheads); when Neo4j's
+representation spills (twitter), ZipG wins.
+"""
+
+from conftest import COST_MODEL, cached_system, dataset_budget
+
+from repro.bench.datasets import build_dataset
+from repro.bench.reporting import format_table
+from repro.workloads import bfs_traversal
+from repro.workloads.traversal import sample_roots
+
+MAX_DEPTH = 5
+NUM_ROOTS = 100
+
+
+def traversal_latency_ms(system_name, dataset_name):
+    system = cached_system(system_name, dataset_name)
+    graph = build_dataset(dataset_name)
+    roots = sample_roots(graph.node_ids(), count=NUM_ROOTS, seed=17)
+    budget = dataset_budget(dataset_name)
+    total_ns = 0.0
+    for root in roots:
+        before = system.aggregate_stats().snapshot()
+        bfs_traversal(system, root, max_depth=MAX_DEPTH)
+        delta = system.aggregate_stats().delta_since(before)
+        total_ns += COST_MODEL.query_latency_ns(
+            delta, system.storage_footprint_bytes(), budget
+        )
+    return total_ns / NUM_ROOTS / 1e6
+
+
+def test_figure13_bfs_latency(benchmark):
+    def run():
+        return {
+            ds: {
+                s: traversal_latency_ms(s, ds)
+                for s in ("zipg", "neo4j-tuned")
+            }
+            for ds in ("orkut", "twitter")
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [ds, f"{results[ds]['zipg']:.2f} ms", f"{results[ds]['neo4j-tuned']:.2f} ms"]
+        for ds in results
+    ]
+    print(format_table("Figure 13: avg BFS latency (depth 5, 100 roots)",
+                       ["dataset", "zipg", "neo4j"], rows))
+
+    # orkut (fits for both): Neo4j faster.
+    assert results["orkut"]["neo4j-tuned"] < results["orkut"]["zipg"]
+    # twitter (Neo4j spills): ZipG faster.
+    assert results["twitter"]["zipg"] < results["twitter"]["neo4j-tuned"]

@@ -1,0 +1,110 @@
+"""Figure 14 (Appendix B.3): GS2/GS3 executed with and without joins.
+
+ZipG supports both plans; the no-join plan (fetch neighbors, probe each
+neighbor's properties by random access) beats the join plan (intersect
+two sub-query result sets), because "Alice is likely to have much fewer
+friends than the people living in Ithaca".
+
+GS2 targets are sampled from person-scale nodes (bounded friend lists,
+as for real users); at full scale the city sub-query's cardinality
+dwarfs any node's degree, which is exactly the asymmetry the paper's
+argument rests on.
+"""
+
+import numpy as np
+import pytest
+from conftest import COST_MODEL, cached_system, dataset_budget
+
+from repro.bench.datasets import REAL_WORLD, build_dataset
+from repro.bench.harness import run_mixed_workload
+from repro.bench.reporting import format_table
+from repro.workloads.base import Operation
+from repro.workloads.graph_search import gs2_with_join, gs3_with_join
+from repro.workloads.properties import CITIES, INTERESTS
+
+OPS = 40
+MAX_PERSON_DEGREE = 25
+
+
+def person_nodes(graph, limit):
+    nodes = [n for n in graph.node_ids() if graph.degree(n) <= MAX_PERSON_DEGREE]
+    return nodes[:limit]
+
+
+def gs2_operations(dataset_name, use_joins):
+    graph = build_dataset(dataset_name)
+    rng = np.random.default_rng(31)
+    nodes = person_nodes(graph, 200)
+    ops = []
+    for _ in range(OPS):
+        node = nodes[int(rng.integers(0, len(nodes)))]
+        city = str(rng.choice(CITIES))
+        if use_joins:
+            ops.append(Operation(
+                "GS2", lambda s, n=node, c=city: gs2_with_join(s, n, {"city": c}),
+                target=node,
+            ))
+        else:
+            ops.append(Operation(
+                "GS2",
+                lambda s, n=node, c=city: s.get_neighbor_ids(n, "*", {"city": c}),
+                target=node,
+            ))
+    return ops
+
+
+def gs3_operations(dataset_name, use_joins):
+    rng = np.random.default_rng(31)
+    ops = []
+    for _ in range(OPS):
+        city = str(rng.choice(CITIES))
+        interest = str(rng.choice(INTERESTS))
+        if use_joins:
+            ops.append(Operation(
+                "GS3",
+                lambda s, c=city, i=interest: gs3_with_join(s, {"city": c}, {"interest": i}),
+            ))
+        else:
+            ops.append(Operation(
+                "GS3",
+                lambda s, c=city, i=interest: s.get_node_ids({"city": c, "interest": i}),
+            ))
+    return ops
+
+
+@pytest.mark.parametrize("query", ("GS2", "GS3"))
+def test_figure14_joins_vs_no_joins(benchmark, query):
+    make_ops = gs2_operations if query == "GS2" else gs3_operations
+
+    def run():
+        out = {}
+        for dataset_name in REAL_WORLD:
+            system = cached_system("zipg", dataset_name)
+            budget = dataset_budget(dataset_name)
+            plain = run_mixed_workload(
+                system, make_ops(dataset_name, use_joins=False), COST_MODEL, budget,
+                workload_name=f"{query} no-joins",
+            )
+            joined = run_mixed_workload(
+                system, make_ops(dataset_name, use_joins=True), COST_MODEL, budget,
+                workload_name=f"{query} joins",
+            )
+            out[dataset_name] = (plain.throughput_kops, joined.throughput_kops)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [ds, f"{plain:.0f}", f"{joined:.0f}"]
+        for ds, (plain, joined) in results.items()
+    ]
+    print(format_table(f"Figure 14 ({query}): KOps", ["dataset", "no-joins", "with-joins"], rows))
+
+    for dataset_name, (plain, joined) in results.items():
+        if query == "GS2":
+            # No-joins strictly wins GS2 everywhere (Fig. 14(a)).
+            assert plain > joined, dataset_name
+    if query == "GS3":
+        # GS3's two plans are both search-bound; the no-join plan wins
+        # (or ties) at scale (Fig. 14(b)).
+        plain, joined = results["uk"]
+        assert plain >= 0.95 * joined

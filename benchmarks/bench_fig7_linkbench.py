@@ -1,0 +1,116 @@
+"""Figure 7: single-server LinkBench throughput + top-5 queries.
+
+Paper shape: absolute throughput is distinctly lower than TAO for every
+system (write-heavy mix + skewed, larger neighborhoods); Neo4j's writes
+collapse (multiple random locations per mutation); Titan writes hold up
+(Cassandra) but edge reads suffer; ZipG leads via the write-optimized
+LogStore + fanned updates, with a visible drop at the large dataset
+(its LinkBench representation no longer fits).
+"""
+
+import pytest
+from conftest import COST_MODEL, cached_system, dataset_budget, workload_for
+
+from repro.bench.datasets import LINKBENCH, build_dataset
+from repro.bench.harness import run_mixed_workload, run_query_class
+from repro.bench.reporting import format_table
+from repro.workloads import LinkBenchWorkload, TAOWorkload
+
+SYSTEMS = ("zipg", "neo4j", "neo4j-tuned", "titan", "titan-compressed")
+TOP_QUERIES = ("assoc_range", "obj_get", "assoc_add", "assoc_update", "obj_update")
+MIXED_OPS = 250
+QUERY_OPS = 50
+
+
+def test_figure7_linkbench_mixed(benchmark):
+    def run():
+        return {
+            ds: {
+                s: run_mixed_workload(
+                    cached_system(s, ds),
+                    workload_for(ds, seed=42).operations(MIXED_OPS),
+                    COST_MODEL, dataset_budget(ds), workload_name="linkbench",
+                )
+                for s in SYSTEMS
+            }
+            for ds in LINKBENCH
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [ds] + [f"{results[ds][s].throughput_kops:.0f}" for s in SYSTEMS]
+        for ds in LINKBENCH
+    ]
+    print(format_table("Figure 7: LinkBench throughput (KOps)", ["dataset"] + list(SYSTEMS), rows))
+
+    kops = {ds: {s: results[ds][s].throughput_kops for s in SYSTEMS} for ds in LINKBENCH}
+    # ZipG leads on every LinkBench dataset (write-optimized LogStore).
+    for ds in LINKBENCH:
+        for other in ("neo4j", "neo4j-tuned", "titan"):
+            assert kops[ds]["zipg"] > kops[ds][other], (ds, other)
+    # ZipG's throughput drops at the large dataset (representation no
+    # longer fits -- §5.2's Succinct-structures observation).
+    assert kops["linkbench-large"]["zipg"] < 0.5 * kops["linkbench-medium"]["zipg"]
+    # LinkBench is distinctly slower than TAO for every system (same
+    # small dataset, both fully in memory).
+    tao_orkut = run_mixed_workload(
+        cached_system("zipg", "orkut"),
+        TAOWorkload(build_dataset("orkut"), seed=1).operations(MIXED_OPS),
+        COST_MODEL, dataset_budget("orkut"),
+    )
+    assert kops["linkbench-small"]["zipg"] < tao_orkut.throughput_kops
+
+
+@pytest.mark.parametrize("query", TOP_QUERIES)
+def test_figure7_component_queries(benchmark, query):
+    """Figures 7(a)-(e): LinkBench's top queries in isolation."""
+    def run():
+        out = {}
+        for dataset_name in ("linkbench-small", "linkbench-large"):
+            workload = LinkBenchWorkload(build_dataset(dataset_name), seed=13)
+            out[dataset_name] = {
+                s: run_query_class(
+                    cached_system(s, dataset_name), workload, query, QUERY_OPS,
+                    COST_MODEL, dataset_budget(dataset_name),
+                )
+                for s in SYSTEMS
+            }
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [ds] + [f"{results[ds][s].throughput_kops:.0f}" for s in SYSTEMS]
+        for ds in results
+    ]
+    print(format_table(f"Figure 7 ({query})", ["dataset"] + list(SYSTEMS), rows))
+
+    small = {s: results["linkbench-small"][s].throughput_kops for s in SYSTEMS}
+    large = {s: results["linkbench-large"][s].throughput_kops for s in SYSTEMS}
+    if query in ("assoc_add", "assoc_update"):
+        # Edge writes (Figs 7(c)-(d)): Neo4j's writes hit multiple
+        # random locations; Titan's blind Cassandra appends hold up;
+        # ZipG's LogStore keeps it at or near the top (§5.2).
+        assert small["zipg"] > small["neo4j-tuned"]
+        assert small["zipg"] > small["neo4j"]
+        assert small["titan"] > small["neo4j"]
+        assert small["zipg"] >= 0.75 * max(small.values())
+    elif query == "obj_update":
+        # Fig 7(e): ZipG strictly best (Titan's index maintenance needs
+        # a read-before-write; Neo4j dirties many locations).
+        assert small["zipg"] >= max(small.values())
+        assert small["zipg"] > small["neo4j"]
+    elif query == "obj_get":
+        # Fig 7(b): Neo4j does comparatively well (skewed accesses hit
+        # its cache-friendly single-property chains), while ZipG's
+        # throughput drops sharply at the large dataset (its Succinct
+        # node structures no longer fit, §5.2).
+        assert large["zipg"] < 0.2 * small["zipg"]
+    else:  # assoc_range, Fig 7(a)
+        # Titan suffers on range queries over large skewed
+        # neighborhoods; ZipG stays ahead of it at both scales and its
+        # advantage over Neo4j grows with dataset size.
+        assert small["zipg"] > small["titan"]
+        assert large["zipg"] > large["titan"]
+        assert (large["zipg"] / max(large["neo4j-tuned"], 1e-9)) > (
+            small["zipg"] / max(small["neo4j-tuned"], 1e-9)
+        )

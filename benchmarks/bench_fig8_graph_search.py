@@ -1,0 +1,90 @@
+"""Figure 8: single-server Graph Search throughput + GS1-GS5.
+
+Paper shape: overall throughput below TAO (search queries are heavier);
+on the in-memory dataset Neo4j-Tuned *beats* ZipG (its global indexes
+answer searches without scans, while ZipG pays the compressed-execution
+overhead and touches all partitions for GS3) -- but as data outgrows
+memory the ordering flips and ZipG ends up ~3x ahead of Neo4j-Tuned.
+"""
+
+import pytest
+from conftest import COST_MODEL, cached_system, dataset_budget, graph_search_workload
+
+from repro.bench.datasets import REAL_WORLD
+from repro.bench.harness import run_mixed_workload, run_query_class
+from repro.bench.reporting import format_table
+from repro.workloads.graph_search import GRAPH_SEARCH_QUERIES
+
+SYSTEMS = ("zipg", "neo4j", "neo4j-tuned", "titan", "titan-compressed")
+MIXED_OPS = 150
+QUERY_OPS = 40
+
+
+def test_figure8_graph_search_mixed(benchmark):
+    def run():
+        return {
+            ds: {
+                s: run_mixed_workload(
+                    cached_system(s, ds),
+                    graph_search_workload(ds, seed=7).operations(MIXED_OPS),
+                    COST_MODEL, dataset_budget(ds), workload_name="graph-search",
+                )
+                for s in SYSTEMS
+            }
+            for ds in REAL_WORLD
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [ds] + [f"{results[ds][s].throughput_kops:.0f}" for s in SYSTEMS]
+        for ds in REAL_WORLD
+    ]
+    print(format_table("Figure 8: Graph Search throughput (KOps)",
+                       ["dataset"] + list(SYSTEMS), rows))
+
+    kops = {ds: {s: results[ds][s].throughput_kops for s in SYSTEMS} for ds in REAL_WORLD}
+    # orkut (fits in memory): Neo4j-Tuned ahead of ZipG -- the paper's
+    # "overheads of executing queries on compressed graphs".
+    assert kops["orkut"]["neo4j-tuned"] > kops["orkut"]["zipg"]
+    # uk: the ordering flips; ZipG ahead of everyone (paper: ~3x over
+    # Neo4j-Tuned; more against the rest).
+    for other in ("neo4j", "neo4j-tuned", "titan", "titan-compressed"):
+        assert kops["uk"]["zipg"] > 3 * kops["uk"][other], other
+
+
+@pytest.mark.parametrize("query", GRAPH_SEARCH_QUERIES)
+def test_figure8_component_queries(benchmark, query):
+    """Figures 8(a)-(e): GS1-GS5 in isolation."""
+    def run():
+        out = {}
+        for dataset_name in ("orkut", "uk"):
+            workload = graph_search_workload(dataset_name, seed=21)
+            out[dataset_name] = {
+                s: run_query_class(
+                    cached_system(s, dataset_name), workload, query, QUERY_OPS,
+                    COST_MODEL, dataset_budget(dataset_name),
+                )
+                for s in SYSTEMS
+            }
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [ds] + [f"{results[ds][s].throughput_kops:.0f}" for s in SYSTEMS]
+        for ds in results
+    ]
+    print(format_table(f"Figure 8 ({query})", ["dataset"] + list(SYSTEMS), rows))
+
+    uk = {s: results["uk"][s].throughput_kops for s in SYSTEMS}
+    orkut = {s: results["orkut"][s].throughput_kops for s in SYSTEMS}
+    if query == "GS3":
+        # Search on node attributes: ZipG touches all partitions while
+        # the others use global indexes -- ZipG comparable-or-worse on
+        # the small dataset, ahead once indexes spill (§5.2).
+        assert orkut["neo4j-tuned"] > orkut["zipg"]
+        assert uk["zipg"] > uk["neo4j-tuned"]
+        assert uk["zipg"] > uk["titan"]
+    else:
+        # Random-access queries: ZipG's advantage grows with scale.
+        assert (uk["zipg"] / uk["neo4j-tuned"]) > (orkut["zipg"] / orkut["neo4j-tuned"])
+        assert uk["zipg"] > uk["titan"]

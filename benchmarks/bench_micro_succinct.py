@@ -1,0 +1,85 @@
+"""Micro-benchmarks for the Succinct substrate (real wall-clock).
+
+Unlike the figure benches (which price metered storage touches through
+the cost model), these measure actual execution time of the compressed
+primitives every ZipG query bottoms out in: compression, ``extract``,
+``search``, and the NodeFile/EdgeFile operations built on them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.delimiters import DelimiterMap
+from repro.core.nodefile import NodeFile
+from repro.succinct import SuccinctFile
+from repro.workloads.properties import TAOPropertyModel
+
+TEXT_BYTES = 64 * 1024
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    rng = np.random.default_rng(5)
+    model = TAOPropertyModel(rng)
+    chunks = []
+    size = 0
+    while size < TEXT_BYTES:
+        blob = " ".join(model.node_properties().values()).encode("utf-8")
+        chunks.append(blob)
+        size += len(blob)
+    return b" ".join(chunks)[:TEXT_BYTES].replace(b"\x00", b" ")
+
+
+@pytest.fixture(scope="module")
+def compressed(corpus):
+    return SuccinctFile(corpus, alpha=32)
+
+
+def test_micro_compress_64kib(benchmark, corpus):
+    result = benchmark.pedantic(
+        lambda: SuccinctFile(corpus, alpha=32), rounds=3, iterations=1
+    )
+    assert result.original_size_bytes() == len(corpus)
+
+
+def test_micro_extract_1kib(benchmark, compressed, corpus):
+    offsets = np.random.default_rng(1).integers(0, len(corpus) - 1024, 50)
+    offset_iter = iter(offsets.tolist() * 100)
+
+    def run():
+        offset = next(offset_iter)
+        return compressed.extract(offset, 1024)
+
+    result = benchmark(run)
+    assert len(result) == 1024
+
+
+def test_micro_search(benchmark, compressed, corpus):
+    pattern = corpus[5_000:5_012]
+
+    def run():
+        return compressed.search(pattern)
+
+    hits = benchmark(run)
+    assert len(hits) >= 1
+
+
+def test_micro_count(benchmark, compressed, corpus):
+    pattern = corpus[9_000:9_008]
+    count = benchmark(lambda: compressed.count(pattern))
+    assert count >= 1
+
+
+def test_micro_nodefile_property_lookup(benchmark):
+    rng = np.random.default_rng(2)
+    model = TAOPropertyModel(rng)
+    nodes = {i: model.node_properties() for i in range(100)}
+    dmap = DelimiterMap(model.property_ids())
+    node_file = NodeFile(nodes, dmap, alpha=32)
+    node_iter = iter(list(range(100)) * 1000)
+
+    def run():
+        return node_file.get_property(next(node_iter), "city")
+
+    value = benchmark(run)
+    assert value is not None

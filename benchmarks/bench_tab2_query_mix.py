@@ -1,0 +1,43 @@
+"""Table 2: TAO / LinkBench query mixes.
+
+Verifies the generated operation streams reproduce the published
+production percentages (the inputs every throughput figure depends on).
+"""
+
+from collections import Counter
+
+from repro.bench.datasets import build_dataset
+from repro.bench.reporting import format_table
+from repro.workloads import LINKBENCH_MIX, LinkBenchWorkload, TAO_MIX, TAOWorkload
+
+SAMPLE_OPS = 8000
+
+
+def empirical_mix(workload):
+    counts = Counter(op.name for op in workload.operations(SAMPLE_OPS))
+    return {name: 100.0 * counts.get(name, 0) / SAMPLE_OPS for name in TAO_MIX}
+
+
+def test_table2_query_mixes(benchmark):
+    graph = build_dataset("orkut")
+
+    def run():
+        return (
+            empirical_mix(TAOWorkload(graph, seed=2)),
+            empirical_mix(LinkBenchWorkload(graph, seed=2)),
+        )
+
+    tao, linkbench = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        (name, TAO_MIX[name], tao[name], LINKBENCH_MIX[name], linkbench[name])
+        for name in TAO_MIX
+    ]
+    print(format_table(
+        "Table 2: query mix (published % vs generated %)",
+        ["query", "TAO pub", "TAO gen", "LB pub", "LB gen"], rows,
+    ))
+
+    for name in TAO_MIX:
+        # Within 1.5 percentage points of the published distribution.
+        assert abs(tao[name] - TAO_MIX[name]) < 1.5, name
+        assert abs(linkbench[name] - LINKBENCH_MIX[name]) < 1.5, name

@@ -1,0 +1,38 @@
+"""Table 4: datasets used in the evaluation.
+
+Regenerates the dataset inventory (nodes, edges, raw on-disk size) for
+the six scaled analogues and checks the size proportions the paper's
+datasets exhibit (small : medium : large mirroring orkut : twitter :
+uk).
+"""
+
+from repro.bench.datasets import DATASETS, LINKBENCH, REAL_WORLD, build_dataset
+from repro.bench.reporting import format_table
+
+
+def collect_rows():
+    rows = []
+    for name in DATASETS:
+        graph = build_dataset(name)
+        rows.append(
+            (name, graph.num_nodes, graph.num_edges,
+             f"{graph.on_disk_size_bytes() / 1e6:.2f} MB", DATASETS[name].kind)
+        )
+    return rows
+
+
+def test_table4_dataset_inventory(benchmark):
+    rows = benchmark.pedantic(collect_rows, rounds=1, iterations=1)
+    print(format_table(
+        "Table 4: datasets (scaled analogues)",
+        ["dataset", "#nodes", "#edges", "raw size", "type"],
+        rows,
+    ))
+    sizes = {row[0]: build_dataset(row[0]).on_disk_size_bytes() for row in rows}
+    # Real-world sizes strictly increase orkut -> twitter -> uk.
+    assert sizes["orkut"] < sizes["twitter"] < sizes["uk"]
+    # LinkBench datasets mirror the real-world proportions.
+    assert sizes["linkbench-small"] < sizes["linkbench-medium"] < sizes["linkbench-large"]
+    for real, linkbench in zip(REAL_WORLD, LINKBENCH):
+        ratio = sizes[linkbench] / sizes[real]
+        assert 0.4 < ratio < 1.6, f"{linkbench} should be size-comparable to {real}"

@@ -1,0 +1,71 @@
+"""Shared fixtures for the benchmark suite.
+
+Datasets and loaded systems are cached per pytest session so the many
+figure benchmarks that share (system, dataset) pairs build each one
+once. Systems are mutated slightly by write-bearing workloads -- as in
+the paper's warmed-up steady state, this does not change any shape.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+(``-s`` shows the paper-shape tables each benchmark prints.)
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import pytest
+
+from repro.bench.datasets import DATASETS, build_dataset, memory_budget_bytes
+from repro.bench.memory_model import CostModel
+from repro.bench.systems import build_system
+from repro.workloads import GraphSearchWorkload, LinkBenchWorkload, TAOWorkload
+
+#: every PropertyID any workload may append post-compression (the
+#: delimiter map is immutable, §3.3).
+EXTRA_PROPERTY_IDS = tuple(
+    ["city", "interest"] + [f"attr{i:02d}" for i in range(38)] + ["payload", "data"]
+)
+
+ZIPG_SHARDS = 4
+ZIPG_ALPHA = 32
+
+COST_MODEL = CostModel()
+
+
+@lru_cache(maxsize=None)
+def cached_system(system_name: str, dataset_name: str):
+    """Build (once) a system loaded with a registry dataset."""
+    graph = build_dataset(dataset_name)
+    return build_system(
+        system_name,
+        graph,
+        num_shards=ZIPG_SHARDS,
+        alpha=ZIPG_ALPHA,
+        extra_property_ids=list(EXTRA_PROPERTY_IDS),
+    )
+
+
+@lru_cache(maxsize=None)
+def dataset_budget(dataset_name: str) -> int:
+    return memory_budget_bytes(dataset_name, build_dataset(dataset_name))
+
+
+def workload_for(dataset_name: str, seed: int = 0):
+    """The paper's workload pairing: LinkBench datasets run LinkBench,
+    real-world datasets run TAO."""
+    graph = build_dataset(dataset_name)
+    if DATASETS[dataset_name].kind == "linkbench":
+        return LinkBenchWorkload(graph, seed=seed)
+    return TAOWorkload(graph, seed=seed)
+
+
+def graph_search_workload(dataset_name: str, seed: int = 0, use_joins: bool = False):
+    return GraphSearchWorkload(build_dataset(dataset_name), seed=seed, use_joins=use_joins)
+
+
+@pytest.fixture(scope="session")
+def cost_model():
+    return COST_MODEL

@@ -1,0 +1,6 @@
+"""Shim so `pip install -e .` works in offline environments lacking the
+`wheel` package (pip falls back to the legacy setup.py develop path)."""
+
+from setuptools import setup
+
+setup()

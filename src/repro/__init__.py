@@ -1,0 +1,19 @@
+"""ZipG reproduction: a memory-efficient graph store for interactive queries.
+
+A pure-Python reimplementation of ZipG (Khandelwal et al., SIGMOD 2017)
+and every substrate it depends on:
+
+* :mod:`repro.succinct` -- Succinct-style compressed flat-file and
+  key-value stores (sampled suffix arrays + NPA).
+* :mod:`repro.core` -- ZipG itself: NodeFile/EdgeFile layouts, the
+  compressed graph store API, the LogStore, and fanned updates.
+* :mod:`repro.cluster` -- sharding, aggregators and function shipping.
+* :mod:`repro.baselines` -- Neo4j-like pointer store and Titan-like
+  KV-on-LSM store used as evaluation baselines.
+* :mod:`repro.workloads` -- TAO, LinkBench, Graph Search, regular path
+  query and traversal workloads.
+* :mod:`repro.bench` -- dataset registry, memory model and the harness
+  that regenerates every table and figure of the paper.
+"""
+
+__version__ = "1.0.0"

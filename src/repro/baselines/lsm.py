@@ -1,0 +1,255 @@
+"""A Cassandra-like log-structured merge store (the Titan backend).
+
+Write path: appends go to a memtable; when it exceeds a threshold it is
+flushed to an immutable SSTable; size-tiered compaction merges SSTables
+when too many accumulate. Multiple writes to one key accumulate as
+*fragments* (Cassandra cells): a read gathers the fragments from the
+memtable and every SSTable whose bloom filter admits the key -- the
+read amplification that makes Cassandra write-optimized but range- and
+scan-unfriendly (§5.2's explanation of Titan's LinkBench behaviour).
+
+``compressed=True`` models LZ4 SSTable block compression (zlib here):
+entries are packed into ~4 KiB blocks compressed at flush time, and
+every read decompresses its block -- the CPU overhead footnote 7 blames
+for Titan-Compressed being strictly slower than Titan uncompressed.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.succinct.coding import varint_decode, varint_encode
+from repro.succinct.stats import AccessStats
+
+BLOCK_TARGET_BYTES = 4096
+CELL_METADATA_BYTES = 8  # Cassandra per-cell overhead (timestamp, flags)
+
+
+def _pack_entries(entries: List[Tuple[bytes, bytes]]) -> bytes:
+    out = bytearray()
+    for key, fragment in entries:
+        out.extend(varint_encode(len(key)))
+        out.extend(key)
+        out.extend(varint_encode(len(fragment)))
+        out.extend(fragment)
+    return bytes(out)
+
+
+def _unpack_entries(blob: bytes) -> List[Tuple[bytes, bytes]]:
+    entries = []
+    offset = 0
+    while offset < len(blob):
+        key_length, offset = varint_decode(blob, offset)
+        key = blob[offset : offset + key_length]
+        offset += key_length
+        fragment_length, offset = varint_decode(blob, offset)
+        fragment = blob[offset : offset + fragment_length]
+        offset += fragment_length
+        entries.append((key, fragment))
+    return entries
+
+
+class SSTable:
+    """An immutable sorted table of (key, fragment) entries.
+
+    Entries are grouped into blocks; a sorted per-block key index
+    provides the lookup. With compression on, blocks are zlib-deflated
+    at build time and inflated on every access.
+    """
+
+    def __init__(self, entries: List[Tuple[bytes, bytes]], compressed: bool, stats: AccessStats):
+        entries = sorted(entries, key=lambda e: e[0])
+        self._compressed = compressed
+        self._stats = stats
+        self._num_entries = len(entries)
+        self._keys = sorted({key for key, _ in entries})
+        self._block_first_keys: List[bytes] = []
+        self._blocks: List[bytes] = []
+        self._raw_block_sizes: List[int] = []
+        current: List[Tuple[bytes, bytes]] = []
+        current_size = 0
+        for key, fragment in entries:
+            current.append((key, fragment))
+            current_size += len(key) + len(fragment) + 4
+            if current_size >= BLOCK_TARGET_BYTES:
+                self._seal_block(current)
+                current, current_size = [], 0
+        if current:
+            self._seal_block(current)
+
+    def _seal_block(self, entries: List[Tuple[bytes, bytes]]) -> None:
+        raw = _pack_entries(entries)
+        self._block_first_keys.append(entries[0][0])
+        self._raw_block_sizes.append(len(raw))
+        self._blocks.append(zlib.compress(raw) if self._compressed else raw)
+
+    def may_contain(self, key: bytes) -> bool:
+        """Bloom-filter stand-in (exact here; real filters have ~1% FP)."""
+        import bisect as _bisect
+
+        index = _bisect.bisect_left(self._keys, key)
+        return index < len(self._keys) and self._keys[index] == key
+
+    def _read_block(self, block_index: int) -> List[Tuple[bytes, bytes]]:
+        blob = self._blocks[block_index]
+        if self._compressed:
+            blob = zlib.decompress(blob)
+            self._stats.decompressed_bytes += len(blob)
+        return _unpack_entries(blob)
+
+    def get_fragments(self, key: bytes) -> List[bytes]:
+        """All fragments stored for ``key`` (in insertion order).
+
+        Entries are globally sorted, so the key's fragments occupy a
+        contiguous run of blocks starting at the block whose first key
+        is the largest one <= key.
+        """
+        import bisect as _bisect
+
+        if not self.may_contain(key):
+            return []
+        self._stats.random_accesses += 1
+        block_index = max(0, _bisect.bisect_right(self._block_first_keys, key) - 1)
+        fragments: List[bytes] = []
+        while block_index < len(self._blocks):
+            entries = self._read_block(block_index)
+            self._stats.sequential_bytes += self._raw_block_sizes[block_index]
+            fragments.extend(f for k, f in entries if k == key)
+            if entries[-1][0] > key:  # sorted: no later block holds the key
+                break
+            block_index += 1
+        return fragments
+
+    def scan_prefix(self, prefix: bytes) -> Iterator[Tuple[bytes, bytes]]:
+        """All (key, fragment) entries whose key starts with ``prefix``."""
+        import bisect as _bisect
+
+        block_index = max(0, _bisect.bisect_right(self._block_first_keys, prefix) - 1)
+        while block_index < len(self._blocks):
+            entries = self._read_block(block_index)
+            self._stats.random_accesses += 1
+            self._stats.sequential_bytes += self._raw_block_sizes[block_index]
+            for key, fragment in entries:
+                if key.startswith(prefix):
+                    yield (key, fragment)
+            last_key = entries[-1][0]
+            if last_key > prefix and not last_key.startswith(prefix):
+                break
+            block_index += 1
+
+    def all_entries(self) -> List[Tuple[bytes, bytes]]:
+        entries: List[Tuple[bytes, bytes]] = []
+        for block_index in range(len(self._blocks)):
+            entries.extend(self._read_block(block_index))
+        return entries
+
+    def stored_bytes(self) -> int:
+        index = sum(len(k) + 8 for k in self._block_first_keys)
+        keys = sum(len(k) + 2 for k in self._keys)  # bloom/key index
+        cells = self._num_entries * CELL_METADATA_BYTES
+        return sum(len(b) for b in self._blocks) + index + keys + cells
+
+
+class LSMStore:
+    """Memtable + SSTables with size-tiered compaction.
+
+    Args:
+        compressed: zlib block compression for SSTables.
+        memtable_flush_bytes: flush threshold.
+        max_sstables: compaction trigger.
+        stats: optional shared access meter.
+    """
+
+    def __init__(
+        self,
+        compressed: bool = False,
+        memtable_flush_bytes: int = 1 << 20,
+        max_sstables: int = 8,
+        stats: Optional[AccessStats] = None,
+    ):
+        self._compressed = compressed
+        self._flush_bytes = memtable_flush_bytes
+        self._max_sstables = max_sstables
+        self.stats = stats if stats is not None else AccessStats()
+        self._memtable: Dict[bytes, List[bytes]] = {}
+        self._memtable_bytes = 0
+        self._sstables: List[SSTable] = []
+        self.flush_count = 0
+        self.compaction_count = 0
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+
+    def put(self, key: bytes, fragment: bytes) -> None:
+        """Append one fragment under ``key`` (Cassandra cell write)."""
+        self.stats.writes += 1
+        self._memtable.setdefault(key, []).append(fragment)
+        self._memtable_bytes += len(key) + len(fragment)
+        if self._memtable_bytes >= self._flush_bytes:
+            self.flush()
+
+    def flush(self) -> None:
+        """Flush the memtable into a new SSTable."""
+        if not self._memtable:
+            return
+        entries = [
+            (key, fragment)
+            for key, fragments in self._memtable.items()
+            for fragment in fragments
+        ]
+        self._sstables.append(SSTable(entries, self._compressed, self.stats))
+        self._memtable = {}
+        self._memtable_bytes = 0
+        self.flush_count += 1
+        if len(self._sstables) > self._max_sstables:
+            self.compact()
+
+    def compact(self) -> None:
+        """Size-tiered compaction: merge every SSTable into one,
+        preserving fragment order (oldest table first)."""
+        if len(self._sstables) <= 1:
+            return
+        merged: List[Tuple[bytes, bytes]] = []
+        for table in self._sstables:
+            merged.extend(table.all_entries())
+        self._sstables = [SSTable(merged, self._compressed, self.stats)]
+        self.compaction_count += 1
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def get_fragments(self, key: bytes) -> List[bytes]:
+        """All fragments for ``key``, oldest first (replay order)."""
+        fragments: List[bytes] = []
+        for table in self._sstables:  # oldest SSTable first
+            fragments.extend(table.get_fragments(key))
+        if key in self._memtable:
+            self.stats.random_accesses += 1
+            fragments.extend(self._memtable[key])
+        return fragments
+
+    def scan_prefix(self, prefix: bytes) -> List[Tuple[bytes, bytes]]:
+        """All entries with keys starting with ``prefix``, oldest first."""
+        results: List[Tuple[bytes, bytes]] = []
+        for table in self._sstables:
+            results.extend(table.scan_prefix(prefix))
+        for key in sorted(self._memtable):
+            if key.startswith(prefix):
+                self.stats.random_accesses += 1
+                for fragment in self._memtable[key]:
+                    results.append((key, fragment))
+        return results
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def num_sstables(self) -> int:
+        return len(self._sstables)
+
+    def stored_bytes(self) -> int:
+        return sum(t.stored_bytes() for t in self._sstables) + self._memtable_bytes

@@ -1,0 +1,22 @@
+"""Benchmark infrastructure: systems registry, datasets, memory model,
+harness and reporting -- everything needed to regenerate the paper's
+tables and figures."""
+
+from repro.bench.datasets import DATASETS, DatasetSpec, build_dataset
+from repro.bench.harness import ThroughputResult, run_mixed_workload, run_query_class
+from repro.bench.memory_model import CostModel, MemoryBudget
+from repro.bench.systems import SYSTEMS, ZipGSystem, build_system
+
+__all__ = [
+    "CostModel",
+    "DATASETS",
+    "DatasetSpec",
+    "MemoryBudget",
+    "SYSTEMS",
+    "ThroughputResult",
+    "ZipGSystem",
+    "build_dataset",
+    "build_system",
+    "run_mixed_workload",
+    "run_query_class",
+]

@@ -1,0 +1,120 @@
+"""Throughput harness: replays operation streams and prices them.
+
+``run_mixed_workload`` executes a workload's operations for real
+(correctness is exercised, wall-clock is measurable with
+pytest-benchmark) while accumulating each store's access counters; the
+cost model then converts the counters into simulated per-query latency
+under the experiment's memory budget, and throughput follows as
+``cores / avg_latency`` -- the quantity the paper's figures plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.bench.memory_model import CostModel, hit_fraction
+from repro.workloads.base import Operation
+
+DEFAULT_CORES = 32  # the paper's single server: 32 vCPUs
+
+
+@dataclass
+class ThroughputResult:
+    """Outcome of one (system, workload, dataset) cell of a figure."""
+
+    system: str
+    workload: str
+    operations: int
+    avg_latency_us: float
+    throughput_kops: float
+    hit_fraction: float
+    per_query_latency_us: Dict[str, float]
+    p50_latency_us: float = 0.0
+    p99_latency_us: float = 0.0
+
+    def row(self) -> str:
+        return (
+            f"{self.system:<18} {self.workload:<18} "
+            f"{self.throughput_kops:>10.1f} KOps "
+            f"{self.avg_latency_us:>10.1f} us/op "
+            f"(p99 {self.p99_latency_us:.1f} us, mem hit {self.hit_fraction:5.1%})"
+        )
+
+
+def run_mixed_workload(
+    system,
+    operations: Iterable[Operation],
+    cost_model: CostModel,
+    budget_bytes: int,
+    cores: int = DEFAULT_CORES,
+    workload_name: str = "mixed",
+    network_hops_per_op: int = 0,
+) -> ThroughputResult:
+    """Replay ``operations`` against ``system`` and price them.
+
+    The store's footprint is measured once up front (queries do not
+    change it materially; update-heavy runs slightly grow it, which is
+    fine -- the budget comparison uses the initial representation like
+    the paper's warmed-up steady state).
+    """
+    footprint = system.storage_footprint_bytes()
+    hit = hit_fraction(footprint, budget_bytes)
+
+    per_query_ns: Dict[str, float] = {}
+    per_query_count: Dict[str, int] = {}
+    latencies: List[float] = []
+    total_ns = 0.0
+    count = 0
+    for operation in operations:
+        before = system.aggregate_stats().snapshot()
+        operation.run(system)
+        delta = system.aggregate_stats().delta_since(before)
+        latency = cost_model.query_latency_ns(
+            delta, footprint, budget_bytes, network_hops=network_hops_per_op
+        )
+        total_ns += latency
+        count += 1
+        latencies.append(latency)
+        per_query_ns[operation.name] = per_query_ns.get(operation.name, 0.0) + latency
+        per_query_count[operation.name] = per_query_count.get(operation.name, 0) + 1
+
+    avg_ns = total_ns / count if count else 0.0
+    throughput_kops = (cores / (avg_ns * 1e-9)) / 1e3 if avg_ns else 0.0
+    per_query_latency_us = {
+        name: per_query_ns[name] / per_query_count[name] / 1e3 for name in per_query_ns
+    }
+    ordered = sorted(latencies)
+    p50 = ordered[len(ordered) // 2] / 1e3 if ordered else 0.0
+    p99 = ordered[min(len(ordered) - 1, int(len(ordered) * 0.99))] / 1e3 if ordered else 0.0
+    return ThroughputResult(
+        system=getattr(system, "name", type(system).__name__),
+        workload=workload_name,
+        operations=count,
+        avg_latency_us=avg_ns / 1e3,
+        throughput_kops=throughput_kops,
+        hit_fraction=hit,
+        per_query_latency_us=per_query_latency_us,
+        p50_latency_us=p50,
+        p99_latency_us=p99,
+    )
+
+
+def run_query_class(
+    system,
+    workload,
+    query_name: str,
+    count: int,
+    cost_model: CostModel,
+    budget_bytes: int,
+    cores: int = DEFAULT_CORES,
+) -> ThroughputResult:
+    """The per-query isolation runs of Figures 6-8: one query type."""
+    return run_mixed_workload(
+        system,
+        workload.operations_of(query_name, count),
+        cost_model,
+        budget_bytes,
+        cores=cores,
+        workload_name=query_name,
+    )

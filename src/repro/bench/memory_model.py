@@ -1,0 +1,93 @@
+"""Simulated memory hierarchy (the testbed substitution, DESIGN.md §3).
+
+The paper's single-server experiments run on 244 GB of RAM against up
+to 636 GB of data; what the throughput figures measure is *which
+system's representation still fits in memory and what the SSD penalty
+is when it does not*. This module reproduces that mechanism at MB
+scale:
+
+* every store counts its logical storage touches in
+  :class:`~repro.succinct.stats.AccessStats`;
+* a store whose measured footprint exceeds the budget has a miss
+  fraction ``1 - budget/footprint``; each random touch pays the SSD
+  latency with that probability (in expectation), mirroring a uniform
+  page-cache model;
+* CPU-side costs (NPA hops for ZipG, block decompression for
+  Titan-Compressed, per-search automaton work) are charged regardless
+  of residency -- they are what makes compressed stores *slower* than
+  uncompressed ones when everything fits (§5.2's Neo4j-Tuned > ZipG on
+  in-memory Graph Search).
+
+Latency constants are calibrated to commodity hardware orders of
+magnitude (DRAM ~100 ns, NVMe SSD ~100 us random read); the absolute
+KOps are not meant to match the paper's testbed, the *shapes* are.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.succinct.stats import AccessStats
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Latency constants for converting access counts into time."""
+
+    memory_random_ns: float = 400.0
+    ssd_random_ns: float = 100_000.0
+    memory_scan_ns_per_byte: float = 2.0
+    ssd_scan_ns_per_byte: float = 25.0
+    npa_hop_ns: float = 8.0
+    decompress_ns_per_byte: float = 5.0
+    search_base_ns: float = 800.0
+    write_persist_ns: float = 18_000.0  # mmap write-through to SSD (§4.1)
+    network_hop_ns: float = 120_000.0  # one RPC round trip (distributed runs)
+
+    def query_latency_ns(
+        self,
+        stats: AccessStats,
+        footprint_bytes: int,
+        budget_bytes: int,
+        network_hops: int = 0,
+    ) -> float:
+        """Expected latency of the work described by ``stats``.
+
+        Args:
+            stats: counter deltas accumulated by the query.
+            footprint_bytes: the store's total representation size.
+            budget_bytes: the simulated memory budget.
+            network_hops: RPC round trips (0 for single-server runs).
+        """
+        hit = hit_fraction(footprint_bytes, budget_bytes)
+        miss = 1.0 - hit
+        latency = stats.random_accesses * (
+            hit * self.memory_random_ns + miss * self.ssd_random_ns
+        )
+        latency += stats.sequential_bytes * (
+            hit * self.memory_scan_ns_per_byte + miss * self.ssd_scan_ns_per_byte
+        )
+        latency += stats.npa_hops * self.npa_hop_ns
+        latency += stats.decompressed_bytes * self.decompress_ns_per_byte
+        latency += stats.searches * self.search_base_ns
+        latency += stats.writes * self.write_persist_ns
+        latency += network_hops * self.network_hop_ns
+        return latency
+
+
+def hit_fraction(footprint_bytes: int, budget_bytes: int) -> float:
+    """Fraction of the store resident in memory under a uniform model."""
+    if footprint_bytes <= 0:
+        return 1.0
+    return min(1.0, budget_bytes / footprint_bytes)
+
+
+@dataclass(frozen=True)
+class MemoryBudget:
+    """A named memory budget (one per simulated server)."""
+
+    bytes: int
+
+    def fits(self, footprint_bytes: int) -> bool:
+        """Table 5's criterion: does the representation fit entirely?"""
+        return footprint_bytes <= self.bytes

@@ -1,0 +1,105 @@
+"""One-shot experiment report: the headline results without pytest.
+
+``python -m repro experiments`` runs a compact version of the paper's
+core evaluation -- Figure 5's footprint ratios, Table 5's fit matrix,
+and Figures 6-8's throughput tables -- and prints them in one report.
+The full per-figure benchmarks (with shape assertions and appendix
+experiments) live in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.datasets import DATASETS, build_dataset, memory_budget_bytes
+from repro.bench.harness import run_mixed_workload
+from repro.bench.memory_model import CostModel
+from repro.bench.reporting import format_ratio_series, format_table
+from repro.bench.systems import build_system
+from repro.workloads import GraphSearchWorkload, LinkBenchWorkload, TAOWorkload
+
+REPORT_SYSTEMS = ("zipg", "neo4j-tuned", "titan", "titan-compressed")
+_EXTRA_IDS = (
+    ["city", "interest"] + [f"attr{i:02d}" for i in range(38)] + ["payload", "data"]
+)
+
+
+def run_report(
+    datasets: Optional[Sequence[str]] = None,
+    ops: int = 150,
+    print_fn=print,
+) -> Dict[str, object]:
+    """Run the compact evaluation; returns the collected numbers."""
+    names = list(datasets or DATASETS)
+    cost_model = CostModel()
+    systems: Dict[str, Dict[str, object]] = {}
+    ratios: Dict[str, Dict[str, float]] = {}
+    fits_rows: List[List[str]] = []
+
+    for dataset_name in names:
+        graph = build_dataset(dataset_name)
+        raw = graph.on_disk_size_bytes()
+        budget = memory_budget_bytes(dataset_name, graph)
+        per_system = {}
+        fits = [dataset_name]
+        for system_name in REPORT_SYSTEMS:
+            system = build_system(system_name, graph, extra_property_ids=_EXTRA_IDS)
+            per_system[system_name] = system
+            footprint = system.storage_footprint_bytes()
+            ratios.setdefault(dataset_name, {})[system_name] = footprint / raw
+            fits.append("yes" if footprint <= budget else "NO")
+        systems[dataset_name] = per_system
+        fits_rows.append(fits)
+
+    print_fn(format_ratio_series("Figure 5: footprint / raw input", ratios))
+    print_fn(format_table("Table 5: fits completely in memory",
+                          ["dataset"] + list(REPORT_SYSTEMS), fits_rows))
+
+    throughput: Dict[str, Dict[str, float]] = {}
+    for dataset_name in names:
+        graph = build_dataset(dataset_name)
+        budget = memory_budget_bytes(dataset_name, graph)
+        if DATASETS[dataset_name].kind == "linkbench":
+            workload_name = "linkbench"
+            make = lambda: LinkBenchWorkload(graph, seed=42)
+        else:
+            workload_name = "tao"
+            make = lambda: TAOWorkload(graph, seed=42)
+        cells = {}
+        for system_name, system in systems[dataset_name].items():
+            result = run_mixed_workload(
+                system, make().operations(ops), cost_model, budget,
+                workload_name=workload_name,
+            )
+            cells[system_name] = result.throughput_kops
+        throughput[dataset_name] = cells
+    rows = [
+        [name] + [f"{throughput[name][s]:.0f}" for s in REPORT_SYSTEMS]
+        for name in names
+    ]
+    print_fn(format_table("Figures 6-7: workload throughput (KOps)",
+                          ["dataset"] + list(REPORT_SYSTEMS), rows))
+
+    gs: Dict[str, Dict[str, float]] = {}
+    for dataset_name in names:
+        if DATASETS[dataset_name].kind == "linkbench":
+            continue
+        graph = build_dataset(dataset_name)
+        budget = memory_budget_bytes(dataset_name, graph)
+        cells = {}
+        for system_name, system in systems[dataset_name].items():
+            result = run_mixed_workload(
+                system, GraphSearchWorkload(graph, seed=7).operations(ops),
+                cost_model, budget, workload_name="graph-search",
+            )
+            cells[system_name] = result.throughput_kops
+        gs[dataset_name] = cells
+    if gs:
+        rows = [
+            [name] + [f"{gs[name][s]:.0f}" for s in REPORT_SYSTEMS]
+            for name in gs
+        ]
+        print_fn(format_table("Figure 8: Graph Search throughput (KOps)",
+                              ["dataset"] + list(REPORT_SYSTEMS), rows))
+
+    return {"ratios": ratios, "throughput": throughput, "graph_search": gs}

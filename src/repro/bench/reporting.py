@@ -1,0 +1,53 @@
+"""Plain-text reporting helpers for the benchmark harness.
+
+Benchmarks print the same rows/series the paper's tables and figures
+report; these helpers keep the formatting consistent across all of
+``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+
+def format_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Iterable[Sequence],
+    column_width: int = 18,
+) -> str:
+    """A fixed-width text table with a title banner."""
+    lines = [f"\n=== {title} ==="]
+    header = "".join(f"{name:<{column_width}}" for name in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append("".join(f"{_fmt(cell):<{column_width}}" for cell in row))
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def format_ratio_series(title: str, series: Dict[str, Dict[str, float]]) -> str:
+    """Figure-5-style grouped bars: dataset -> system -> ratio."""
+    systems: List[str] = []
+    for per_system in series.values():
+        for system in per_system:
+            if system not in systems:
+                systems.append(system)
+    rows = [
+        [dataset] + [per_system.get(system, float("nan")) for system in systems]
+        for dataset, per_system in series.items()
+    ]
+    return format_table(title, ["dataset"] + systems, rows)
+
+
+def speedup(numerator: float, denominator: float) -> float:
+    """Safe ratio used in 'ZipG is N x faster' assertions."""
+    if denominator <= 0:
+        return float("inf")
+    return numerator / denominator

@@ -1,0 +1,181 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``info``                       -- version + registry overview
+* ``datasets``                   -- the Table 4 dataset inventory
+* ``footprint [--dataset D]``    -- Figure 5's ratios for one dataset
+* ``workload [--dataset D] [--workload W] [--ops N]``
+                                 -- run a workload across all systems
+* ``query --file PATH "ZIPQL"``  -- compress a graph file and query it
+
+The graph file format accepted by ``query`` is the canonical text form
+used for raw-size accounting: ``N <id> <pid>=<value>;...`` node lines
+and ``E <src> <dst> <type> <ts>`` edge lines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import repro
+from repro.bench.datasets import DATASETS, build_dataset, memory_budget_bytes
+from repro.bench.harness import run_mixed_workload
+from repro.bench.memory_model import CostModel
+from repro.bench.systems import SYSTEMS, ZipGSystem, build_system
+from repro.core import GraphData
+from repro.query import QueryEngine
+from repro.workloads import GraphSearchWorkload, LinkBenchWorkload, TAOWorkload
+
+_EXTRA_IDS = (
+    ["city", "interest"] + [f"attr{i:02d}" for i in range(38)] + ["payload", "data"]
+)
+
+
+def _cmd_info(_args) -> int:
+    print(f"repro-zipg {repro.__version__}")
+    print(f"systems:  {', '.join(SYSTEMS)}")
+    print(f"datasets: {', '.join(DATASETS)}")
+    print("workloads: tao, linkbench, graph-search")
+    return 0
+
+
+def _cmd_datasets(_args) -> int:
+    print(f"{'dataset':<20}{'nodes':>8}{'edges':>8}{'raw MB':>10}{'budget MB':>11}")
+    for name in DATASETS:
+        graph = build_dataset(name)
+        budget = memory_budget_bytes(name, graph)
+        print(f"{name:<20}{graph.num_nodes:>8}{graph.num_edges:>8}"
+              f"{graph.on_disk_size_bytes() / 1e6:>10.2f}{budget / 1e6:>11.2f}")
+    return 0
+
+
+def _cmd_footprint(args) -> int:
+    graph = build_dataset(args.dataset)
+    raw = graph.on_disk_size_bytes()
+    print(f"{args.dataset}: raw {raw / 1e6:.2f} MB")
+    for name in ("neo4j", "titan", "titan-compressed", "zipg"):
+        system = build_system(name, graph, extra_property_ids=_EXTRA_IDS)
+        footprint = system.storage_footprint_bytes()
+        print(f"  {name:<18} {footprint / 1e6:8.2f} MB  ({footprint / raw:5.2f}x raw)")
+    return 0
+
+
+def _make_workload(name: str, graph, seed: int):
+    if name == "tao":
+        return TAOWorkload(graph, seed=seed)
+    if name == "linkbench":
+        return LinkBenchWorkload(graph, seed=seed)
+    if name == "graph-search":
+        return GraphSearchWorkload(graph, seed=seed)
+    raise SystemExit(f"unknown workload {name!r}")
+
+
+def _cmd_workload(args) -> int:
+    graph = build_dataset(args.dataset)
+    budget = memory_budget_bytes(args.dataset, graph)
+    cost_model = CostModel()
+    print(f"{args.workload} x {args.ops} ops on {args.dataset} "
+          f"(budget {budget / 1e6:.2f} MB):")
+    for name in SYSTEMS:
+        system = build_system(name, graph, extra_property_ids=_EXTRA_IDS)
+        workload = _make_workload(args.workload, graph, args.seed)
+        result = run_mixed_workload(
+            system, workload.operations(args.ops), cost_model, budget,
+            workload_name=args.workload,
+        )
+        print(" ", result.row())
+    return 0
+
+
+def _load_graph_file(path: str) -> GraphData:
+    graph = GraphData()
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            fields = line.split()
+            if fields[0] == "N":
+                properties = {}
+                for pair in fields[2:]:
+                    for item in pair.split(";"):
+                        if item:
+                            key, _, value = item.partition("=")
+                            properties[key] = value
+                graph.add_node(int(fields[1]), properties)
+            elif fields[0] == "E":
+                timestamp = int(fields[4]) if len(fields) > 4 else 0
+                edge_type = int(fields[3]) if len(fields) > 3 else 0
+                graph.add_edge(int(fields[1]), int(fields[2]), edge_type, timestamp)
+            else:
+                raise SystemExit(f"{path}:{line_number}: unknown record {fields[0]!r}")
+    return graph
+
+
+def _cmd_experiments(args) -> int:
+    from repro.bench.report import run_report
+
+    run_report(datasets=args.datasets or None, ops=args.ops)
+    return 0
+
+
+def _cmd_query(args) -> int:
+    graph = _load_graph_file(args.file)
+    system = ZipGSystem.load(graph, num_shards=args.shards, alpha=args.alpha)
+    engine = QueryEngine(system, graph.node_ids())
+    result = engine.execute(args.zipql)
+    print("\t".join(result.columns))
+    for row in result:
+        print("\t".join(str(row[column]) for column in result.columns))
+    print(f"({len(result)} rows)", file=sys.stderr)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="ZipG reproduction command line"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("info", help="version and registry overview")
+    commands.add_parser("datasets", help="Table 4 dataset inventory")
+
+    footprint = commands.add_parser("footprint", help="Figure 5 ratios")
+    footprint.add_argument("--dataset", default="orkut", choices=list(DATASETS))
+
+    workload = commands.add_parser("workload", help="run a workload on all systems")
+    workload.add_argument("--dataset", default="orkut", choices=list(DATASETS))
+    workload.add_argument("--workload", default="tao",
+                          choices=["tao", "linkbench", "graph-search"])
+    workload.add_argument("--ops", type=int, default=200)
+    workload.add_argument("--seed", type=int, default=0)
+
+    experiments = commands.add_parser(
+        "experiments", help="compact end-to-end evaluation report"
+    )
+    experiments.add_argument("--datasets", nargs="*", choices=list(DATASETS))
+    experiments.add_argument("--ops", type=int, default=150)
+
+    query = commands.add_parser("query", help="compress a graph file and run ZipQL")
+    query.add_argument("--file", required=True, help="graph file (N/E lines)")
+    query.add_argument("--shards", type=int, default=2)
+    query.add_argument("--alpha", type=int, default=16)
+    query.add_argument("zipql", help="the ZipQL query text")
+
+    args = parser.parse_args(argv)
+    handler = {
+        "info": _cmd_info,
+        "datasets": _cmd_datasets,
+        "footprint": _cmd_footprint,
+        "workload": _cmd_workload,
+        "experiments": _cmd_experiments,
+        "query": _cmd_query,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,36 @@
+"""Distributed-cluster simulation (§4.1, Figure 4, Figure 9).
+
+Shards are placed on simulated servers; every query is attributed to
+the exact set of servers whose storage it touched (each shard carries
+its own access meter), function shipping is modeled as one parallel
+RPC fan-out per remote step, and throughput accounts for per-server
+load imbalance -- which is how LinkBench's hot-node skew turns into
+Figure 9(b)'s sublinear scaling.
+"""
+
+from repro.cluster.aggregator import (
+    FunctionShippingAggregator,
+    ShippingLevel,
+    ShippingTrace,
+)
+from repro.cluster.cluster import (
+    DistributedResult,
+    Server,
+    TitanCluster,
+    ZipGCluster,
+    run_distributed_workload,
+)
+from repro.cluster.replication import ReplicatedZipGCluster, ShardUnavailable
+
+__all__ = [
+    "DistributedResult",
+    "FunctionShippingAggregator",
+    "ReplicatedZipGCluster",
+    "Server",
+    "ShardUnavailable",
+    "ShippingLevel",
+    "ShippingTrace",
+    "TitanCluster",
+    "ZipGCluster",
+    "run_distributed_workload",
+]

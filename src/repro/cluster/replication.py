@@ -1,0 +1,93 @@
+"""Replication-based fault tolerance and load balancing (§4.1).
+
+"ZipG currently uses traditional replication-based techniques for
+fault tolerance; an application can specify the desired number of
+replicas per shard. Queries are load balanced evenly across multiple
+replicas."
+
+Each shard is placed on ``replication_factor`` consecutive servers.
+Reads rotate round-robin over a shard's *live* replicas; failing a
+server re-routes its shards' reads to the surviving replicas, and a
+shard whose replicas are all down makes queries raise
+:class:`ShardUnavailable`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.cluster.cluster import Server, ZipGCluster
+from repro.core.graph_store import ZipG
+
+
+class ShardUnavailable(RuntimeError):
+    """Every replica of a required shard is down."""
+
+
+class ReplicatedZipGCluster(ZipGCluster):
+    """A ZipG cluster with per-shard replication.
+
+    Args:
+        store: the logical ZipG store.
+        num_servers: cluster size.
+        replication_factor: replicas per shard (the paper's app-chosen
+            knob). Must not exceed ``num_servers``.
+    """
+
+    def __init__(self, store: ZipG, num_servers: int, replication_factor: int = 2):
+        super().__init__(store, num_servers)
+        if not 1 <= replication_factor <= num_servers:
+            raise ValueError("replication_factor must be in [1, num_servers]")
+        self.replication_factor = replication_factor
+        self._down: Set[int] = set()
+        self._rotation: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+
+    def replica_servers(self, shard_id: int) -> List[int]:
+        """Servers holding a replica of ``shard_id`` (primary first)."""
+        primary = shard_id % self.num_servers
+        return [
+            (primary + offset) % self.num_servers
+            for offset in range(self.replication_factor)
+        ]
+
+    def live_replicas(self, shard_id: int) -> List[int]:
+        return [s for s in self.replica_servers(shard_id) if s not in self._down]
+
+    def server_of_shard(self, shard_id: int) -> int:
+        """Round-robin read routing over the shard's live replicas."""
+        live = self.live_replicas(shard_id)
+        if not live:
+            raise ShardUnavailable(f"no live replica for shard {shard_id}")
+        turn = self._rotation.get(shard_id, 0)
+        self._rotation[shard_id] = turn + 1
+        return live[turn % len(live)]
+
+    # ------------------------------------------------------------------
+    # Failures
+    # ------------------------------------------------------------------
+
+    def fail_server(self, server_id: int) -> None:
+        """Mark a server down; its shards fail over to surviving replicas."""
+        if not 0 <= server_id < self.num_servers:
+            raise IndexError(f"server {server_id} out of range")
+        self._down.add(server_id)
+
+    def recover_server(self, server_id: int) -> None:
+        self._down.discard(server_id)
+
+    @property
+    def down_servers(self) -> Set[int]:
+        return set(self._down)
+
+    def is_available(self) -> bool:
+        """True if every shard still has at least one live replica."""
+        return all(self.live_replicas(s.shard_id) for s in self.store.shards)
+
+    def storage_footprint_bytes(self) -> int:
+        """Replication multiplies the stored bytes (no storage-efficient
+        erasure coding -- the paper leaves that as future work)."""
+        return super().storage_footprint_bytes() * self.replication_factor

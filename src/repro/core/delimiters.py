@@ -1,0 +1,191 @@
+"""PropertyID delimiter assignment (§3.3, footnote 4).
+
+Each PropertyID in the graph is assigned a unique non-printable
+delimiter and a lexicographic *order*; serialized property lists write
+each value prepended by its PropertyID's delimiter, in order. Graphs
+with up to 24 PropertyIDs use one-byte delimiters; larger graphs (up to
+576) switch uniformly to two-byte delimiters so parsing stays
+unambiguous.
+
+Reserved control bytes (never assigned as property delimiters):
+
+====  =======================================
+0x00  Succinct sentinel
+0x01  EdgeFile record-begin (the paper's ``$``)
+0x1B  EdgeFile source/type separator (``#``)
+0x1C  EdgeFile metadata field separator (``,``)
+0x1D  end-of-record (the paper's ``‡``)
+0x1E  SuccinctKV record separator
+====  =======================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.errors import GraphFormatError, TooManyProperties
+
+SENTINEL = 0x00
+EDGE_RECORD_BEGIN = 0x01
+EDGE_TYPE_SEPARATOR = 0x1B
+EDGE_FIELD_SEPARATOR = 0x1C
+END_OF_RECORD = 0x1D
+
+_POOL = list(range(0x02, 0x1A))  # 24 single-byte delimiters
+MAX_SINGLE_BYTE_PROPERTIES = len(_POOL)
+MAX_PROPERTIES = len(_POOL) * len(_POOL)
+
+# Property values may use any byte >= 0x20 (plus none of the above).
+MIN_VALUE_BYTE = 0x20
+
+
+def validate_property_value(value: str) -> bytes:
+    """Encode a property value, rejecting reserved control bytes."""
+    encoded = value.encode("utf-8")
+    if any(byte < MIN_VALUE_BYTE for byte in encoded):
+        raise GraphFormatError(
+            f"property value {value!r} contains reserved control bytes"
+        )
+    return encoded
+
+
+class DelimiterMap:
+    """PropertyID -> (order, delimiter) map shared by a whole graph.
+
+    The map is built once, from the full set of PropertyIDs occurring
+    anywhere in the graph (nodes and edges), so that the same value
+    serialization is searchable across every shard.
+    """
+
+    def __init__(self, property_ids: Iterable[str]):
+        ordered = sorted(set(property_ids))
+        if len(ordered) > MAX_PROPERTIES:
+            raise TooManyProperties(
+                f"{len(ordered)} PropertyIDs exceed the delimiter space "
+                f"({MAX_PROPERTIES})"
+            )
+        self._ordered: List[str] = ordered
+        self._two_byte = len(ordered) > MAX_SINGLE_BYTE_PROPERTIES
+        self._delimiters: List[bytes] = []
+        for index in range(len(ordered)):
+            if self._two_byte:
+                first, second = divmod(index, len(_POOL))
+                self._delimiters.append(bytes([_POOL[first], _POOL[second]]))
+            else:
+                self._delimiters.append(bytes([_POOL[index]]))
+        self._order: Dict[str, int] = {pid: i for i, pid in enumerate(ordered)}
+
+    def __len__(self) -> int:
+        return len(self._ordered)
+
+    def __contains__(self, property_id: str) -> bool:
+        return property_id in self._order
+
+    @property
+    def uses_two_byte_delimiters(self) -> bool:
+        return self._two_byte
+
+    @property
+    def delimiter_width(self) -> int:
+        return 2 if self._two_byte else 1
+
+    def property_ids(self) -> List[str]:
+        """All PropertyIDs in lexicographic (serialization) order."""
+        return list(self._ordered)
+
+    def order_of(self, property_id: str) -> int:
+        """Lexicographic rank of ``property_id``."""
+        try:
+            return self._order[property_id]
+        except KeyError:
+            raise GraphFormatError(f"unknown PropertyID {property_id!r}") from None
+
+    def delimiter_of(self, property_id: str) -> bytes:
+        """Delimiter bytes assigned to ``property_id``."""
+        return self._delimiters[self.order_of(property_id)]
+
+    def next_delimiter_after(self, property_id: str) -> bytes:
+        """Delimiter of the lexicographically next PropertyID, or the
+        end-of-record delimiter for the last one (used to bracket
+        exact-value search patterns, §3.4)."""
+        order = self.order_of(property_id)
+        if order + 1 < len(self._delimiters):
+            return self._delimiters[order + 1]
+        return bytes([END_OF_RECORD])
+
+    # ------------------------------------------------------------------
+    # Serialization of property lists
+    # ------------------------------------------------------------------
+
+    def serialize_values(self, properties: Dict[str, str]) -> Tuple[bytes, List[int]]:
+        """Serialize ``properties`` to delimiter-prefixed values.
+
+        Returns ``(payload, lengths)`` where ``payload`` is the byte
+        string ``delim(p0) v0 delim(p1) v1 ...`` over *all* PropertyIDs
+        in order (absent ones contribute a bare delimiter, as in Fig. 1)
+        and ``lengths[k]`` is the encoded length of the k-th value.
+        """
+        unknown = set(properties) - set(self._order)
+        if unknown:
+            raise GraphFormatError(f"unknown PropertyIDs {sorted(unknown)!r}")
+        payload = bytearray()
+        lengths: List[int] = []
+        for property_id, delimiter in zip(self._ordered, self._delimiters):
+            payload.extend(delimiter)
+            value = properties.get(property_id)
+            if value is None:
+                lengths.append(0)
+            else:
+                encoded = validate_property_value(value)
+                payload.extend(encoded)
+                lengths.append(len(encoded))
+        return bytes(payload), lengths
+
+    def serialize_sparse(self, properties: Dict[str, str]) -> bytes:
+        """Serialize only the *present* properties (edge PropertyLists,
+        §3.3: delimiter-separated values, boundaries marked by the
+        delimiters themselves)."""
+        payload = bytearray()
+        for property_id in self._ordered:
+            value = properties.get(property_id)
+            if value is not None:
+                payload.extend(self._delimiters[self._order[property_id]])
+                payload.extend(validate_property_value(value))
+        unknown = set(properties) - set(self._order)
+        if unknown:
+            raise GraphFormatError(f"unknown PropertyIDs {sorted(unknown)!r}")
+        return bytes(payload)
+
+    def parse_sparse(self, payload: bytes) -> Dict[str, str]:
+        """Invert :meth:`serialize_sparse`."""
+        width = self.delimiter_width
+        result: Dict[str, str] = {}
+        position = 0
+        current: Optional[str] = None
+        value_start = 0
+        while position < len(payload):
+            if payload[position] < MIN_VALUE_BYTE:
+                if current is not None:
+                    result[current] = payload[value_start:position].decode("utf-8")
+                delimiter = bytes(payload[position : position + width])
+                current = self._property_for_delimiter(delimiter)
+                position += width
+                value_start = position
+            else:
+                position += 1
+        if current is not None:
+            result[current] = payload[value_start:position].decode("utf-8")
+        return result
+
+    def _property_for_delimiter(self, delimiter: bytes) -> str:
+        if self._two_byte:
+            index = _POOL.index(delimiter[0]) * len(_POOL) + _POOL.index(delimiter[1])
+        else:
+            index = _POOL.index(delimiter[0])
+        if index >= len(self._ordered):
+            raise GraphFormatError(f"unassigned delimiter {delimiter!r}")
+        return self._ordered[index]
+
+    def serialized_size_bytes(self) -> int:
+        """Footprint of the PropertyID -> (order, delimiter) map itself."""
+        return sum(len(pid) + 1 + self.delimiter_width for pid in self._ordered)

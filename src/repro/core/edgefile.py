@@ -1,0 +1,422 @@
+"""EdgeFile: compressed storage for EdgeRecords (§3.3, Figure 2).
+
+One record per (sourceID, EdgeType) pair::
+
+    $src#etype,count,twidth,dwidth,pwidth,base,T_0...T_{M-1}D_0...D_{M-1}
+        L_0...L_{M-1}P_0...P_{M-1}<EOR>
+
+* ``$`` (0x01), ``#`` (0x1B) and ``,`` (0x1C) are the non-printable
+  delimiters standing in for the figure's symbols; ``src``/``etype``
+  are ASCII decimal.
+* Metadata: edge count; ``twidth``/``dwidth`` -- the *per-record* fixed
+  widths used for timestamps and destination IDs (the paper's TLength /
+  DLength middle-ground: fixed-length within a record, sized to the
+  record's maximum); ``pwidth`` -- fixed width of the per-edge
+  property-list length fields; ``base`` -- this record's first edge's
+  index in the shard-wide edge numbering (used by the deletion bitmap).
+* Timestamps are stored in sorted order as zero-padded decimal, so
+  lexicographic order equals numeric order and binary search works on
+  raw ``extract`` calls.
+* Destination IDs and property lists are ordered to match the i-th
+  timestamp, avoiding any explicit mapping (§3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.delimiters import (
+    EDGE_FIELD_SEPARATOR,
+    EDGE_RECORD_BEGIN,
+    EDGE_TYPE_SEPARATOR,
+    END_OF_RECORD,
+    DelimiterMap,
+)
+from repro.core.errors import EdgeRecordNotFound
+from repro.core.model import Edge, EdgeData
+from repro.succinct.stats import AccessStats
+from repro.succinct.succinct_file import SuccinctFile
+
+_METADATA_PROBE_BYTES = 48  # covers typical header + metadata fields
+_METADATA_PROBE_MAX = 256  # fallback for records with huge ids/counts
+
+
+@dataclass
+class EdgeRecordFragment:
+    """A handle to one EdgeRecord inside one compressed EdgeFile.
+
+    Produced by :meth:`EdgeFile.find_record`; all edge data is read
+    lazily from the compressed file through the accessor methods.
+    """
+
+    edge_file: "EdgeFile"
+    source: int
+    edge_type: int
+    edge_count: int
+    timestamp_width: int
+    destination_width: int
+    plen_width: int
+    base_edge_index: int
+    timestamps_offset: int
+
+    @property
+    def destinations_offset(self) -> int:
+        return self.timestamps_offset + self.edge_count * self.timestamp_width
+
+    @property
+    def plens_offset(self) -> int:
+        return self.destinations_offset + self.edge_count * self.destination_width
+
+    @property
+    def properties_offset(self) -> int:
+        return self.plens_offset + self.edge_count * self.plen_width
+
+    # ------------------------------------------------------------------
+    # Per-edge accessors (random access into the compressed file)
+    # ------------------------------------------------------------------
+
+    def _check_order(self, time_order: int) -> None:
+        if not 0 <= time_order < self.edge_count:
+            raise IndexError(
+                f"TimeOrder {time_order} out of range [0, {self.edge_count})"
+            )
+
+    def timestamp_at(self, time_order: int) -> int:
+        """Timestamp of the edge at ``time_order`` (ascending order)."""
+        self._check_order(time_order)
+        raw = self.edge_file._file.extract(
+            self.timestamps_offset + time_order * self.timestamp_width,
+            self.timestamp_width,
+        )
+        return int(raw)
+
+    def destination_at(self, time_order: int) -> int:
+        self._check_order(time_order)
+        raw = self.edge_file._file.extract(
+            self.destinations_offset + time_order * self.destination_width,
+            self.destination_width,
+        )
+        return int(raw)
+
+    def properties_at(self, time_order: int) -> Dict[str, str]:
+        self._check_order(time_order)
+        # One extract for the length fields 0..time_order (their sum is
+        # the property payload offset), one for the payload itself.
+        raw = self.edge_file._file.extract(
+            self.plens_offset, (time_order + 1) * self.plen_width
+        )
+        lengths = [
+            int(raw[k * self.plen_width : (k + 1) * self.plen_width])
+            for k in range(time_order + 1)
+        ]
+        payload = self.edge_file._file.extract(
+            self.properties_offset + sum(lengths[:-1]), lengths[-1]
+        )
+        return self.edge_file._delimiters.parse_sparse(payload)
+
+    def edge_data_at(self, time_order: int, with_properties: bool = True) -> EdgeData:
+        """The (destination, timestamp, PropertyList) triplet (§2.2)."""
+        properties = self.properties_at(time_order) if with_properties else {}
+        return EdgeData(
+            destination=self.destination_at(time_order),
+            timestamp=self.timestamp_at(time_order),
+            properties=properties,
+        )
+
+    def time_range(self, t_low: Optional[int], t_high: Optional[int]) -> Tuple[int, int]:
+        """TimeOrder range ``[begin, end)`` of edges with timestamp in
+        ``[t_low, t_high)``; ``None`` bounds are wildcards.
+
+        Binary search over the sorted fixed-width timestamps, one
+        ``extract`` per probe (§3.4).
+        """
+        begin = 0 if t_low is None else self._lower_bound(t_low)
+        end = self.edge_count if t_high is None else self._lower_bound(t_high)
+        return (begin, end)
+
+    def _lower_bound(self, timestamp: int) -> int:
+        low, high = 0, self.edge_count
+        while low < high:
+            mid = (low + high) // 2
+            if self.timestamp_at(mid) < timestamp:
+                low = mid + 1
+            else:
+                high = mid
+        return low
+
+    def all_destinations(self) -> List[int]:
+        """All destination IDs in time order (one sequential extract)."""
+        raw = self.edge_file._file.extract(
+            self.destinations_offset, self.edge_count * self.destination_width
+        )
+        width = self.destination_width
+        return [
+            int(raw[k * width : (k + 1) * width]) for k in range(self.edge_count)
+        ]
+
+
+class EdgeFile:
+    """Compressed edge store for one shard.
+
+    Args:
+        edges: mapping of (source, edge_type) -> edges (any order; they
+            are sorted by timestamp at layout time).
+        delimiters: the graph-wide delimiter map (edge properties use
+            the same delimiter space as node properties).
+        alpha: Succinct sampling rate.
+        base_edge_index: first edge's index in the shard-wide edge
+            numbering (for the deletion bitmap).
+        stats: optional shared access meter.
+    """
+
+    def __init__(
+        self,
+        edges: Dict[Tuple[int, int], Iterable[Edge]],
+        delimiters: DelimiterMap,
+        alpha: int = 32,
+        base_edge_index: int = 0,
+        stats: Optional[AccessStats] = None,
+        width_policy: str = "per-record",
+    ):
+        if width_policy not in ("per-record", "global"):
+            raise ValueError("width_policy must be 'per-record' or 'global'")
+        self._delimiters = delimiters
+        # The paper's middle ground uses per-record fixed widths
+        # (TLength/DLength); "global" is the ablation baseline that
+        # sizes every record for the worst case in the whole file.
+        self._global_widths: Optional[Tuple[int, int]] = None
+        if width_policy == "global":
+            all_edges = [e for bucket in edges.values() for e in bucket]
+            twidth = max((len(str(e.timestamp)) for e in all_edges), default=1)
+            dwidth = max((len(str(e.destination)) for e in all_edges), default=1)
+            self._global_widths = (twidth, dwidth)
+        buffer = bytearray()
+        record_offsets: List[int] = []
+        next_base = base_edge_index
+        for (source, edge_type) in sorted(edges):
+            bucket = sorted(
+                edges[(source, edge_type)], key=lambda e: (e.timestamp, e.destination)
+            )
+            record_offsets.append(len(buffer))
+            buffer.extend(self._serialize_record(source, edge_type, bucket, next_base))
+            next_base += len(bucket)
+        self._record_offsets = np.asarray(record_offsets, dtype=np.int64)
+        self._num_edges = next_base - base_edge_index
+        self._file = SuccinctFile(bytes(buffer), alpha=alpha, stats=stats)
+        self.stats = self._file.stats
+
+    def _serialize_record(
+        self, source: int, edge_type: int, bucket: List[Edge], base: int
+    ) -> bytes:
+        timestamps = [edge.timestamp for edge in bucket]
+        destinations = [edge.destination for edge in bucket]
+        payloads = [self._delimiters.serialize_sparse(edge.properties) for edge in bucket]
+        if self._global_widths is not None:
+            twidth, dwidth = self._global_widths
+        else:
+            twidth = max(1, max((len(str(t)) for t in timestamps), default=1))
+            dwidth = max(1, max((len(str(d)) for d in destinations), default=1))
+        pwidth = max(1, max((len(str(len(p))) for p in payloads), default=1))
+
+        out = bytearray()
+        out.append(EDGE_RECORD_BEGIN)
+        out.extend(str(source).encode("ascii"))
+        out.append(EDGE_TYPE_SEPARATOR)
+        out.extend(str(edge_type).encode("ascii"))
+        out.append(EDGE_FIELD_SEPARATOR)
+        for field in (len(bucket), twidth, dwidth, pwidth, base):
+            out.extend(str(field).encode("ascii"))
+            out.append(EDGE_FIELD_SEPARATOR)
+        for timestamp in timestamps:
+            out.extend(str(timestamp).zfill(twidth).encode("ascii"))
+        for destination in destinations:
+            out.extend(str(destination).zfill(dwidth).encode("ascii"))
+        for payload in payloads:
+            out.extend(str(len(payload)).zfill(pwidth).encode("ascii"))
+        for payload in payloads:
+            out.extend(payload)
+        out.append(END_OF_RECORD)
+        return bytes(out)
+
+    # ------------------------------------------------------------------
+    # Record lookup
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of EdgeRecords in this file."""
+        return len(self._record_offsets)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def _parse_record_at(self, offset: int) -> EdgeRecordFragment:
+        """Parse the record header + metadata starting at ``offset``.
+
+        A short probe covers typical records; records whose header and
+        metadata exceed it (very large ids/counts) trigger one larger
+        re-extract.
+        """
+        probe = self._file.extract(offset, _METADATA_PROBE_BYTES)
+        if not probe or probe[0] != EDGE_RECORD_BEGIN:
+            raise EdgeRecordNotFound(f"no EdgeRecord at offset {offset}")
+        try:
+            source, fields, position = self._parse_header(probe)
+        except ValueError:
+            probe = self._file.extract(offset, _METADATA_PROBE_MAX)
+            source, fields, position = self._parse_header(probe)
+        edge_type, count, twidth, dwidth, pwidth, base = fields
+        return EdgeRecordFragment(
+            edge_file=self,
+            source=source,
+            edge_type=edge_type,
+            edge_count=count,
+            timestamp_width=twidth,
+            destination_width=dwidth,
+            plen_width=pwidth,
+            base_edge_index=base,
+            timestamps_offset=offset + position,
+        )
+
+    @staticmethod
+    def _parse_header(probe: bytes):
+        type_sep = probe.index(EDGE_TYPE_SEPARATOR)
+        source = int(probe[1:type_sep])
+        fields = []
+        position = type_sep + 1
+        for _ in range(6):  # etype + 5 metadata fields
+            end = probe.index(EDGE_FIELD_SEPARATOR, position)
+            fields.append(int(probe[position:end]))
+            position = end + 1
+        return source, fields, position
+
+    def find_record(self, source: int, edge_type: int) -> Optional[EdgeRecordFragment]:
+        """The EdgeRecord for (source, edge_type), or None.
+
+        Implemented as ``search($source#edge_type,)`` on the compressed
+        file (§3.4); the trailing separator prevents prefix collisions
+        (type 1 vs. type 10).
+        """
+        pattern = (
+            bytes([EDGE_RECORD_BEGIN])
+            + str(source).encode("ascii")
+            + bytes([EDGE_TYPE_SEPARATOR])
+            + str(edge_type).encode("ascii")
+            + bytes([EDGE_FIELD_SEPARATOR])
+        )
+        offsets = self._file.search(pattern)
+        if offsets.size == 0:
+            return None
+        return self._parse_record_at(int(offsets[0]))
+
+    def find_records(self, source: int) -> List[EdgeRecordFragment]:
+        """All EdgeRecords for ``source`` (wildcard edge type)."""
+        pattern = (
+            bytes([EDGE_RECORD_BEGIN])
+            + str(source).encode("ascii")
+            + bytes([EDGE_TYPE_SEPARATOR])
+        )
+        offsets = self._file.search(pattern)
+        return [self._parse_record_at(int(offset)) for offset in offsets]
+
+    def records_of_type(self, edge_type: int) -> List[EdgeRecordFragment]:
+        """All EdgeRecords of ``edge_type`` regardless of source (used
+        by regular path queries: ``get_edge_record(*, edgeType)``)."""
+        pattern = (
+            bytes([EDGE_TYPE_SEPARATOR])
+            + str(edge_type).encode("ascii")
+            + bytes([EDGE_FIELD_SEPARATOR])
+        )
+        matches = self._file.search(pattern)
+        records = []
+        for match in matches:
+            index = int(np.searchsorted(self._record_offsets, int(match), side="right")) - 1
+            records.append(self._parse_record_at(int(self._record_offsets[index])))
+        return records
+
+    def find_edges_by_property(self, property_id: str, value: str):
+        """Edges whose PropertyList has ``property_id == value``.
+
+        The extension §3.3 flags ("ZipG currently does not support
+        search on edge propertyLists, but can be trivially extended to
+        do so using ideas similar to NodeFile"): one compressed search
+        for the delimiter-prefixed value, then each hit is mapped to its
+        record (offset directory) and its TimeOrder (length-prefix
+        walk) and verified. Returns ``(fragment, time_order)`` pairs in
+        file order.
+        """
+        pattern = self._delimiters.delimiter_of(property_id) + value.encode("utf-8")
+        hits = []
+        for offset in self._file.search(pattern):
+            located = self._locate_edge(int(offset))
+            if located is None:
+                continue
+            fragment, time_order = located
+            if fragment.properties_at(time_order).get(property_id) == value:
+                hits.append((fragment, time_order))
+        return hits
+
+    def _locate_edge(self, offset: int):
+        """Map a flat-file offset inside a record's property payload to
+        (fragment, time_order); None if the offset lies outside one."""
+        index = int(np.searchsorted(self._record_offsets, offset, side="right")) - 1
+        if index < 0:
+            return None
+        fragment = self._parse_record_at(int(self._record_offsets[index]))
+        if offset < fragment.properties_offset:
+            return None  # matched inside metadata/timestamps/destinations
+        raw = self._file.extract(
+            fragment.plens_offset, fragment.edge_count * fragment.plen_width
+        )
+        cursor = fragment.properties_offset
+        for time_order in range(fragment.edge_count):
+            width = fragment.plen_width
+            length = int(raw[time_order * width : (time_order + 1) * width])
+            if offset < cursor + length:
+                return (fragment, time_order)
+            cursor += length
+        return None
+
+    # ------------------------------------------------------------------
+    # Binary serialization (§4.1)
+    # ------------------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize the compressed EdgeFile (Succinct structures plus
+        the record-offset directory)."""
+        from repro.succinct.serialize import pack_array, pack_ints, pack_sections
+
+        return pack_sections({
+            "meta": pack_ints(self._num_edges),
+            "record_offsets": pack_array(self._record_offsets),
+            "file": self._file.to_bytes(),
+        })
+
+    @classmethod
+    def from_bytes(cls, blob: bytes, delimiters: DelimiterMap,
+                   stats: Optional[AccessStats] = None) -> "EdgeFile":
+        """Reconstruct an EdgeFile serialized with :meth:`to_bytes`."""
+        from repro.succinct.serialize import unpack_array, unpack_ints, unpack_sections
+
+        sections = unpack_sections(blob)
+        instance = cls.__new__(cls)
+        instance._delimiters = delimiters
+        instance._global_widths = None
+        (instance._num_edges,) = unpack_ints(sections["meta"])
+        instance._record_offsets = unpack_array(sections["record_offsets"])
+        instance._file = SuccinctFile.from_bytes(sections["file"], stats=stats)
+        instance.stats = instance._file.stats
+        return instance
+
+    # ------------------------------------------------------------------
+    # Sizes
+    # ------------------------------------------------------------------
+
+    def original_size_bytes(self) -> int:
+        return self._file.original_size_bytes()
+
+    def serialized_size_bytes(self) -> int:
+        return self._file.serialized_size_bytes() + self._record_offsets.nbytes

@@ -1,0 +1,23 @@
+"""Exception hierarchy for the ZipG store."""
+
+
+class ZipGError(Exception):
+    """Base class for all ZipG errors."""
+
+
+class GraphFormatError(ZipGError):
+    """Input graph data violates a layout constraint (e.g. property
+    values containing reserved control bytes)."""
+
+
+class NodeNotFound(ZipGError, KeyError):
+    """The queried NodeID does not exist (or has been deleted)."""
+
+
+class EdgeRecordNotFound(ZipGError, KeyError):
+    """No live EdgeRecord exists for the queried (NodeID, EdgeType)."""
+
+
+class TooManyProperties(GraphFormatError):
+    """The graph declares more distinct PropertyIDs than the delimiter
+    space supports (625 with two-byte delimiters, §3.3 footnote 4)."""

@@ -1,0 +1,555 @@
+"""The ZipG graph store: Table 1's API on compressed shards (§3, §4).
+
+A :class:`ZipG` instance owns:
+
+* the initial hash-partitioned compressed shards (§4.1);
+* additional compressed shards produced by LogStore freezes;
+* the single active query-optimized :class:`~repro.core.logstore.LogStore`;
+* one :class:`~repro.core.pointers.UpdatePointerTable` per *initial*
+  shard -- a node's pointers live at the shard its NodeID hashes to, so
+  queries route by hash and then follow pointers to exactly the shards
+  holding that node's fragments (fanned updates, §3.5).
+
+Reads execute directly on the compressed representation; writes go to
+the LogStore, which is frozen into a new compressed shard when it
+crosses the size threshold.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.delimiters import DelimiterMap
+from repro.core.errors import NodeNotFound
+from repro.core.logstore import LogStore
+from repro.core.model import Edge, EdgeData, GraphData, PropertyList, WILDCARD
+from repro.core.pointers import ACTIVE_LOGSTORE, UpdatePointerTable
+from repro.core.shard import CompressedShard
+from repro.succinct.stats import AccessStats
+
+EdgeTypeArg = Union[int, str]  # an EdgeType or the WILDCARD string
+
+_KNUTH = 2654435761
+
+
+def _hash_partition(node_id: int, num_shards: int) -> int:
+    """Hash-partitioning of NodeIDs onto shards (§4.1)."""
+    return ((node_id * _KNUTH) & 0xFFFFFFFF) % num_shards
+
+
+class EdgeRecord:
+    """A merged view over every fragment of a (NodeID, EdgeType) record.
+
+    For un-updated records this is a single compressed fragment and all
+    accessors delegate directly (the common case the paper optimizes
+    for). Records fragmented across shards by updates present a single
+    timestamp-ordered TimeOrder space spanning all live fragments.
+    """
+
+    def __init__(self, node_id: int, edge_type: EdgeTypeArg, fragments: Sequence):
+        self.node_id = node_id
+        self.edge_type = edge_type
+        self.fragments = list(fragments)
+        self._index: Optional[List[Tuple[int, int, int]]] = None  # (ts, frag, local)
+        self._direct: Optional[bool] = None
+
+    @property
+    def is_empty(self) -> bool:
+        return self.edge_count == 0
+
+    @property
+    def num_fragments(self) -> int:
+        return len(self.fragments)
+
+    def _resolve_layout(self) -> None:
+        if self._direct is not None:
+            return
+        if len(self.fragments) == 1 and self.fragments[0].deleted_count() == 0:
+            self._direct = True
+            return
+        self._direct = False
+        merged: List[Tuple[int, int, int]] = []
+        for fragment_index, fragment in enumerate(self.fragments):
+            for local in range(fragment.edge_count):
+                if not fragment.deleted(local):
+                    merged.append((fragment.timestamp_at(local), fragment_index, local))
+        merged.sort()
+        self._index = merged
+
+    @property
+    def edge_count(self) -> int:
+        """Number of live edges across all fragments."""
+        self._resolve_layout()
+        if self._direct:
+            return self.fragments[0].edge_count
+        return len(self._index)
+
+    def _locate(self, time_order: int) -> Tuple:
+        self._resolve_layout()
+        if self._direct:
+            return (self.fragments[0], time_order)
+        if not 0 <= time_order < len(self._index):
+            raise IndexError(f"TimeOrder {time_order} out of range")
+        _, fragment_index, local = self._index[time_order]
+        return (self.fragments[fragment_index], local)
+
+    def timestamp_at(self, time_order: int) -> int:
+        """Timestamp of the live edge at ``time_order``."""
+        fragment, local = self._locate(time_order)
+        return fragment.timestamp_at(local)
+
+    def destination_at(self, time_order: int) -> int:
+        """Destination NodeID of the live edge at ``time_order``."""
+        fragment, local = self._locate(time_order)
+        return fragment.destination_at(local)
+
+    def data_at(self, time_order: int, with_properties: bool = True) -> EdgeData:
+        """The EdgeData triplet of the live edge at ``time_order``."""
+        fragment, local = self._locate(time_order)
+        return fragment.edge_data_at(local, with_properties)
+
+    def time_range(
+        self, t_low: Optional[int] = None, t_high: Optional[int] = None
+    ) -> Tuple[int, int]:
+        """TimeOrders ``[begin, end)`` with timestamp in ``[t_low, t_high)``."""
+        self._resolve_layout()
+        if self._direct:
+            return self.fragments[0].time_range(t_low, t_high)
+        timestamps = [entry[0] for entry in self._index]
+        begin = 0 if t_low is None else bisect.bisect_left(timestamps, t_low)
+        end = len(timestamps) if t_high is None else bisect.bisect_left(timestamps, t_high)
+        return (begin, end)
+
+    def destinations(self) -> List[int]:
+        """All live destination IDs, in time order."""
+        self._resolve_layout()
+        if self._direct:
+            return self.fragments[0].all_destinations()
+        return [
+            self.fragments[fragment_index].destination_at(local)
+            for _, fragment_index, local in self._index
+        ]
+
+
+class ZipG:
+    """A single-logical-store ZipG instance (Table 1 API).
+
+    Build one with :meth:`compress`. In distributed experiments the
+    cluster layer (:mod:`repro.cluster`) places this store's shards on
+    simulated servers; all query logic lives here.
+    """
+
+    def __init__(
+        self,
+        delimiters: DelimiterMap,
+        shards: List[CompressedShard],
+        alpha: int,
+        logstore_threshold_bytes: int,
+    ):
+        self._delimiters = delimiters
+        self._num_initial = len(shards)
+        self._shards = list(shards)
+        self._pointer_tables = [UpdatePointerTable() for _ in shards]
+        self._logstore = LogStore()
+        self._alpha = alpha
+        self._threshold = logstore_threshold_bytes
+        self.freeze_count = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def compress(
+        cls,
+        graph: GraphData,
+        num_shards: int = 4,
+        alpha: int = 32,
+        logstore_threshold_bytes: int = 1 << 20,
+        extra_property_ids: Optional[Sequence[str]] = None,
+    ) -> "ZipG":
+        """Compress ``graph`` into a ZipG store (the paper's
+        ``g = compress(graph)``).
+
+        Args:
+            graph: the input property graph.
+            num_shards: initial shard count (default one per core in
+                the paper; a small constant here).
+            alpha: Succinct sampling rate (space/latency knob).
+            logstore_threshold_bytes: LogStore size that triggers a
+                freeze into a new compressed shard.
+            extra_property_ids: PropertyIDs that future appends may use
+                but which do not occur in the initial graph (the
+                delimiter map is immutable once built).
+        """
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        property_ids = set(graph.all_property_ids())
+        if extra_property_ids:
+            property_ids.update(extra_property_ids)
+        delimiters = DelimiterMap(property_ids)
+
+        node_parts: List[Dict[int, PropertyList]] = [dict() for _ in range(num_shards)]
+        edge_parts: List[Dict[Tuple[int, int], List[Edge]]] = [
+            dict() for _ in range(num_shards)
+        ]
+        for node_id in graph.node_ids():
+            shard = _hash_partition(node_id, num_shards)
+            node_parts[shard][node_id] = graph.node_properties(node_id)
+            for edge_type in graph.edge_types_of(node_id):
+                edge_parts[shard][(node_id, edge_type)] = graph.edges_of(
+                    node_id, edge_type
+                )
+        shards = [
+            CompressedShard(i, node_parts[i], edge_parts[i], delimiters, alpha=alpha)
+            for i in range(num_shards)
+        ]
+        return cls(delimiters, shards, alpha, logstore_threshold_bytes)
+
+    # ------------------------------------------------------------------
+    # Routing helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def num_initial_shards(self) -> int:
+        return self._num_initial
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def shards(self) -> List[CompressedShard]:
+        return list(self._shards)
+
+    @property
+    def logstore(self) -> LogStore:
+        return self._logstore
+
+    @property
+    def delimiters(self) -> DelimiterMap:
+        return self._delimiters
+
+    def route(self, node_id: int) -> int:
+        """Initial shard a NodeID hashes to (query entry point)."""
+        return _hash_partition(node_id, self._num_initial)
+
+    def _table(self, node_id: int) -> UpdatePointerTable:
+        return self._pointer_tables[self.route(node_id)]
+
+    def _node_locations_newest_first(self, node_id: int) -> List:
+        """Stores that may hold property data for ``node_id``."""
+        locations: List = [self._shards[self.route(node_id)]]
+        for shard_id in self._table(node_id).node_shards(node_id):
+            locations.append(
+                self._logstore if shard_id == ACTIVE_LOGSTORE else self._shards[shard_id]
+            )
+        locations.reverse()  # home first + chronological pointers -> newest first
+        return locations
+
+    def _edge_locations(self, node_id: int, edge_type: EdgeTypeArg) -> List:
+        """Stores that may hold edge fragments for (node, type)."""
+        table = self._table(node_id)
+        if edge_type == WILDCARD:
+            shard_ids = table.all_edge_shards(node_id)
+        else:
+            shard_ids = table.edge_shards(node_id, int(edge_type))
+        locations: List = [self._shards[self.route(node_id)]]
+        for shard_id in shard_ids:
+            locations.append(
+                self._logstore if shard_id == ACTIVE_LOGSTORE else self._shards[shard_id]
+            )
+        return locations
+
+    # ------------------------------------------------------------------
+    # Node queries (Table 1)
+    # ------------------------------------------------------------------
+
+    def get_node_property(
+        self, node_id: int, property_ids: Union[str, Sequence[str]] = WILDCARD
+    ) -> PropertyList:
+        """Properties of ``node_id``: all of them (wildcard), one, or a
+        subset. Raises :class:`NodeNotFound` if no live version exists."""
+        if property_ids == WILDCARD:
+            wanted = None
+        elif isinstance(property_ids, str):
+            wanted = [property_ids]
+        else:
+            wanted = list(property_ids)
+        for location in self._node_locations_newest_first(node_id):
+            if location.node_live(node_id):
+                return location.get_properties(node_id, wanted)
+        raise NodeNotFound(node_id)
+
+    def has_node(self, node_id: int) -> bool:
+        """Whether a live version of ``node_id`` exists anywhere."""
+        return any(
+            location.node_live(node_id)
+            for location in self._node_locations_newest_first(node_id)
+        )
+
+    def get_node_ids(self, property_list: PropertyList) -> List[int]:
+        """NodeIDs whose properties match every pair in ``property_list``.
+
+        The one query that must touch *all* shards (§4.1 footnote 5).
+        """
+        result = set(self._logstore.find_live_nodes(property_list))
+        for shard in self._shards:
+            result.update(shard.find_live_nodes(property_list))
+        return sorted(result)
+
+    def get_neighbor_ids(
+        self,
+        node_id: int,
+        edge_type: EdgeTypeArg = WILDCARD,
+        property_list: Optional[PropertyList] = None,
+    ) -> List[int]:
+        """Destinations of ``node_id``'s edges of ``edge_type``,
+        optionally filtered by destination-node properties.
+
+        Implemented join-free (§2.2): fetch neighbors, then probe each
+        neighbor's properties by random access.
+        """
+        record = self.get_edge_record(node_id, edge_type)
+        destinations = record.destinations()
+        if not property_list:
+            return destinations
+        matches = []
+        for destination in destinations:
+            try:
+                properties = self.get_node_property(
+                    destination, list(property_list)
+                )
+            except NodeNotFound:
+                continue
+            if all(properties.get(k) == v for k, v in property_list.items()):
+                matches.append(destination)
+        return matches
+
+    # ------------------------------------------------------------------
+    # Edge queries (Table 1)
+    # ------------------------------------------------------------------
+
+    def get_edge_record(self, node_id: int, edge_type: EdgeTypeArg = WILDCARD) -> EdgeRecord:
+        """The merged EdgeRecord for (node, type) -- or for all types
+        when ``edge_type`` is the wildcard."""
+        fragments = []
+        for location in self._edge_locations(node_id, edge_type):
+            if edge_type == WILDCARD:
+                fragments.extend(location.edge_fragments(node_id))
+            else:
+                fragment = location.edge_fragment(node_id, int(edge_type))
+                if fragment is not None:
+                    fragments.append(fragment)
+        return EdgeRecord(node_id, edge_type, fragments)
+
+    def get_edge_range(
+        self,
+        record: EdgeRecord,
+        t_low: Optional[int] = None,
+        t_high: Optional[int] = None,
+    ) -> Tuple[int, int]:
+        """TimeOrder range of edges with timestamps in ``[t_low, t_high)``
+        (wildcards via ``None``)."""
+        return record.time_range(t_low, t_high)
+
+    def get_edge_data(
+        self, record: EdgeRecord, time_order: int, with_properties: bool = True
+    ) -> EdgeData:
+        """The (destination, timestamp, PropertyList) triplet at
+        ``time_order`` within ``record``."""
+        return record.data_at(time_order, with_properties)
+
+    def find_edges(self, property_id: str, value: str):
+        """All live edges whose PropertyList has ``property_id == value``
+        (the §3.3 edge-property-search extension; like ``get_node_ids``
+        it touches every shard plus the LogStore).
+
+        Returns ``(source, edge_type, EdgeData)`` triples sorted by
+        (source, edge_type, timestamp, destination).
+        """
+        results = []
+        for shard in self._shards:
+            results.extend(shard.find_edges_by_property(property_id, value))
+        results.extend(self._logstore.find_edges_by_property(property_id, value))
+        results.sort(key=lambda hit: (hit[0], hit[1], hit[2].timestamp, hit[2].destination))
+        return results
+
+    # ------------------------------------------------------------------
+    # Updates (Table 1)
+    # ------------------------------------------------------------------
+
+    def append_node(self, node_id: int, properties: PropertyList) -> None:
+        """Append a (new version of a) node with its PropertyList."""
+        self._logstore.append_node(node_id, properties)
+        self._table(node_id).add_node_pointer(node_id, ACTIVE_LOGSTORE)
+        self._maybe_freeze()
+
+    def append_edge(
+        self,
+        source: int,
+        edge_type: int,
+        destination: int,
+        timestamp: int = 0,
+        properties: Optional[PropertyList] = None,
+    ) -> None:
+        """Append one edge to the (source, edge_type) EdgeRecord."""
+        self._logstore.append_edge(
+            Edge(source, destination, edge_type, timestamp, dict(properties or {}))
+        )
+        self._table(source).add_edge_pointer(source, edge_type, ACTIVE_LOGSTORE)
+        self._maybe_freeze()
+
+    def delete_node(self, node_id: int) -> bool:
+        """Lazily delete every live version of ``node_id``."""
+        deleted = False
+        for location in self._node_locations_newest_first(node_id):
+            deleted = location.delete_node(node_id) or deleted
+        return deleted
+
+    def delete_edge(self, source: int, edge_type: int, destination: int) -> int:
+        """Lazily delete all (source, edge_type, destination) edges."""
+        deleted = 0
+        for location in self._edge_locations(source, edge_type):
+            deleted += location.delete_edges(source, edge_type, destination)
+        return deleted
+
+    def update_node(self, node_id: int, properties: PropertyList) -> None:
+        """Update = delete followed by append (§2.2)."""
+        self.delete_node(node_id)
+        self.append_node(node_id, properties)
+
+    def update_edge(
+        self,
+        source: int,
+        edge_type: int,
+        destination: int,
+        timestamp: int = 0,
+        properties: Optional[PropertyList] = None,
+    ) -> None:
+        """Update an edge: delete then append (§2.2)."""
+        self.delete_edge(source, edge_type, destination)
+        self.append_edge(source, edge_type, destination, timestamp, properties)
+
+    # ------------------------------------------------------------------
+    # LogStore freeze (fanned updates, §3.5)
+    # ------------------------------------------------------------------
+
+    def _maybe_freeze(self) -> None:
+        if self._logstore.size_bytes() >= self._threshold:
+            self.freeze_logstore()
+
+    def freeze_logstore(self) -> Optional[CompressedShard]:
+        """Compress the active LogStore into a new immutable shard and
+        promote its ACTIVE pointers to the new shard id."""
+        nodes, edges = self._logstore.live_contents()
+        new_shard: Optional[CompressedShard] = None
+        if nodes or edges:
+            shard_id = len(self._shards)
+            new_shard = CompressedShard(
+                shard_id, nodes, edges, self._delimiters, alpha=self._alpha
+            )
+            self._shards.append(new_shard)
+            for node_id in nodes:
+                self._table(node_id).promote_node_active(node_id, shard_id)
+            for (source, edge_type) in edges:
+                self._table(source).promote_edge_active(source, edge_type, shard_id)
+        self._logstore = LogStore()
+        self.freeze_count += 1
+        return new_shard
+
+    # ------------------------------------------------------------------
+    # Garbage collection (§4.1: the compressed structures are immutable
+    # "except periodic garbage collection")
+    # ------------------------------------------------------------------
+
+    def compact_frozen_shards(self) -> int:
+        """Merge every post-initial (frozen) shard into one, physically
+        dropping lazily-deleted data and collapsing fragmentation.
+
+        Node versions collapse to the newest live one; update pointers
+        are rewritten so each node needs at most one frozen-shard hop
+        afterwards. Returns the number of shards reclaimed.
+        """
+        frozen = self._shards[self._num_initial :]
+        if not frozen:
+            return 0
+        merged_nodes: Dict[int, PropertyList] = {}
+        merged_edges: Dict[Tuple[int, int], List[Edge]] = {}
+        for shard in frozen:  # chronological: later shards hold newer versions
+            nodes, edges = shard.live_contents()
+            merged_nodes.update(nodes)
+            for key, bucket in edges.items():
+                merged_edges.setdefault(key, []).extend(bucket)
+
+        new_shard_id = self._num_initial
+        new_shards = self._shards[: self._num_initial]
+        if merged_nodes or merged_edges:
+            new_shards.append(CompressedShard(
+                new_shard_id, merged_nodes, merged_edges, self._delimiters,
+                alpha=self._alpha,
+            ))
+        reclaimed = len(self._shards) - len(new_shards)
+        self._shards = new_shards
+
+        def remap(node_id: int, shard_ids: List[int], present: bool) -> List[int]:
+            rewritten: List[int] = []
+            for shard_id in shard_ids:
+                if shard_id == ACTIVE_LOGSTORE:
+                    rewritten.append(ACTIVE_LOGSTORE)
+                elif shard_id >= self._num_initial:
+                    if present and new_shard_id not in rewritten:
+                        rewritten.append(new_shard_id)
+                elif shard_id not in rewritten:
+                    rewritten.append(shard_id)
+            return rewritten
+
+        for table in self._pointer_tables:
+            for node_id in list(table._node_pointers):
+                table._node_pointers[node_id] = remap(
+                    node_id, table._node_pointers[node_id], node_id in merged_nodes
+                )
+                if not table._node_pointers[node_id]:
+                    del table._node_pointers[node_id]
+            for key in list(table._edge_pointers):
+                table._edge_pointers[key] = remap(
+                    key[0], table._edge_pointers[key], key in merged_edges
+                )
+                if not table._edge_pointers[key]:
+                    del table._edge_pointers[key]
+        return reclaimed
+
+    # ------------------------------------------------------------------
+    # Introspection: fragmentation, footprint, stats
+    # ------------------------------------------------------------------
+
+    def node_fragment_count(self, node_id: int) -> int:
+        """Number of shards (incl. the active LogStore) the node's data
+        currently spans -- Appendix A's fragmentation metric."""
+        pointer_fragments = self._table(node_id).fragment_count(node_id)
+        home = self._shards[self.route(node_id)]
+        home_has_data = home.has_node(node_id)
+        return pointer_fragments + (1 if home_has_data else 0)
+
+    def storage_footprint_bytes(self) -> int:
+        """Total memory footprint of the store's representation."""
+        total = sum(shard.serialized_size_bytes() for shard in self._shards)
+        total += sum(table.serialized_size_bytes() for table in self._pointer_tables)
+        total += self._logstore.serialized_size_bytes()
+        total += self._delimiters.serialized_size_bytes()
+        return total
+
+    def aggregate_stats(self) -> AccessStats:
+        """Merged access counters across every shard and the LogStore."""
+        merged = AccessStats()
+        for shard in self._shards:
+            merged.merge(shard.stats)
+        merged.merge(self._logstore.stats)
+        return merged
+
+    def reset_stats(self) -> None:
+        """Zero every shard's and the LogStore's access counters."""
+        for shard in self._shards:
+            shard.stats.reset()
+        self._logstore.stats.reset()

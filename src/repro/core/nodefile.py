@@ -1,0 +1,252 @@
+"""NodeFile: compressed storage for NodeIDs and node properties (§3.3).
+
+Layout (Figure 1). Three data structures:
+
+1. the graph-wide PropertyID -> (order, delimiter) map
+   (:class:`~repro.core.delimiters.DelimiterMap`, shared, not owned
+   here);
+2. a flat unstructured file, compressed with Succinct, holding one
+   record per node::
+
+       <len_0><len_1>...<len_{P-1}><d_0>v_0<d_1>v_1...<d_{P-1}}>v_{P-1}<EOR>
+
+   where ``len_k`` is the length of the k-th property value encoded in
+   a *global fixed width* number of ASCII digits (the paper's ``len``),
+   ``d_k`` is PropertyID k's delimiter, absent values contribute a bare
+   delimiter (Fig. 1: Bob's missing age), and ``EOR`` is the
+   end-of-record delimiter;
+3. a two-dimensional array of sorted NodeIDs and the offset of each
+   node's record in the flat file.
+
+``get_node_property`` is two array lookups plus one small ``extract``
+for the length prefix and one for the value itself; ``get_node_ids``
+brackets the value between its PropertyID's delimiter and the next
+lexicographically larger delimiter and runs Succinct ``search`` (§3.4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.delimiters import END_OF_RECORD, DelimiterMap
+from repro.core.errors import NodeNotFound
+from repro.core.model import PropertyList
+from repro.succinct.stats import AccessStats
+from repro.succinct.succinct_file import SuccinctFile
+
+
+class NodeFile:
+    """Compressed node store for one shard.
+
+    Args:
+        nodes: mapping of NodeID -> PropertyList for the shard.
+        delimiters: the graph-wide delimiter map.
+        alpha: Succinct sampling rate.
+        stats: optional shared access meter.
+    """
+
+    def __init__(
+        self,
+        nodes: Dict[int, PropertyList],
+        delimiters: DelimiterMap,
+        alpha: int = 32,
+        stats: Optional[AccessStats] = None,
+    ):
+        self._delimiters = delimiters
+        serialized: Dict[int, tuple] = {
+            node_id: delimiters.serialize_values(properties)
+            for node_id, properties in nodes.items()
+        }
+        max_length = max(
+            (length for _, lengths in serialized.values() for length in lengths),
+            default=0,
+        )
+        self._len_width = max(1, len(str(max_length)))
+
+        node_ids = sorted(serialized)
+        offsets: List[int] = []
+        buffer = bytearray()
+        for node_id in node_ids:
+            payload, lengths = serialized[node_id]
+            offsets.append(len(buffer))
+            for length in lengths:
+                buffer.extend(str(length).zfill(self._len_width).encode("ascii"))
+            buffer.extend(payload)
+            buffer.append(END_OF_RECORD)
+        self._node_ids = np.asarray(node_ids, dtype=np.int64)
+        self._offsets = np.asarray(offsets, dtype=np.int64)
+        self._file = SuccinctFile(bytes(buffer), alpha=alpha, stats=stats)
+        self.stats = self._file.stats
+
+    # ------------------------------------------------------------------
+    # Directory
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._node_ids)
+
+    def __contains__(self, node_id: int) -> bool:
+        index = int(np.searchsorted(self._node_ids, node_id))
+        return index < len(self._node_ids) and self._node_ids[index] == node_id
+
+    def node_ids(self) -> np.ndarray:
+        return self._node_ids.copy()
+
+    def node_index(self, node_id: int) -> int:
+        """Position of ``node_id`` in the sorted NodeID array (also its
+        position in the shard's node deletion bitmap)."""
+        index = int(np.searchsorted(self._node_ids, node_id))
+        if index >= len(self._node_ids) or self._node_ids[index] != node_id:
+            raise NodeNotFound(node_id)
+        return index
+
+    def _record_offset(self, node_id: int) -> int:
+        self.stats.random_accesses += 1  # NodeID -> offset array lookup
+        return int(self._offsets[self.node_index(node_id)])
+
+    def _offset_to_node(self, offset: int) -> int:
+        index = int(np.searchsorted(self._offsets, offset, side="right")) - 1
+        return int(self._node_ids[index])
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def get_property(self, node_id: int, property_id: str) -> Optional[str]:
+        """Value of one property for ``node_id`` (None if unset)."""
+        record = self._record_offset(node_id)
+        order = self._delimiters.order_of(property_id)
+        width = self._len_width
+        # One extract for the length fields up to and including ours...
+        length_bytes = self._file.extract(record, (order + 1) * width)
+        lengths = [
+            int(length_bytes[k * width : (k + 1) * width]) for k in range(order + 1)
+        ]
+        if lengths[order] == 0:
+            return None
+        # ...then one extract for the value, whose start we can now compute.
+        payload_start = record + len(self._delimiters) * width
+        delim_width = self._delimiters.delimiter_width
+        value_start = (
+            payload_start + sum(lengths[:order]) + (order + 1) * delim_width
+        )
+        return self._file.extract(value_start, lengths[order]).decode("utf-8")
+
+    def get_properties(
+        self, node_id: int, property_ids: Optional[List[str]] = None
+    ) -> PropertyList:
+        """PropertyList of ``node_id`` (all properties, or a subset)."""
+        if property_ids is not None:
+            result = {}
+            for property_id in property_ids:
+                value = self.get_property(node_id, property_id)
+                if value is not None:
+                    result[property_id] = value
+            return result
+        record = self._record_offset(node_id)
+        width = self._len_width
+        count = len(self._delimiters)
+        length_bytes = self._file.extract(record, count * width)
+        lengths = [int(length_bytes[k * width : (k + 1) * width]) for k in range(count)]
+        payload_size = sum(lengths) + count * self._delimiters.delimiter_width
+        payload = self._file.extract(record + count * width, payload_size)
+        # Decode using the length fields: zero-length means absent (a
+        # bare delimiter, Fig. 1), so no value-vs-empty ambiguity.
+        delim_width = self._delimiters.delimiter_width
+        result: PropertyList = {}
+        position = 0
+        for property_id, length in zip(self._delimiters.property_ids(), lengths):
+            position += delim_width
+            if length:
+                result[property_id] = payload[position : position + length].decode("utf-8")
+            position += length
+        return result
+
+    def find_nodes(self, properties: PropertyList) -> List[int]:
+        """NodeIDs whose PropertyList matches every (pid, value) pair.
+
+        Each pair becomes one Succinct ``search`` with the value
+        bracketed between its delimiter and the next one; multiple pairs
+        intersect (§3.4). An empty ``properties`` matches every node.
+        """
+        if not properties:
+            return self._node_ids.tolist()
+        result: Optional[set] = None
+        for property_id, value in properties.items():
+            pattern = (
+                self._delimiters.delimiter_of(property_id)
+                + value.encode("utf-8")
+                + self._delimiters.next_delimiter_after(property_id)
+            )
+            offsets = self._file.search(pattern)
+            matches = {self._offset_to_node(int(offset)) for offset in offsets}
+            result = matches if result is None else result & matches
+            if not result:
+                return []
+        return sorted(result)
+
+    def find_nodes_by_prefix(self, property_id: str, prefix: str) -> List[int]:
+        """NodeIDs whose ``property_id`` value *starts with* ``prefix``.
+
+        The §3.3 layout makes this a one-search extension of exact
+        matching: drop the closing delimiter from the pattern. An empty
+        prefix matches every node that has the property set.
+        """
+        pattern = self._delimiters.delimiter_of(property_id) + prefix.encode("utf-8")
+        offsets = self._file.search(pattern)
+        matches = set()
+        for offset in offsets:
+            node_id = self._offset_to_node(int(offset))
+            if prefix == "":
+                # A bare delimiter also matches absent values; verify.
+                if self.get_property(node_id, property_id) is None:
+                    continue
+            matches.add(node_id)
+        return sorted(matches)
+
+    # ------------------------------------------------------------------
+    # Binary serialization (§4.1)
+    # ------------------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize the compressed NodeFile (Succinct structures plus
+        the NodeID/offset directory and length-field width)."""
+        from repro.succinct.serialize import pack_array, pack_ints, pack_sections
+
+        return pack_sections({
+            "meta": pack_ints(self._len_width),
+            "node_ids": pack_array(self._node_ids),
+            "offsets": pack_array(self._offsets),
+            "file": self._file.to_bytes(),
+        })
+
+    @classmethod
+    def from_bytes(cls, blob: bytes, delimiters: DelimiterMap,
+                   stats: Optional[AccessStats] = None) -> "NodeFile":
+        """Reconstruct a NodeFile serialized with :meth:`to_bytes`
+        without re-running compression."""
+        from repro.succinct.serialize import unpack_array, unpack_ints, unpack_sections
+
+        sections = unpack_sections(blob)
+        instance = cls.__new__(cls)
+        instance._delimiters = delimiters
+        (instance._len_width,) = unpack_ints(sections["meta"])
+        instance._node_ids = unpack_array(sections["node_ids"])
+        instance._offsets = unpack_array(sections["offsets"])
+        instance._file = SuccinctFile.from_bytes(sections["file"], stats=stats)
+        instance.stats = instance._file.stats
+        return instance
+
+    # ------------------------------------------------------------------
+    # Sizes
+    # ------------------------------------------------------------------
+
+    def original_size_bytes(self) -> int:
+        return self._file.original_size_bytes()
+
+    def serialized_size_bytes(self) -> int:
+        """Compressed footprint: Succinct file + NodeID/offset arrays."""
+        directory = self._node_ids.nbytes + self._offsets.nbytes
+        return self._file.serialized_size_bytes() + directory

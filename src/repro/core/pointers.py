@@ -1,0 +1,108 @@
+"""Fanned-update pointers (§3.5, Figure 3).
+
+As new data for a node is appended after its original shard was
+compressed, the node's data becomes *fragmented* across shards. Update
+pointers are stored only at the shard where the node first occurs and
+chain together every later shard holding data for that node, so a query
+touches exactly the shards it needs instead of broadcasting to all.
+
+The pointers are kept uncompressed (updates are a small fraction of
+real workloads, so the overhead is minimal).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+ACTIVE_LOGSTORE = -1
+"""Pseudo shard id for the active LogStore; promoted to a concrete
+shard id when the LogStore is frozen."""
+
+
+class UpdatePointerTable:
+    """Pointers from (NodeID, kind) to the shards holding newer data.
+
+    ``kind`` distinguishes node-property fragments from edge fragments:
+    edge pointers are per (NodeID, EdgeType) so an edge query follows
+    only the shards that actually received edges of that type.
+    """
+
+    def __init__(self):
+        self._node_pointers: Dict[int, List[int]] = {}
+        self._edge_pointers: Dict[Tuple[int, int], List[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Registration (called when a LogStore is frozen into a new shard)
+    # ------------------------------------------------------------------
+
+    def add_node_pointer(self, node_id: int, shard_id: int) -> None:
+        shards = self._node_pointers.setdefault(node_id, [])
+        if shard_id not in shards:
+            shards.append(shard_id)
+
+    def add_edge_pointer(self, node_id: int, edge_type: int, shard_id: int) -> None:
+        shards = self._edge_pointers.setdefault((node_id, edge_type), [])
+        if shard_id not in shards:
+            shards.append(shard_id)
+
+    def promote_node_active(self, node_id: int, shard_id: int) -> None:
+        """Rewrite an ACTIVE_LOGSTORE node pointer to a concrete shard
+        (called when the LogStore is frozen into that shard)."""
+        shards = self._node_pointers.get(node_id)
+        if shards and ACTIVE_LOGSTORE in shards:
+            shards.remove(ACTIVE_LOGSTORE)
+            if shard_id not in shards:
+                shards.append(shard_id)
+
+    def promote_edge_active(self, node_id: int, edge_type: int, shard_id: int) -> None:
+        """Edge-pointer analogue of :meth:`promote_node_active`."""
+        shards = self._edge_pointers.get((node_id, edge_type))
+        if shards and ACTIVE_LOGSTORE in shards:
+            shards.remove(ACTIVE_LOGSTORE)
+            if shard_id not in shards:
+                shards.append(shard_id)
+
+    # ------------------------------------------------------------------
+    # Query-time chasing
+    # ------------------------------------------------------------------
+
+    def node_shards(self, node_id: int) -> List[int]:
+        """Shards (in append order) with newer property data for the node."""
+        return list(self._node_pointers.get(node_id, []))
+
+    def edge_shards(self, node_id: int, edge_type: int) -> List[int]:
+        """Shards (in append order) with newer edges of this type."""
+        return list(self._edge_pointers.get((node_id, edge_type), []))
+
+    def all_edge_shards(self, node_id: int) -> List[int]:
+        """Union of edge-pointer targets across every edge type."""
+        shards: List[int] = []
+        seen: Set[int] = set()
+        for (pointer_node, _), targets in self._edge_pointers.items():
+            if pointer_node != node_id:
+                continue
+            for shard in targets:
+                if shard not in seen:
+                    seen.add(shard)
+                    shards.append(shard)
+        return shards
+
+    def fragment_count(self, node_id: int) -> int:
+        """Number of *additional* shards the node's data spans (the
+        home shard itself is not counted)."""
+        shards: Set[int] = set(self._node_pointers.get(node_id, []))
+        for (pointer_node, _), targets in self._edge_pointers.items():
+            if pointer_node == node_id:
+                shards.update(targets)
+        return len(shards)
+
+    def tracked_nodes(self) -> Set[int]:
+        nodes = set(self._node_pointers)
+        nodes.update(node for node, _ in self._edge_pointers)
+        return nodes
+
+    def serialized_size_bytes(self) -> int:
+        """Footprint of the (uncompressed) pointer tables."""
+        node_bytes = sum(8 + 4 * len(v) for v in self._node_pointers.values())
+        edge_bytes = sum(12 + 4 * len(v) for v in self._edge_pointers.values())
+        return node_bytes + edge_bytes

@@ -1,0 +1,272 @@
+"""A compressed shard: NodeFile + EdgeFile + deletion bitmaps.
+
+Shards are the unit of compression and placement (§4.1): the initial
+graph is hash-partitioned into per-core shards, and every LogStore
+freeze produces one more. A shard's compressed files are immutable;
+only its deletion bitmaps mutate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.deletes import DeletionIndex
+from repro.core.delimiters import DelimiterMap
+from repro.core.edgefile import EdgeFile, EdgeRecordFragment
+from repro.core.model import Edge, EdgeData, PropertyList
+from repro.succinct.stats import AccessStats
+
+
+class ShardEdgeFragment:
+    """An EdgeRecord fragment in a compressed shard, with the shard's
+    edge deletion bitmap applied on access."""
+
+    def __init__(self, shard: "CompressedShard", fragment: EdgeRecordFragment):
+        self._shard = shard
+        self._fragment = fragment
+        self.source = fragment.source
+        self.edge_type = fragment.edge_type
+
+    @property
+    def edge_count(self) -> int:
+        return self._fragment.edge_count
+
+    def timestamp_at(self, time_order: int) -> int:
+        return self._fragment.timestamp_at(time_order)
+
+    def destination_at(self, time_order: int) -> int:
+        return self._fragment.destination_at(time_order)
+
+    def properties_at(self, time_order: int) -> PropertyList:
+        return self._fragment.properties_at(time_order)
+
+    def edge_data_at(self, time_order: int, with_properties: bool = True) -> EdgeData:
+        return self._fragment.edge_data_at(time_order, with_properties)
+
+    def time_range(self, t_low: Optional[int], t_high: Optional[int]) -> Tuple[int, int]:
+        return self._fragment.time_range(t_low, t_high)
+
+    def all_destinations(self) -> List[int]:
+        return self._fragment.all_destinations()
+
+    def deleted(self, time_order: int) -> bool:
+        return self._shard.deletions.edge_deleted(
+            self._fragment.base_edge_index + time_order
+        )
+
+    def deleted_count(self) -> int:
+        base = self._fragment.base_edge_index
+        return sum(
+            1
+            for i in range(self._fragment.edge_count)
+            if self._shard.deletions.edge_deleted(base + i)
+        )
+
+    def mark_deleted(self, time_order: int) -> None:
+        self._shard.deletions.delete_edge(self._fragment.base_edge_index + time_order)
+
+
+class CompressedShard:
+    """One immutable compressed shard plus its mutable deletion bitmaps.
+
+    Args:
+        shard_id: position in the store's shard list.
+        nodes: NodeID -> PropertyList owned by this shard.
+        edges: (source, edge_type) -> edges owned by this shard.
+        delimiters: graph-wide delimiter map.
+        alpha: Succinct sampling rate.
+        stats: optional shared access meter (one per simulated server).
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        nodes: Dict[int, PropertyList],
+        edges: Dict[Tuple[int, int], Iterable[Edge]],
+        delimiters: DelimiterMap,
+        alpha: int = 32,
+        stats: Optional[AccessStats] = None,
+    ):
+        from repro.core.nodefile import NodeFile  # local import: avoid cycle at module load
+
+        self.shard_id = shard_id
+        self.stats = stats if stats is not None else AccessStats()
+        self.node_file = NodeFile(nodes, delimiters, alpha=alpha, stats=self.stats)
+        self.edge_file = EdgeFile(edges, delimiters, alpha=alpha, stats=self.stats)
+        self.deletions = DeletionIndex(len(self.node_file), self.edge_file.num_edges)
+
+    # ------------------------------------------------------------------
+    # Nodes
+    # ------------------------------------------------------------------
+
+    def has_node(self, node_id: int) -> bool:
+        return node_id in self.node_file
+
+    def node_live(self, node_id: int) -> bool:
+        if node_id not in self.node_file:
+            return False
+        return not self.deletions.node_deleted(self.node_file.node_index(node_id))
+
+    def get_properties(
+        self, node_id: int, property_ids: Optional[List[str]] = None
+    ) -> PropertyList:
+        return self.node_file.get_properties(node_id, property_ids)
+
+    def get_property(self, node_id: int, property_id: str) -> Optional[str]:
+        return self.node_file.get_property(node_id, property_id)
+
+    def find_live_nodes(self, properties: PropertyList) -> List[int]:
+        """Search, filtered through the node deletion bitmap."""
+        return [
+            node_id
+            for node_id in self.node_file.find_nodes(properties)
+            if not self.deletions.node_deleted(self.node_file.node_index(node_id))
+        ]
+
+    def delete_node(self, node_id: int) -> bool:
+        """Lazily delete; returns whether the node was live here."""
+        if not self.node_live(node_id):
+            return False
+        self.deletions.delete_node(self.node_file.node_index(node_id))
+        self.stats.writes += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Edges
+    # ------------------------------------------------------------------
+
+    def edge_fragment(self, source: int, edge_type: int) -> Optional[ShardEdgeFragment]:
+        fragment = self.edge_file.find_record(source, edge_type)
+        if fragment is None:
+            return None
+        return ShardEdgeFragment(self, fragment)
+
+    def edge_fragments(self, source: int) -> List[ShardEdgeFragment]:
+        return [
+            ShardEdgeFragment(self, fragment)
+            for fragment in self.edge_file.find_records(source)
+        ]
+
+    def fragments_of_type(self, edge_type: int) -> List[ShardEdgeFragment]:
+        return [
+            ShardEdgeFragment(self, fragment)
+            for fragment in self.edge_file.records_of_type(edge_type)
+        ]
+
+    def find_edges_by_property(self, property_id: str, value: str):
+        """Live edges whose PropertyList matches (edge-property search,
+        the §3.3 extension). Returns (source, edge_type, EdgeData)."""
+        results = []
+        for fragment, time_order in self.edge_file.find_edges_by_property(
+            property_id, value
+        ):
+            if self.deletions.edge_deleted(fragment.base_edge_index + time_order):
+                continue
+            results.append(
+                (fragment.source, fragment.edge_type, fragment.edge_data_at(time_order))
+            )
+        return results
+
+    def delete_edges(self, source: int, edge_type: int, destination: int) -> int:
+        """Mark all live (source, edge_type, destination) edges deleted."""
+        fragment = self.edge_fragment(source, edge_type)
+        if fragment is None:
+            return 0
+        deleted = 0
+        for index, candidate in enumerate(fragment.all_destinations()):
+            if candidate == destination and not fragment.deleted(index):
+                fragment.mark_deleted(index)
+                deleted += 1
+        if deleted:
+            self.stats.writes += 1
+        return deleted
+
+    # ------------------------------------------------------------------
+    # Binary serialization (§4.1)
+    # ------------------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize the shard: compressed files + deletion bitmaps."""
+        from repro.succinct.serialize import pack_array, pack_ints, pack_sections
+
+        return pack_sections({
+            "meta": pack_ints(self.shard_id, len(self.node_file),
+                              self.edge_file.num_edges),
+            "node_file": self.node_file.to_bytes(),
+            "edge_file": self.edge_file.to_bytes(),
+            "deleted_nodes": pack_array(self.deletions._nodes.blocks),
+            "deleted_edges": pack_array(self.deletions._edges.blocks),
+        })
+
+    @classmethod
+    def from_bytes(cls, blob: bytes, delimiters: DelimiterMap,
+                   stats: Optional[AccessStats] = None) -> "CompressedShard":
+        """Reconstruct a shard serialized with :meth:`to_bytes` -- no
+        recompression, matching the paper's load-serialized-files model."""
+        from repro.core.nodefile import NodeFile
+        from repro.succinct.bitvector import BitVector
+        from repro.succinct.serialize import unpack_array, unpack_ints, unpack_sections
+
+        sections = unpack_sections(blob)
+        shard_id, num_nodes, num_edges = unpack_ints(sections["meta"])
+        instance = cls.__new__(cls)
+        instance.shard_id = shard_id
+        instance.stats = stats if stats is not None else AccessStats()
+        instance.node_file = NodeFile.from_bytes(
+            sections["node_file"], delimiters, stats=instance.stats
+        )
+        instance.edge_file = EdgeFile.from_bytes(
+            sections["edge_file"], delimiters, stats=instance.stats
+        )
+        instance.deletions = DeletionIndex(num_nodes, num_edges)
+        instance.deletions._nodes = BitVector.from_blocks(
+            num_nodes, unpack_array(sections["deleted_nodes"])
+        )
+        instance.deletions._edges = BitVector.from_blocks(
+            num_edges, unpack_array(sections["deleted_edges"])
+        )
+        return instance
+
+    # ------------------------------------------------------------------
+    # Garbage-collection support
+    # ------------------------------------------------------------------
+
+    def live_contents(self) -> Tuple[Dict[int, PropertyList], Dict[Tuple[int, int], List[Edge]]]:
+        """The shard's live (non-deleted) data, decoded from the
+        compressed files -- the input to periodic garbage collection
+        (§4.1) and to persistence."""
+        nodes: Dict[int, PropertyList] = {}
+        for node_id in self.node_file.node_ids().tolist():
+            if self.node_live(node_id):
+                nodes[node_id] = self.node_file.get_properties(node_id)
+        edges: Dict[Tuple[int, int], List[Edge]] = {}
+        for offset in self.edge_file._record_offsets.tolist():
+            fragment = self.edge_file._parse_record_at(int(offset))
+            live: List[Edge] = []
+            for order in range(fragment.edge_count):
+                if self.deletions.edge_deleted(fragment.base_edge_index + order):
+                    continue
+                live.append(Edge(
+                    fragment.source,
+                    fragment.destination_at(order),
+                    fragment.edge_type,
+                    fragment.timestamp_at(order),
+                    fragment.properties_at(order),
+                ))
+            if live:
+                edges[(fragment.source, fragment.edge_type)] = live
+        return nodes, edges
+
+    # ------------------------------------------------------------------
+    # Sizes
+    # ------------------------------------------------------------------
+
+    def original_size_bytes(self) -> int:
+        return self.node_file.original_size_bytes() + self.edge_file.original_size_bytes()
+
+    def serialized_size_bytes(self) -> int:
+        return (
+            self.node_file.serialized_size_bytes()
+            + self.edge_file.serialized_size_bytes()
+            + self.deletions.serialized_size_bytes()
+        )

@@ -1,0 +1,21 @@
+"""ZipQL: a small Cypher-inspired query language over the ZipG API.
+
+The paper's gMark path queries "can be easily mapped to their Cypher
+representations" [13]; this package provides that surface for the
+reproduction: a declarative ``MATCH ... WHERE ... RETURN`` language
+whose planner compiles to the Table 1 primitives (``get_node_ids``,
+``get_neighbor_ids``, ``get_edge_record``, the RPQ engine) so that
+every query executes directly on the compressed store.
+
+Supported grammar (see :mod:`repro.query.parser`)::
+
+    MATCH (a {city: "Ithaca"})-[:0]->(b) WHERE b.interest = "Music" RETURN b
+    MATCH (a {id: 5})-[:0|1]->(b) RETURN b.name
+    MATCH (a)-[:0/1*]->(b) RETURN a, b          # label-regex paths
+    MATCH (a {city: "Boston"}) RETURN a          # node-only match
+"""
+
+from repro.query.engine import QueryEngine, QueryResult
+from repro.query.parser import ParseError, Query, parse_query
+
+__all__ = ["ParseError", "Query", "QueryEngine", "QueryResult", "parse_query"]

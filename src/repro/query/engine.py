@@ -1,0 +1,160 @@
+"""The ZipQL planner/executor.
+
+Compiles a parsed :class:`~repro.query.parser.Query` onto the Table 1
+primitives, following the paper's execution philosophy:
+
+* anchored source patterns seed from ``{id}`` directly or from
+  ``get_node_ids`` (one compressed search per property pair);
+* single-label edges execute as typed neighbor queries; label-regex
+  edges run through the RPQ engine (Appendix B.1);
+* target property filters probe each candidate by random access
+  (the join-free plan of §2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.errors import NodeNotFound
+from repro.query.parser import Query, parse_query
+from repro.workloads.rpq import PathQuery, RPQEngine
+
+
+@dataclass
+class QueryResult:
+    """Rows plus the column names of a ZipQL execution."""
+
+    columns: List[str]
+    rows: List[Dict[str, object]]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def column(self, name: str) -> List[object]:
+        """All values of one output column."""
+        if name not in self.columns:
+            raise KeyError(f"no column {name!r} in {self.columns}")
+        return [row[name] for row in self.rows]
+
+
+class QueryEngine:
+    """Executes ZipQL queries against any evaluated system."""
+
+    def __init__(self, system, all_node_ids: Sequence[int]):
+        self._system = system
+        self._node_ids = list(all_node_ids)
+        self._rpq = RPQEngine(system, self._node_ids)
+
+    def execute(self, text: str) -> QueryResult:
+        """Parse and run a ZipQL query."""
+        return self.run(parse_query(text))
+
+    def run(self, query: Query) -> QueryResult:
+        """Execute an already-parsed :class:`Query`."""
+        bindings = self._match(query)
+        bindings = [b for b in bindings if self._passes_where(query, b)]
+        columns = [
+            item.variable if item.property_id is None
+            else f"{item.variable}.{item.property_id}"
+            for item in query.returns
+        ]
+        rows = []
+        for binding in bindings:
+            row: Dict[str, object] = {}
+            for item, column in zip(query.returns, columns):
+                if item.property_id is None:
+                    row[column] = binding[item.variable]
+                else:
+                    row[column] = self._property(binding[item.variable], item.property_id)
+            rows.append(row)
+        return QueryResult(columns, rows)
+
+    # ------------------------------------------------------------------
+    # Matching
+    # ------------------------------------------------------------------
+
+    def _match(self, query: Query) -> List[Dict[str, int]]:
+        seeds = self._seed_nodes(query)
+        if query.edge is None:
+            return [{query.source.variable: node} for node in seeds]
+
+        pairs = self._expand_edge(query, seeds)
+        target = query.target
+        bindings = []
+        for source_node, target_node in pairs:
+            if target.node_id is not None and target_node != target.node_id:
+                continue
+            if target.properties and not self._matches_properties(
+                target_node, target.properties
+            ):
+                continue
+            bindings.append({
+                query.source.variable: source_node,
+                target.variable: target_node,
+            })
+        return bindings
+
+    def _seed_nodes(self, query: Query) -> List[int]:
+        source = query.source
+        if source.node_id is not None:
+            if source.properties and not self._matches_properties(
+                source.node_id, source.properties
+            ):
+                return []
+            return [source.node_id]
+        if source.properties:
+            return self._system.get_node_ids(dict(source.properties))
+        if query.edge is None:
+            return list(self._node_ids)
+        return []  # unanchored: let the RPQ engine seed by first label
+
+    def _expand_edge(self, query: Query, seeds: List[int]):
+        edge = query.edge
+        start_nodes = seeds if (query.source.is_anchored or seeds) else None
+        if edge.path_expression is None:
+            # any single edge: wildcard neighbor query per seed
+            nodes = seeds if start_nodes is not None else self._node_ids
+            pairs = []
+            for node in nodes:
+                for destination in self._system.get_neighbor_ids(node, "*"):
+                    pairs.append((node, destination))
+            return pairs
+        if edge.is_single_label and start_nodes is not None:
+            label = int(edge.path_expression)
+            pairs = []
+            for node in seeds:
+                for destination in self._system.get_neighbor_ids(node, label):
+                    pairs.append((node, destination))
+            return pairs
+        result = self._rpq.evaluate(
+            PathQuery("zipql", edge.path_expression),
+            start_nodes=start_nodes,
+        )
+        return sorted(result)
+
+    # ------------------------------------------------------------------
+    # Filters and projections
+    # ------------------------------------------------------------------
+
+    def _passes_where(self, query: Query, binding: Dict[str, int]) -> bool:
+        for variable, property_id, value in query.predicates:
+            if self._property(binding[variable], property_id) != value:
+                return False
+        return True
+
+    def _matches_properties(self, node_id: int, properties: Dict[str, str]) -> bool:
+        try:
+            stored = self._system.get_node_property(node_id, list(properties))
+        except (NodeNotFound, KeyError):
+            return False
+        return all(stored.get(k) == v for k, v in properties.items())
+
+    def _property(self, node_id: int, property_id: str) -> Optional[str]:
+        try:
+            return self._system.get_node_property(node_id, [property_id]).get(property_id)
+        except (NodeNotFound, KeyError):
+            return None

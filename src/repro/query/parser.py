@@ -1,0 +1,238 @@
+"""Parser for ZipQL, the Cypher-inspired query language.
+
+Grammar (one linear MATCH pattern per query)::
+
+    query     := MATCH pattern [WHERE predicates] RETURN items
+    pattern   := node [edge node]
+    node      := "(" IDENT ["{" pairs "}"] ")"
+    edge      := "-[" (":" PATHEXPR | "*") "]->"
+    pairs     := pair ("," pair)*
+    pair      := IDENT ":" STRING | "id" ":" INT
+    predicates:= predicate (AND predicate)*
+    predicate := IDENT "." IDENT "=" STRING
+    items     := item ("," item)*
+    item      := IDENT | IDENT "." IDENT
+
+``PATHEXPR`` is the label-regex language of :mod:`repro.workloads.rpq`
+(``0``, ``0/1``, ``0|1``, ``2*``, ``(0/1)+`` ...); a bare ``*`` edge
+matches any single edge of any type.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+class ParseError(ValueError):
+    """The query text does not conform to the ZipQL grammar."""
+
+
+@dataclass
+class NodePattern:
+    """``(var {prop: "value", id: 3})``"""
+
+    variable: str
+    properties: Dict[str, str] = field(default_factory=dict)
+    node_id: Optional[int] = None
+
+    @property
+    def is_anchored(self) -> bool:
+        return self.node_id is not None or bool(self.properties)
+
+
+@dataclass
+class EdgePattern:
+    """``-[:pathexpr]->`` or the any-single-edge wildcard ``-[*]->``."""
+
+    path_expression: Optional[str]  # None = any single edge
+
+    @property
+    def is_single_label(self) -> bool:
+        return self.path_expression is not None and self.path_expression.isdigit()
+
+
+@dataclass
+class ReturnItem:
+    variable: str
+    property_id: Optional[str] = None
+
+
+@dataclass
+class Query:
+    """A parsed ZipQL query."""
+
+    source: NodePattern
+    edge: Optional[EdgePattern]
+    target: Optional[NodePattern]
+    predicates: List[Tuple[str, str, str]]  # (variable, property, value)
+    returns: List[ReturnItem]
+
+    def variables(self) -> List[str]:
+        names = [self.source.variable]
+        if self.target is not None:
+            names.append(self.target.variable)
+        return names
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<STRING>"(?:[^"\\]|\\.)*")
+  | (?P<ARROW>-\[|\]->)
+  | (?P<SYM>[(){},.:=*|/+?])
+  | (?P<WORD>[A-Za-z_][A-Za-z0-9_]*|\d+)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError(f"unexpected character {text[position]!r} at {position}")
+        position = match.end()
+        if match.lastgroup != "WS":
+            tokens.append(match.group())
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self._tokens = _tokenize(text)
+        self._position = 0
+
+    def _peek(self) -> Optional[str]:
+        if self._position < len(self._tokens):
+            return self._tokens[self._position]
+        return None
+
+    def _take(self, expected: Optional[str] = None) -> str:
+        token = self._peek()
+        if token is None:
+            raise ParseError(f"unexpected end of query (expected {expected!r})")
+        if expected is not None and token.upper() != expected.upper():
+            raise ParseError(f"expected {expected!r}, found {token!r}")
+        self._position += 1
+        return token
+
+    def _keyword(self, word: str) -> bool:
+        token = self._peek()
+        return token is not None and token.upper() == word
+
+    def parse(self) -> Query:
+        self._take("MATCH")
+        source = self._node()
+        edge: Optional[EdgePattern] = None
+        target: Optional[NodePattern] = None
+        if self._peek() == "-[":
+            edge = self._edge()
+            target = self._node()
+        predicates: List[Tuple[str, str, str]] = []
+        if self._keyword("WHERE"):
+            self._take("WHERE")
+            predicates.append(self._predicate())
+            while self._keyword("AND"):
+                self._take("AND")
+                predicates.append(self._predicate())
+        self._take("RETURN")
+        returns = [self._return_item()]
+        while self._peek() == ",":
+            self._take(",")
+            returns.append(self._return_item())
+        if self._peek() is not None:
+            raise ParseError(f"trailing tokens: {self._tokens[self._position:]}")
+        query = Query(source, edge, target, predicates, returns)
+        self._validate(query)
+        return query
+
+    def _node(self) -> NodePattern:
+        self._take("(")
+        variable = self._identifier()
+        node = NodePattern(variable)
+        if self._peek() == "{":
+            self._take("{")
+            while True:
+                key = self._identifier()
+                self._take(":")
+                if key == "id":
+                    value = self._take()
+                    if not value.isdigit():
+                        raise ParseError(f"id must be an integer, found {value!r}")
+                    node.node_id = int(value)
+                else:
+                    node.properties[key] = self._string()
+                if self._peek() == ",":
+                    self._take(",")
+                    continue
+                break
+            self._take("}")
+        self._take(")")
+        return node
+
+    def _edge(self) -> EdgePattern:
+        self._take("-[")
+        if self._peek() == "*":
+            self._take("*")
+            self._take("]->")
+            return EdgePattern(None)
+        self._take(":")
+        parts: List[str] = []
+        while self._peek() not in ("]->", None):
+            parts.append(self._take())
+        self._take("]->")
+        expression = "".join(parts)
+        if not expression:
+            raise ParseError("empty path expression in edge pattern")
+        return EdgePattern(expression)
+
+    def _predicate(self) -> Tuple[str, str, str]:
+        variable = self._identifier()
+        self._take(".")
+        property_id = self._identifier()
+        self._take("=")
+        return (variable, property_id, self._string())
+
+    def _return_item(self) -> ReturnItem:
+        variable = self._identifier()
+        if self._peek() == ".":
+            self._take(".")
+            return ReturnItem(variable, self._identifier())
+        return ReturnItem(variable)
+
+    def _identifier(self) -> str:
+        token = self._take()
+        if not re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", token):
+            raise ParseError(f"expected identifier, found {token!r}")
+        return token
+
+    def _string(self) -> str:
+        token = self._take()
+        if not (token.startswith('"') and token.endswith('"')):
+            raise ParseError(f"expected string literal, found {token!r}")
+        return token[1:-1].replace('\\"', '"')
+
+    def _validate(self, query: Query) -> None:
+        known = set(query.variables())
+        for variable, _, _ in query.predicates:
+            if variable not in known:
+                raise ParseError(f"WHERE references unknown variable {variable!r}")
+        for item in query.returns:
+            if item.variable not in known:
+                raise ParseError(f"RETURN references unknown variable {item.variable!r}")
+        if query.edge is not None and query.edge.path_expression is not None:
+            from repro.workloads.rpq import compile_expression
+
+            try:
+                compile_expression(query.edge.path_expression)
+            except ValueError as error:
+                raise ParseError(f"bad path expression: {error}") from error
+
+
+def parse_query(text: str) -> Query:
+    """Parse a ZipQL query string."""
+    return _Parser(text).parse()

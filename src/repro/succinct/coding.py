@@ -1,0 +1,106 @@
+"""Integer coding used for storage accounting and serialization.
+
+Succinct's NPA is stored with two-level delta encoding; this module
+provides the Elias-gamma bit-cost functions used to account for that
+compressed footprint honestly, plus varint encode/decode used by the
+LogStore's on-disk record format.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+import numpy as np
+
+
+def elias_gamma_bit_size(value: int) -> int:
+    """Bits to Elias-gamma code ``value`` (must be >= 1)."""
+    if value < 1:
+        raise ValueError("Elias-gamma codes positive integers only")
+    return 2 * (value.bit_length() - 1) + 1
+
+
+def elias_gamma_bit_size_array(values: np.ndarray) -> int:
+    """Total Elias-gamma bits for an array of positive integers."""
+    values = np.asarray(values, dtype=np.int64)
+    if values.size == 0:
+        return 0
+    if (values < 1).any():
+        raise ValueError("Elias-gamma codes positive integers only")
+    # bit_length(v) == floor(log2 v) + 1
+    lengths = np.floor(np.log2(values.astype(np.float64))).astype(np.int64) + 1
+    return int((2 * (lengths - 1) + 1).sum())
+
+
+def delta_encoded_bit_size(values: np.ndarray, sample_every: int = 128) -> int:
+    """Bits to store a non-decreasing sequence with sampled delta coding.
+
+    Every ``sample_every``-th value is stored verbatim (64 bits) as a
+    skip anchor; the gaps in between are Elias-gamma coded (gap + 1, so
+    zero gaps are representable). This mirrors the two-level layout
+    Succinct uses for the NPA within each character bucket.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    if values.size == 0:
+        return 0
+    if (np.diff(values) < 0).any():
+        raise ValueError("delta coding requires a non-decreasing sequence")
+    anchors = (values.size + sample_every - 1) // sample_every
+    bits = anchors * 64
+    deltas = np.diff(values)
+    # Deltas that cross an anchor are not coded (the anchor restates the value).
+    if deltas.size:
+        keep = np.ones(deltas.size, dtype=bool)
+        keep[sample_every - 1 :: sample_every] = False
+        kept = deltas[keep]
+        if kept.size:
+            bits += elias_gamma_bit_size_array(kept + 1)
+    return bits
+
+
+def varint_encode(value: int) -> bytes:
+    """LEB128-style varint for non-negative integers."""
+    if value < 0:
+        raise ValueError("varint_encode takes non-negative integers")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def varint_decode(data: bytes, offset: int = 0) -> Tuple[int, int]:
+    """Decode a varint starting at ``offset``; returns (value, next_offset)."""
+    result = 0
+    shift = 0
+    position = offset
+    while True:
+        if position >= len(data):
+            raise ValueError("truncated varint")
+        byte = data[position]
+        position += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, position
+        shift += 7
+
+
+def varint_encode_all(values: Iterable[int]) -> bytes:
+    """Concatenated varints for a sequence of non-negative integers."""
+    out = bytearray()
+    for value in values:
+        out.extend(varint_encode(value))
+    return bytes(out)
+
+
+def varint_decode_all(data: bytes, count: int, offset: int = 0) -> Tuple[List[int], int]:
+    """Decode ``count`` varints; returns (values, next_offset)."""
+    values = []
+    for _ in range(count):
+        value, offset = varint_decode(data, offset)
+        values.append(value)
+    return values, offset

@@ -1,0 +1,116 @@
+"""SuccinctKV: a key-value interface over the compressed flat file.
+
+Succinct's semi-structured interface (§3.1): records are serialized
+into one flat file separated by a record delimiter; a sorted key array
+plus a parallel offset array provide ``get(key)`` via binary search +
+``extract``, and ``search(value_substring)`` via flat-file search +
+offset-to-record translation — the same translation ZipG's NodeFile
+uses to turn match offsets into NodeIDs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.succinct.stats import AccessStats
+from repro.succinct.succinct_file import SuccinctFile
+
+RECORD_DELIMITER = 0x1E  # ASCII record separator
+
+
+class SuccinctKV:
+    """An immutable compressed key-value store.
+
+    Args:
+        records: mapping of integer key -> value bytes. Values must not
+            contain the record delimiter (0x1E) or the sentinel (0x00).
+        alpha: Succinct sampling rate.
+        stats: optional shared access meter.
+    """
+
+    def __init__(
+        self,
+        records: Dict[int, bytes],
+        alpha: int = 32,
+        stats: Optional[AccessStats] = None,
+    ):
+        keys = sorted(records)
+        offsets: List[int] = []
+        buffer = bytearray()
+        for key in keys:
+            value = bytes(records[key])
+            if RECORD_DELIMITER in value:
+                raise ValueError("values must not contain the record delimiter 0x1E")
+            offsets.append(len(buffer))
+            buffer.extend(value)
+            buffer.append(RECORD_DELIMITER)
+        self._keys = np.asarray(keys, dtype=np.int64)
+        self._offsets = np.asarray(offsets, dtype=np.int64)
+        self._file = SuccinctFile(bytes(buffer), alpha=alpha, stats=stats)
+        self.stats = self._file.stats
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __contains__(self, key: int) -> bool:
+        index = int(np.searchsorted(self._keys, key))
+        return index < len(self._keys) and self._keys[index] == key
+
+    def keys(self) -> np.ndarray:
+        """All keys, ascending."""
+        return self._keys.copy()
+
+    def _record_index(self, key: int) -> int:
+        index = int(np.searchsorted(self._keys, key))
+        if index >= len(self._keys) or self._keys[index] != key:
+            raise KeyError(key)
+        return index
+
+    def get(self, key: int) -> bytes:
+        """Value stored under ``key`` (raises ``KeyError`` if absent)."""
+        index = self._record_index(key)
+        start = int(self._offsets[index])
+        if index + 1 < len(self._offsets):
+            length = int(self._offsets[index + 1]) - start - 1
+        else:
+            length = len(self._file) - start - 1
+        return self._file.extract(start, length)
+
+    def record_offset(self, key: int) -> int:
+        """Flat-file offset of the record for ``key``."""
+        return int(self._offsets[self._record_index(key)])
+
+    def offset_to_key(self, offset: int) -> int:
+        """Key of the record containing flat-file ``offset``."""
+        index = int(np.searchsorted(self._offsets, offset, side="right")) - 1
+        if index < 0:
+            raise IndexError(f"offset {offset} precedes the first record")
+        return int(self._keys[index])
+
+    def search(self, value_substring: bytes) -> List[int]:
+        """Keys whose value contains ``value_substring`` (ascending)."""
+        matches = self._file.search(bytes(value_substring))
+        keys = {self.offset_to_key(int(offset)) for offset in matches}
+        return sorted(keys)
+
+    def extract_from(self, key: int, relative_offset: int, length: int) -> bytes:
+        """Random access *within* a record: ``length`` bytes starting at
+        ``relative_offset`` inside the value of ``key``."""
+        start = self.record_offset(key) + relative_offset
+        return self._file.extract(start, length)
+
+    def original_size_bytes(self) -> int:
+        """Uncompressed payload size (values + record delimiters)."""
+        return self._file.original_size_bytes()
+
+    def serialized_size_bytes(self) -> int:
+        """Compressed footprint including the key/offset directory."""
+        directory = self._keys.nbytes + self._offsets.nbytes
+        return self._file.serialized_size_bytes() + directory
+
+
+def build_kv(pairs: Iterable, alpha: int = 32) -> SuccinctKV:
+    """Convenience constructor from an iterable of (key, value) pairs."""
+    return SuccinctKV(dict(pairs), alpha=alpha)

@@ -1,0 +1,130 @@
+"""Next-pointer array (NPA), Succinct's third data structure.
+
+``NPA[i] = ISA[SA[i] + 1 mod n]`` maps each row of the (conceptual)
+sorted-suffix matrix to the row holding the next suffix of the text.
+Within the rows that share a first character (a *bucket*) the NPA is
+strictly increasing, which is what makes it highly compressible and
+what enables backward search by binary-searching the NPA inside a
+bucket.
+
+The in-memory representation here is a plain numpy array for query
+speed; :meth:`NextPointerArray.serialized_size_bytes` reports the size
+of the two-level delta encoding Succinct would persist, and is what the
+storage-footprint experiments account against.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+import numpy as np
+
+from repro.succinct.coding import delta_encoded_bit_size
+
+
+class NextPointerArray:
+    """The NPA plus the character-bucket directory of the first column.
+
+    Args:
+        npa: ``int64`` array, a permutation of ``0..n-1``.
+        bucket_chars: sorted ``uint8`` array of distinct bytes occurring
+            in the text.
+        bucket_starts: row index where each character's bucket begins;
+            same length as ``bucket_chars``. Bucket ``k`` spans rows
+            ``[bucket_starts[k], bucket_starts[k+1])`` (the last bucket
+            ends at ``n``).
+    """
+
+    def __init__(
+        self,
+        npa: np.ndarray,
+        bucket_chars: np.ndarray,
+        bucket_starts: np.ndarray,
+    ):
+        if len(bucket_chars) != len(bucket_starts):
+            raise ValueError("bucket_chars and bucket_starts must align")
+        self._npa = np.asarray(npa, dtype=np.int64)
+        self._bucket_chars = np.asarray(bucket_chars, dtype=np.uint8)
+        self._bucket_starts = np.asarray(bucket_starts, dtype=np.int64)
+        self._bucket_ends = np.concatenate(
+            (self._bucket_starts[1:], [len(self._npa)])
+        )
+        # Plain-python mirrors for the per-hop hot path: list indexing
+        # and bisect beat numpy scalar indexing in tight loops by ~5x.
+        self._npa_list = self._npa.tolist()
+        self._bucket_starts_list = self._bucket_starts.tolist()
+        self._bucket_chars_list = self._bucket_chars.tolist()
+
+    @classmethod
+    def from_text(cls, data: bytes, suffix_array: np.ndarray, isa: np.ndarray) -> "NextPointerArray":
+        """Build the NPA for ``data`` given its SA and ISA."""
+        n = len(data)
+        npa = isa[(suffix_array + 1) % n] if n else np.empty(0, dtype=np.int64)
+        counts = np.bincount(
+            np.frombuffer(bytes(data), dtype=np.uint8), minlength=256
+        )
+        present = np.nonzero(counts)[0]
+        starts = np.concatenate(([0], np.cumsum(counts[present])))[:-1]
+        return cls(npa, present.astype(np.uint8), starts)
+
+    def __len__(self) -> int:
+        return len(self._npa)
+
+    @property
+    def npa_array(self) -> np.ndarray:
+        """The raw NPA values (for serialization)."""
+        return self._npa.copy()
+
+    @property
+    def bucket_chars(self) -> np.ndarray:
+        return self._bucket_chars.copy()
+
+    @property
+    def bucket_starts(self) -> np.ndarray:
+        return self._bucket_starts.copy()
+
+    def __getitem__(self, row: int) -> int:
+        return self._npa_list[row]
+
+    def follow(self, rows: np.ndarray) -> np.ndarray:
+        """Vectorized NPA dereference for an array of rows."""
+        return self._npa[rows]
+
+    def char_of_row(self, row: int) -> int:
+        """First character (byte value) of the suffix at ``row``."""
+        bucket = bisect.bisect_right(self._bucket_starts_list, row) - 1
+        return self._bucket_chars_list[bucket]
+
+    def bucket_range(self, char: int) -> tuple:
+        """Row range ``[start, end)`` of suffixes starting with ``char``.
+
+        Returns ``(0, 0)`` if the character does not occur in the text.
+        """
+        index = int(np.searchsorted(self._bucket_chars, char))
+        if index >= len(self._bucket_chars) or self._bucket_chars[index] != char:
+            return (0, 0)
+        return (int(self._bucket_starts[index]), int(self._bucket_ends[index]))
+
+    def refine_backward(self, char: int, low: int, high: int) -> tuple:
+        """One step of backward search.
+
+        Given the row range ``[low, high)`` of suffixes starting with a
+        pattern ``P``, return the row range of suffixes starting with
+        ``char + P``. Relies on the NPA being strictly increasing within
+        each character bucket.
+        """
+        start, end = self.bucket_range(char)
+        if start == end:
+            return (0, 0)
+        segment = self._npa[start:end]
+        new_low = start + int(np.searchsorted(segment, low, side="left"))
+        new_high = start + int(np.searchsorted(segment, high, side="left"))
+        return (new_low, new_high)
+
+    def serialized_size_bytes(self, anchor_every: int = 128) -> int:
+        """Size of the two-level delta-encoded NPA plus bucket directory."""
+        bits = 0
+        for start, end in zip(self._bucket_starts, self._bucket_ends):
+            bits += delta_encoded_bit_size(self._npa[start:end], anchor_every)
+        directory = len(self._bucket_chars) * (1 + 8)  # char byte + start offset
+        return (bits + 7) // 8 + directory

@@ -1,0 +1,79 @@
+"""Binary framing for the compressed data structures.
+
+The paper persists NodeFiles/EdgeFiles as serialized flat files and
+``mmap``'s them at startup (§4.1) -- loading must not re-run suffix-array
+construction. This module provides the little-endian framing used by
+``SuccinctFile.to_bytes`` and the layout classes: a stream of sections,
+each ``[u32 name-length][name][u64 payload-length][payload]``.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Tuple
+
+import numpy as np
+
+MAGIC = b"ZIPG"
+
+
+def pack_sections(sections: Dict[str, bytes]) -> bytes:
+    """Serialize named byte sections into one framed blob."""
+    out = bytearray(MAGIC)
+    out.extend(struct.pack("<I", len(sections)))
+    for name, payload in sections.items():
+        encoded = name.encode("ascii")
+        out.extend(struct.pack("<I", len(encoded)))
+        out.extend(encoded)
+        out.extend(struct.pack("<Q", len(payload)))
+        out.extend(payload)
+    return bytes(out)
+
+
+def unpack_sections(blob: bytes) -> Dict[str, bytes]:
+    """Invert :func:`pack_sections`."""
+    if blob[:4] != MAGIC:
+        raise ValueError("not a ZipG serialized blob (bad magic)")
+    offset = 4
+    (count,) = struct.unpack_from("<I", blob, offset)
+    offset += 4
+    sections: Dict[str, bytes] = {}
+    for _ in range(count):
+        (name_length,) = struct.unpack_from("<I", blob, offset)
+        offset += 4
+        name = blob[offset : offset + name_length].decode("ascii")
+        offset += name_length
+        (payload_length,) = struct.unpack_from("<Q", blob, offset)
+        offset += 8
+        sections[name] = blob[offset : offset + payload_length]
+        offset += payload_length
+    if offset != len(blob):
+        raise ValueError("trailing bytes after the last section")
+    return sections
+
+
+def pack_array(array: np.ndarray) -> bytes:
+    """Serialize a numpy array (dtype + shape + raw data)."""
+    dtype = np.dtype(array.dtype).str.encode("ascii")
+    header = struct.pack("<I", len(dtype)) + dtype + struct.pack("<Q", array.size)
+    return header + np.ascontiguousarray(array).tobytes()
+
+
+def unpack_array(payload: bytes) -> np.ndarray:
+    """Invert :func:`pack_array` (1-D arrays)."""
+    (dtype_length,) = struct.unpack_from("<I", payload, 0)
+    offset = 4
+    dtype = np.dtype(payload[offset : offset + dtype_length].decode("ascii"))
+    offset += dtype_length
+    (size,) = struct.unpack_from("<Q", payload, offset)
+    offset += 8
+    return np.frombuffer(payload, dtype=dtype, count=size, offset=offset).copy()
+
+
+def pack_ints(*values: int) -> bytes:
+    return struct.pack(f"<{len(values)}q", *values)
+
+
+def unpack_ints(payload: bytes) -> Tuple[int, ...]:
+    count = len(payload) // 8
+    return struct.unpack(f"<{count}q", payload)

@@ -1,0 +1,83 @@
+"""Access instrumentation shared by all storage engines.
+
+Every storage engine in this repository (Succinct-backed shards, the
+Neo4j-like pointer store, the Titan-like KV store, the LogStore) counts
+the logical *storage touches* it performs. The benchmark memory model
+(:mod:`repro.bench.memory_model`) converts those touches into simulated
+latency, classifying each as in-memory or spilled to SSD depending on
+the engine's measured footprint versus the configured memory budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class AccessStats:
+    """Counters for logical storage operations.
+
+    Attributes:
+        random_accesses: point lookups into a storage structure. In a
+            deployed system each is a potential page fetch; this is the
+            unit the memory model charges SSD latency against.
+        sequential_bytes: bytes read sequentially (scans, extracts).
+        npa_hops: Succinct NPA dereferences (CPU cost of operating on
+            the compressed representation; proportional to ``alpha``).
+        searches: substring/index search operations issued.
+        writes: record appends/mutations.
+        decompressed_bytes: bytes run through block decompression (CPU
+            cost of compressed baselines such as Titan-Compressed).
+    """
+
+    random_accesses: int = 0
+    sequential_bytes: int = 0
+    npa_hops: int = 0
+    searches: int = 0
+    writes: int = 0
+    decompressed_bytes: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.random_accesses = 0
+        self.sequential_bytes = 0
+        self.npa_hops = 0
+        self.searches = 0
+        self.writes = 0
+        self.decompressed_bytes = 0
+
+    def snapshot(self) -> "AccessStats":
+        """A copy of the current counter values."""
+        return AccessStats(
+            random_accesses=self.random_accesses,
+            sequential_bytes=self.sequential_bytes,
+            npa_hops=self.npa_hops,
+            searches=self.searches,
+            writes=self.writes,
+            decompressed_bytes=self.decompressed_bytes,
+        )
+
+    def delta_since(self, earlier: "AccessStats") -> "AccessStats":
+        """Counters accumulated since ``earlier`` (a prior snapshot)."""
+        return AccessStats(
+            random_accesses=self.random_accesses - earlier.random_accesses,
+            sequential_bytes=self.sequential_bytes - earlier.sequential_bytes,
+            npa_hops=self.npa_hops - earlier.npa_hops,
+            searches=self.searches - earlier.searches,
+            writes=self.writes - earlier.writes,
+            decompressed_bytes=self.decompressed_bytes - earlier.decompressed_bytes,
+        )
+
+    def merge(self, other: "AccessStats") -> None:
+        """Accumulate ``other`` into this instance."""
+        self.random_accesses += other.random_accesses
+        self.sequential_bytes += other.sequential_bytes
+        self.npa_hops += other.npa_hops
+        self.searches += other.searches
+        self.writes += other.writes
+        self.decompressed_bytes += other.decompressed_bytes
+
+    @property
+    def total_touches(self) -> int:
+        """All operations that may touch storage."""
+        return self.random_accesses + self.searches + self.writes

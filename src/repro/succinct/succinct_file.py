@@ -1,0 +1,282 @@
+"""SuccinctFile: random access and substring search on compressed data.
+
+This is the flat-file interface of Succinct (§3.1 of the ZipG paper).
+The input text is *not* stored. What is kept is:
+
+* a sampled suffix array (rows whose SA value is a multiple of
+  ``alpha``), with a rank bitmap marking sampled rows;
+* a sampled inverse suffix array (ISA of every ``alpha``-th text
+  position);
+* the next-pointer array (NPA) with its character-bucket directory.
+
+``extract`` reconstructs arbitrary substrings by walking the NPA from a
+sampled ISA entry; ``search`` runs backward search by binary-searching
+the NPA within character buckets and resolves matching rows to text
+offsets through the sampled SA. Both therefore run *directly on the
+compressed representation*. The sampling rate ``alpha`` is the
+space/latency knob: storage for the sampled arrays shrinks as
+``1/alpha`` while each unsampled lookup costs up to ``alpha`` NPA hops.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.succinct.bitvector import BitVector
+from repro.succinct.npa import NextPointerArray
+from repro.succinct.stats import AccessStats
+from repro.succinct.suffix_array import build_suffix_array, inverse_permutation
+
+SENTINEL = 0  # terminal byte appended to every file; may not occur in input
+
+
+class SuccinctFile:
+    """A compressed flat file supporting ``extract`` and ``search``.
+
+    Args:
+        data: the input bytes. Must not contain the sentinel byte 0x00.
+        alpha: sampling rate for the SA/ISA samples (>= 1). Matches the
+            paper's ``alpha``: storage ~ ``2 n ceil(log n) / alpha``
+            bits for the samples, lookup latency ~ ``alpha`` hops.
+        stats: optional shared :class:`AccessStats` to accumulate into
+            (shards owned by one server share a single meter).
+        sa_algorithm: suffix-array builder -- ``"doubling"`` (vectorized
+            prefix doubling, the default) or ``"sais"`` (linear-time
+            SA-IS).
+    """
+
+    def __init__(self, data: bytes, alpha: int = 32, stats: Optional[AccessStats] = None,
+                 sa_algorithm: str = "doubling"):
+        if alpha < 1:
+            raise ValueError("alpha must be >= 1")
+        if sa_algorithm not in ("doubling", "sais"):
+            raise ValueError("sa_algorithm must be 'doubling' or 'sais'")
+        data = bytes(data)
+        if SENTINEL in data:
+            raise ValueError("input data must not contain the sentinel byte 0x00")
+        self._alpha = alpha
+        self._input_size = len(data)
+        self.stats = stats if stats is not None else AccessStats()
+
+        text = data + bytes([SENTINEL])
+        n = len(text)
+        self._n = n
+        if sa_algorithm == "sais":
+            from repro.succinct.sais import build_suffix_array_sais
+
+            suffix_array = build_suffix_array_sais(text)
+        else:
+            suffix_array = build_suffix_array(text)
+        isa = inverse_permutation(suffix_array)
+        self._npa = NextPointerArray.from_text(text, suffix_array, isa)
+
+        # Value-based SA sampling: keep rows whose SA value % alpha == 0.
+        sampled_rows = np.nonzero(suffix_array % alpha == 0)[0]
+        self._sampled_row_marks = BitVector.from_indices(n, sampled_rows)
+        self._sa_samples = suffix_array[sampled_rows].copy()
+        # Position-based ISA sampling: ISA of text positions 0, alpha, 2*alpha...
+        self._isa_samples = isa[np.arange(0, n, alpha)].copy()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Length of the original input (excluding the sentinel)."""
+        return self._input_size
+
+    @property
+    def alpha(self) -> int:
+        return self._alpha
+
+    def original_size_bytes(self) -> int:
+        """Size of the uncompressed input."""
+        return self._input_size
+
+    def serialized_size_bytes(self) -> int:
+        """Bytes the compressed representation occupies when persisted."""
+        if self._n == 0:
+            return 0
+        value_bits = max(1, (self._n - 1).bit_length())
+        sample_bytes = (
+            (len(self._sa_samples) + len(self._isa_samples)) * value_bits + 7
+        ) // 8
+        return (
+            sample_bytes
+            + self._sampled_row_marks.serialized_size_bytes()
+            + self._npa.serialized_size_bytes()
+        )
+
+    def compression_ratio(self) -> float:
+        """Uncompressed size / compressed size (> 1 means smaller)."""
+        compressed = self.serialized_size_bytes()
+        return self._input_size / compressed if compressed else float("inf")
+
+    # ------------------------------------------------------------------
+    # Core lookups
+    # ------------------------------------------------------------------
+
+    def _lookup_sa(self, row: int) -> int:
+        """SA value of ``row`` via NPA walk to the nearest sampled row."""
+        steps = 0
+        current = row
+        while not self._sampled_row_marks[current]:
+            current = self._npa[current]
+            steps += 1
+        self.stats.npa_hops += steps
+        rank = self._sampled_row_marks.rank1(current)
+        value = int(self._sa_samples[rank])
+        return (value - steps) % self._n
+
+    def _lookup_isa(self, position: int) -> int:
+        """Row whose suffix starts at text ``position``."""
+        anchor, remainder = divmod(position, self._alpha)
+        row = int(self._isa_samples[anchor])
+        npa_list = self._npa._npa_list
+        for _ in range(remainder):
+            row = npa_list[row]
+        self.stats.npa_hops += remainder
+        return row
+
+    # ------------------------------------------------------------------
+    # Public queries
+    # ------------------------------------------------------------------
+
+    def extract(self, offset: int, length: int) -> bytes:
+        """Return ``length`` bytes of the original input starting at ``offset``.
+
+        Runs on the compressed representation: one sampled-ISA anchor
+        lookup plus one NPA hop per extracted byte.
+        """
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        if not 0 <= offset <= self._input_size:
+            raise IndexError(f"offset {offset} out of range [0, {self._input_size}]")
+        length = min(length, self._input_size - offset)
+        self.stats.random_accesses += 1
+        self.stats.sequential_bytes += length
+        if length == 0:
+            return b""
+        row = self._lookup_isa(offset)
+        # Hot path: bind the NPA internals locally (one attribute
+        # lookup per extracted byte otherwise dominates).
+        npa_list = self._npa._npa_list
+        char_of_row = self._npa.char_of_row
+        out = bytearray()
+        append = out.append
+        for _ in range(length):
+            append(char_of_row(row))
+            row = npa_list[row]
+        self.stats.npa_hops += length
+        return bytes(out)
+
+    def char_at(self, offset: int) -> int:
+        """Byte value at ``offset`` of the original input."""
+        if not 0 <= offset < self._input_size:
+            raise IndexError(f"offset {offset} out of range [0, {self._input_size})")
+        self.stats.random_accesses += 1
+        return self._npa.char_of_row(self._lookup_isa(offset))
+
+    def extract_until(self, offset: int, terminator: int, limit: Optional[int] = None) -> bytes:
+        """Extract from ``offset`` up to (not including) ``terminator``.
+
+        Stops at end-of-file if the terminator never occurs. ``limit``
+        bounds the number of bytes examined.
+        """
+        if not 0 <= offset <= self._input_size:
+            raise IndexError(f"offset {offset} out of range [0, {self._input_size}]")
+        self.stats.random_accesses += 1
+        remaining = self._input_size - offset
+        if limit is not None:
+            remaining = min(remaining, limit)
+        if remaining <= 0:
+            return b""
+        row = self._lookup_isa(offset)
+        out = bytearray()
+        for _ in range(remaining):
+            char = self._npa.char_of_row(row)
+            if char == terminator:
+                break
+            out.append(char)
+            row = self._npa[row]
+        self.stats.npa_hops += len(out)
+        self.stats.sequential_bytes += len(out)
+        return bytes(out)
+
+    def _pattern_row_range(self, pattern: bytes) -> tuple:
+        """Row range ``[low, high)`` of suffixes prefixed by ``pattern``."""
+        if not pattern:
+            return (0, self._n)
+        if SENTINEL in pattern:
+            raise ValueError("patterns must not contain the sentinel byte 0x00")
+        low, high = self._npa.bucket_range(pattern[-1])
+        for char in reversed(pattern[:-1]):
+            if low >= high:
+                return (0, 0)
+            low, high = self._npa.refine_backward(char, low, high)
+        return (low, high)
+
+    def count(self, pattern: bytes) -> int:
+        """Number of occurrences of ``pattern`` in the input."""
+        self.stats.searches += 1
+        low, high = self._pattern_row_range(bytes(pattern))
+        return high - low
+
+    def search(self, pattern: bytes) -> np.ndarray:
+        """Offsets (ascending) where ``pattern`` occurs in the input."""
+        self.stats.searches += 1
+        low, high = self._pattern_row_range(bytes(pattern))
+        offsets = [self._lookup_sa(row) for row in range(low, high)]
+        self.stats.random_accesses += high - low
+        return np.asarray(sorted(offsets), dtype=np.int64)
+
+    def decompress(self) -> bytes:
+        """Reconstruct the full original input (diagnostic helper)."""
+        return self.extract(0, self._input_size)
+
+    # ------------------------------------------------------------------
+    # Binary serialization (§4.1: persisted structures are loaded, not
+    # reconstructed, at startup)
+    # ------------------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize the compressed structures (samples, row bitmap,
+        NPA + bucket directory) -- no text, no suffix array."""
+        from repro.succinct.serialize import pack_array, pack_ints, pack_sections
+
+        return pack_sections({
+            "meta": pack_ints(self._alpha, self._input_size, self._n),
+            "sa_samples": pack_array(self._sa_samples),
+            "isa_samples": pack_array(self._isa_samples),
+            "row_marks": pack_array(self._sampled_row_marks.blocks),
+            "npa": pack_array(self._npa.npa_array),
+            "bucket_chars": pack_array(self._npa.bucket_chars),
+            "bucket_starts": pack_array(self._npa.bucket_starts),
+        })
+
+    @classmethod
+    def from_bytes(cls, blob: bytes, stats: Optional[AccessStats] = None) -> "SuccinctFile":
+        """Reconstruct a file from :meth:`to_bytes` output without
+        re-running suffix-array construction."""
+        from repro.succinct.serialize import unpack_array, unpack_ints, unpack_sections
+
+        sections = unpack_sections(blob)
+        alpha, input_size, n = unpack_ints(sections["meta"])
+        instance = cls.__new__(cls)
+        instance._alpha = alpha
+        instance._input_size = input_size
+        instance._n = n
+        instance.stats = stats if stats is not None else AccessStats()
+        instance._sa_samples = unpack_array(sections["sa_samples"])
+        instance._isa_samples = unpack_array(sections["isa_samples"])
+        instance._sampled_row_marks = BitVector.from_blocks(
+            n, unpack_array(sections["row_marks"])
+        )
+        instance._npa = NextPointerArray(
+            unpack_array(sections["npa"]),
+            unpack_array(sections["bucket_chars"]),
+            unpack_array(sections["bucket_starts"]),
+        )
+        return instance

@@ -1,0 +1,49 @@
+"""Suffix array construction (prefix doubling, vectorized with numpy).
+
+The suffix array and its inverse are the scaffolding from which the
+sampled Succinct structures are derived; the full arrays are discarded
+after construction (only samples and the NPA are retained at query
+time).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def build_suffix_array(data: bytes) -> np.ndarray:
+    """Return the suffix array of ``data`` as an int64 numpy array.
+
+    Uses Manber-Myers prefix doubling with numpy ``lexsort``:
+    O(n log^2 n) overall, with every pass fully vectorized. Ties are
+    resolved consistently, so the result is the unique suffix array of
+    the input (no sentinel is appended here; callers that need a unique
+    smallest suffix append their own terminal byte).
+    """
+    n = len(data)
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    rank = np.frombuffer(bytes(data), dtype=np.uint8).astype(np.int64)
+    shift = 1
+    while True:
+        # Secondary key: rank of the suffix `shift` positions ahead, -1 past end.
+        key2 = np.full(n, -1, dtype=np.int64)
+        if shift < n:
+            key2[: n - shift] = rank[shift:]
+        order = np.lexsort((key2, rank))
+        changed = (rank[order][1:] != rank[order][:-1]) | (
+            key2[order][1:] != key2[order][:-1]
+        )
+        new_rank = np.empty(n, dtype=np.int64)
+        new_rank[order] = np.concatenate(([0], np.cumsum(changed, dtype=np.int64)))
+        rank = new_rank
+        if rank[order[-1]] == n - 1:
+            return order.astype(np.int64)
+        shift *= 2
+
+
+def inverse_permutation(permutation: np.ndarray) -> np.ndarray:
+    """Inverse of a permutation array (ISA from SA, and vice versa)."""
+    inverse = np.empty_like(permutation)
+    inverse[permutation] = np.arange(len(permutation), dtype=permutation.dtype)
+    return inverse

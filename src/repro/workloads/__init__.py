@@ -1,0 +1,43 @@
+"""Workloads from the paper's evaluation (§5, Appendix B).
+
+* :mod:`repro.workloads.properties` -- TAO / LinkBench property
+  distributions used to annotate graphs (§5, "Datasets").
+* :mod:`repro.workloads.graphs` -- synthetic graph generators (social
+  power-law, web-like, LinkBench-like).
+* :mod:`repro.workloads.tao` -- Facebook TAO query mix (Table 2).
+* :mod:`repro.workloads.linkbench` -- LinkBench query mix (Table 2).
+* :mod:`repro.workloads.graph_search` -- Graph Search GS1-GS5 (Table 3).
+* :mod:`repro.workloads.rpq` -- regular path queries (Appendix B.1).
+* :mod:`repro.workloads.traversal` -- BFS traversals (Appendix B.2).
+"""
+
+from repro.workloads.graph_search import GRAPH_SEARCH_QUERIES, GraphSearchWorkload
+from repro.workloads.graphs import linkbench_graph, social_graph, web_graph
+from repro.workloads.linkbench import LINKBENCH_MIX, LinkBenchWorkload
+from repro.workloads.properties import (
+    LinkBenchPropertyModel,
+    TAOPropertyModel,
+    annotate_graph,
+)
+from repro.workloads.tao import TAO_MIX, TAOWorkload
+from repro.workloads.traversal import bfs_traversal
+from repro.workloads.rpq import PathQuery, RPQEngine, generate_gmark_queries
+
+__all__ = [
+    "GRAPH_SEARCH_QUERIES",
+    "GraphSearchWorkload",
+    "LINKBENCH_MIX",
+    "LinkBenchPropertyModel",
+    "LinkBenchWorkload",
+    "PathQuery",
+    "RPQEngine",
+    "TAO_MIX",
+    "TAOPropertyModel",
+    "TAOWorkload",
+    "annotate_graph",
+    "bfs_traversal",
+    "generate_gmark_queries",
+    "linkbench_graph",
+    "social_graph",
+    "web_graph",
+]

@@ -1,0 +1,114 @@
+"""The Graph Search workload (Table 3) -- GS1 through GS5.
+
+Mixes random access (GS1, GS4, GS5) and search (GS2, GS3) queries in
+equal proportion. GS2 and GS3 additionally support the *join* execution
+plan of Appendix B.3: the same query answered by intersecting two
+sub-query result sets instead of probing neighbors' properties.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+import numpy as np
+
+from repro.core.model import GraphData
+from repro.workloads.base import Operation, WorkloadContext
+from repro.workloads.properties import CITIES, INTERESTS
+
+GRAPH_SEARCH_QUERIES = ("GS1", "GS2", "GS3", "GS4", "GS5")
+
+
+class GraphSearchWorkload:
+    """Generates GS1-GS5 operations (equal proportions, Table 3)."""
+
+    name = "graph-search"
+
+    def __init__(self, graph: GraphData, seed: int = 0, use_joins: bool = False):
+        self.rng = np.random.default_rng(seed)
+        self.context = WorkloadContext.from_graph(graph, self.rng)
+        self.use_joins = use_joins
+
+    def _sample_city(self) -> str:
+        return str(self.rng.choice(CITIES))
+
+    def _sample_interest(self) -> str:
+        return str(self.rng.choice(INTERESTS))
+
+    # ------------------------------------------------------------------
+    # Query builders (Table 3 rows)
+    # ------------------------------------------------------------------
+
+    def make_operation(self, name: str) -> Operation:
+        builder = getattr(self, f"_build_{name.lower()}")
+        return builder()
+
+    def _build_gs1(self) -> Operation:
+        # All friends of Alice: get_neighbor_ids(id, *, *)
+        node = self.context.sample_node()
+        return Operation("GS1", lambda s: s.get_neighbor_ids(node, "*"), target=node)
+
+    def _build_gs2(self) -> Operation:
+        # Alice's friends in Ithaca: get_neighbor_ids(id, *, {p1})
+        node, city = self.context.sample_node(), self._sample_city()
+        if self.use_joins:
+            return Operation("GS2", lambda s: gs2_with_join(s, node, {"city": city}), target=node)
+        return Operation(
+            "GS2", lambda s: s.get_neighbor_ids(node, "*", {"city": city}), target=node
+        )
+
+    def _build_gs3(self) -> Operation:
+        # Musicians in Ithaca: get_node_ids({p1, p2})
+        city, interest = self._sample_city(), self._sample_interest()
+        if self.use_joins:
+            return Operation(
+                "GS3",
+                lambda s: gs3_with_join(s, {"city": city}, {"interest": interest}),
+            )
+        return Operation(
+            "GS3", lambda s: s.get_node_ids({"city": city, "interest": interest})
+        )
+
+    def _build_gs4(self) -> Operation:
+        # Close friends of Alice: get_neighbor_ids(id, type, *)
+        node, etype = self.context.sample_node(), self.context.sample_edge_type()
+        return Operation("GS4", lambda s: s.get_neighbor_ids(node, etype), target=node)
+
+    def _build_gs5(self) -> Operation:
+        # All data on Alice's friends: assoc_range(id, type, 0, *)
+        node, etype = self.context.sample_node(), self.context.sample_edge_type()
+        return Operation("GS5", lambda s: s.edges_from_index(node, etype, 0, None), target=node)
+
+    # ------------------------------------------------------------------
+    # Streams
+    # ------------------------------------------------------------------
+
+    def operations(self, count: int) -> Iterator[Operation]:
+        """``count`` operations cycling through GS1-GS5 equally."""
+        for index in range(count):
+            yield self.make_operation(GRAPH_SEARCH_QUERIES[index % 5])
+
+    def operations_of(self, name: str, count: int) -> Iterator[Operation]:
+        if name not in GRAPH_SEARCH_QUERIES:
+            raise ValueError(f"unknown Graph Search query {name!r}")
+        for _ in range(count):
+            yield self.make_operation(name)
+
+
+# ----------------------------------------------------------------------
+# Join-based execution plans (Appendix B.3)
+# ----------------------------------------------------------------------
+
+def gs2_with_join(system, node_id: int, property_list: dict) -> List[int]:
+    """GS2 via a join: all friends INTERSECT all people matching the
+    property (e.g. all of Alice's friends ∩ everyone in Ithaca)."""
+    friends = set(system.get_neighbor_ids(node_id, "*"))
+    matching = set(system.get_node_ids(property_list))
+    return sorted(friends & matching)
+
+
+def gs3_with_join(system, first: dict, second: dict) -> List[int]:
+    """GS3 via a join: one sub-query per property pair, intersected."""
+    left = set(system.get_node_ids(first))
+    right = set(system.get_node_ids(second))
+    return sorted(left & right)

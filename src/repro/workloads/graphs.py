@@ -1,0 +1,127 @@
+"""Synthetic graph structure generators (§5, Table 4 analogues).
+
+The evaluation uses three real-world graphs (Orkut, Twitter, UK-web)
+and three LinkBench-generated social graphs. These generators produce
+scaled-down structural analogues: power-law degree distributions with
+preferential destination choice for the social graphs, a heavier tail
+for the web graph, and LinkBench's skewed social shape for the
+LinkBench datasets. Properties are attached separately
+(:func:`repro.workloads.properties.annotate_graph`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.model import GraphData
+from repro.workloads.properties import (
+    LinkBenchPropertyModel,
+    TAOPropertyModel,
+    annotate_graph,
+)
+
+
+def _power_law_degrees(
+    rng: np.random.Generator, num_nodes: int, avg_degree: float, exponent: float
+) -> np.ndarray:
+    """Out-degree per node following a truncated discrete power law,
+    rescaled to hit the requested average degree."""
+    raw = rng.zipf(exponent, num_nodes).astype(np.float64)
+    raw = np.minimum(raw, num_nodes)  # truncate the extreme tail
+    degrees = np.maximum(1, np.round(raw * (avg_degree / raw.mean()))).astype(np.int64)
+    return np.minimum(degrees, max(1, num_nodes - 1))
+
+
+def _preferential_destinations(
+    rng: np.random.Generator, num_nodes: int, count: int, skew: float
+) -> np.ndarray:
+    """Destination sampling with popularity skew: low node ids are the
+    celebrities (zipf-ranked), matching social-graph in-degree skew."""
+    ranks = rng.zipf(skew, count)
+    return np.minimum(ranks - 1, num_nodes - 1)
+
+
+def _structure(
+    rng: np.random.Generator,
+    num_nodes: int,
+    avg_degree: float,
+    degree_exponent: float,
+    destination_skew: float,
+) -> GraphData:
+    graph = GraphData()
+    for node_id in range(num_nodes):
+        graph.add_node(node_id)
+    degrees = _power_law_degrees(rng, num_nodes, avg_degree, degree_exponent)
+    for source in range(num_nodes):
+        destinations = _preferential_destinations(
+            rng, num_nodes, int(degrees[source]), destination_skew
+        )
+        for destination in destinations:
+            if destination != source:
+                graph.add_edge(source, int(destination))
+    return graph
+
+
+def social_graph(
+    num_nodes: int,
+    avg_degree: float = 8.0,
+    seed: int = 0,
+    property_scale: float = 1.0,
+    annotate: bool = True,
+) -> GraphData:
+    """An Orkut/Twitter-like social graph with TAO properties."""
+    rng = np.random.default_rng(seed)
+    graph = _structure(rng, num_nodes, avg_degree, degree_exponent=2.2, destination_skew=1.8)
+    if not annotate:
+        return graph
+    model = TAOPropertyModel(rng, scale=property_scale)
+    return annotate_graph(graph, model)
+
+
+def web_graph(
+    num_nodes: int,
+    avg_degree: float = 12.0,
+    seed: int = 0,
+    property_scale: float = 1.0,
+    annotate: bool = True,
+) -> GraphData:
+    """A UK-web-like graph: denser, heavier-tailed than the social one."""
+    rng = np.random.default_rng(seed)
+    graph = _structure(rng, num_nodes, avg_degree, degree_exponent=1.9, destination_skew=1.5)
+    if not annotate:
+        return graph
+    model = TAOPropertyModel(rng, scale=property_scale)
+    return annotate_graph(graph, model)
+
+
+def linkbench_graph(
+    num_nodes: int,
+    avg_degree: float = 5.0,
+    seed: int = 0,
+    property_scale: float = 1.0,
+) -> GraphData:
+    """A LinkBench-generated-style social graph: single high-entropy
+    ``data`` property per node/edge, heavily skewed neighborhoods
+    ("some nodes have very large neighborhoods, most have few", §5.2)."""
+    rng = np.random.default_rng(seed)
+    graph = _structure(rng, num_nodes, avg_degree, degree_exponent=1.7, destination_skew=1.6)
+    model = LinkBenchPropertyModel(rng, scale=property_scale)
+    return annotate_graph(graph, model)
+
+
+def zipf_node_sampler(
+    rng: np.random.Generator, num_nodes: int, skew: Optional[float] = 1.5
+):
+    """Returns a callable sampling query-target node ids; skewed access
+    (LinkBench's hot-node pattern) or uniform when ``skew`` is None."""
+    if skew is None:
+        def uniform() -> int:
+            return int(rng.integers(0, num_nodes))
+        return uniform
+
+    def skewed() -> int:
+        return int(min(rng.zipf(skew) - 1, num_nodes - 1))
+
+    return skewed

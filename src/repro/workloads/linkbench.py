@@ -1,0 +1,57 @@
+"""The LinkBench workload (Table 2, LinkBench column).
+
+Same query set as TAO but a very different mix: ~31% of operations are
+writes/updates/deletes, and accesses are skewed toward nodes with large
+neighborhoods (§5.2's explanation for every system's lower absolute
+throughput and for the hot-server bottleneck in Figure 9(b)).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.model import GraphData
+from repro.workloads.properties import LinkBenchPropertyModel
+from repro.workloads.tao import TAOWorkload
+
+#: Table 2, "LinkBench %" column.
+LINKBENCH_MIX: Dict[str, float] = {
+    "assoc_range": 50.6,
+    "obj_get": 12.9,
+    "assoc_get": 0.52,
+    "assoc_count": 4.9,
+    "assoc_time_range": 0.15,
+    "assoc_add": 9.0,
+    "obj_update": 7.4,
+    "obj_add": 2.6,
+    "assoc_del": 3.0,
+    "obj_del": 1.0,
+    "assoc_update": 8.0,
+}
+
+#: zipf exponent for hot-node access skew.
+LINKBENCH_NODE_SKEW = 1.4
+
+
+class LinkBenchWorkload(TAOWorkload):
+    """LinkBench = TAO's query set + write-heavy mix + skewed access."""
+
+    name = "linkbench"
+
+    def __init__(
+        self,
+        graph: GraphData,
+        seed: int = 0,
+        mix: Optional[Dict[str, float]] = None,
+        node_skew: float = LINKBENCH_NODE_SKEW,
+    ):
+        rng = np.random.default_rng(seed)
+        super().__init__(
+            graph,
+            seed=seed,
+            mix=mix or LINKBENCH_MIX,
+            node_skew=node_skew,
+            property_model=LinkBenchPropertyModel(rng, scale=0.25),
+        )

@@ -1,0 +1,342 @@
+"""Regular path queries (Appendix B.1).
+
+A regular path query (RPQ) identifies node pairs connected by a path
+whose concatenated edge labels (EdgeTypes) match a regular expression.
+This module provides:
+
+* a small regex-over-labels language: integer labels, concatenation by
+  adjacency or ``/``, alternation ``|``, grouping ``( )``, ``*``, ``+``
+  and ``?``;
+* a Thompson-NFA evaluator that explores the product of the graph and
+  the automaton via the store's neighbor queries -- exactly the
+  "sequences of get_neighbor_ids / get_edge_record / get_edge_data"
+  execution §4.2 describes. Kleene-star recursion is handled by the
+  fixpoint of the product BFS, mirroring ZipG's (serial) transitive
+  closure computation;
+* a gMark-style generator producing the Appendix's 50-query workload:
+  linear paths, branched traversals and recursion-heavy queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+EPSILON = -1
+
+
+# ----------------------------------------------------------------------
+# Parsing
+# ----------------------------------------------------------------------
+
+@dataclass
+class PathQuery:
+    """A named regular path query, e.g. ``0/1*`` or ``(0|2)/1``."""
+
+    query_id: str
+    expression: str
+    kind: str = "linear"  # linear | branched | recursive
+
+    @property
+    def is_recursive(self) -> bool:
+        return "*" in self.expression or "+" in self.expression
+
+
+class _Parser:
+    """Recursive-descent parser for the label-regex language."""
+
+    def __init__(self, expression: str):
+        self._tokens = self._tokenize(expression)
+        self._position = 0
+
+    @staticmethod
+    def _tokenize(expression: str) -> List[str]:
+        tokens: List[str] = []
+        number = ""
+        for char in expression:
+            if char.isdigit():
+                number += char
+                continue
+            if number:
+                tokens.append(number)
+                number = ""
+            if char in "()|*+?":
+                tokens.append(char)
+            elif char in " /":
+                continue  # concatenation separators
+            else:
+                raise ValueError(f"unexpected character {char!r} in path expression")
+        if number:
+            tokens.append(number)
+        return tokens
+
+    def _peek(self) -> Optional[str]:
+        if self._position < len(self._tokens):
+            return self._tokens[self._position]
+        return None
+
+    def _take(self) -> str:
+        token = self._tokens[self._position]
+        self._position += 1
+        return token
+
+    def parse(self):
+        node = self._alternation()
+        if self._peek() is not None:
+            raise ValueError(f"trailing tokens in path expression: {self._tokens[self._position:]}")
+        return node
+
+    def _alternation(self):
+        left = self._concatenation()
+        while self._peek() == "|":
+            self._take()
+            left = ("alt", left, self._concatenation())
+        return left
+
+    def _concatenation(self):
+        parts = [self._postfix()]
+        while self._peek() is not None and self._peek() not in ")|":
+            parts.append(self._postfix())
+        node = parts[0]
+        for part in parts[1:]:
+            node = ("cat", node, part)
+        return node
+
+    def _postfix(self):
+        node = self._atom()
+        while self._peek() in ("*", "+", "?"):
+            operator = self._take()
+            tag = {"*": "star", "+": "plus", "?": "opt"}[operator]
+            node = (tag, node)
+        return node
+
+    def _atom(self):
+        token = self._peek()
+        if token is None:
+            raise ValueError("unexpected end of path expression")
+        if token == "(":
+            self._take()
+            node = self._alternation()
+            if self._peek() != ")":
+                raise ValueError("unbalanced parentheses in path expression")
+            self._take()
+            return node
+        if token.isdigit():
+            return ("label", int(self._take()))
+        raise ValueError(f"unexpected token {token!r} in path expression")
+
+
+# ----------------------------------------------------------------------
+# Thompson NFA
+# ----------------------------------------------------------------------
+
+@dataclass
+class NFA:
+    """Nondeterministic finite automaton over edge labels."""
+
+    start: int
+    accept: int
+    transitions: Dict[int, List[Tuple[int, int]]] = field(default_factory=dict)
+    # transitions[state] = [(label_or_EPSILON, next_state), ...]
+
+    def add(self, state: int, label: int, target: int) -> None:
+        self.transitions.setdefault(state, []).append((label, target))
+
+    def labels(self) -> Set[int]:
+        return {
+            label
+            for edges in self.transitions.values()
+            for (label, _) in edges
+            if label != EPSILON
+        }
+
+    def epsilon_closure(self, states: Iterable[int]) -> Set[int]:
+        closure = set(states)
+        stack = list(closure)
+        while stack:
+            state = stack.pop()
+            for label, target in self.transitions.get(state, []):
+                if label == EPSILON and target not in closure:
+                    closure.add(target)
+                    stack.append(target)
+        return closure
+
+    def step(self, states: Iterable[int], label: int) -> Set[int]:
+        """States reachable by consuming ``label`` (closure applied)."""
+        moved = {
+            target
+            for state in states
+            for (lbl, target) in self.transitions.get(state, [])
+            if lbl == label
+        }
+        return self.epsilon_closure(moved)
+
+    def first_labels(self) -> Set[int]:
+        """Labels that can begin a matching path."""
+        return {
+            label
+            for state in self.epsilon_closure({self.start})
+            for (label, _) in self.transitions.get(state, [])
+            if label != EPSILON
+        }
+
+    def accepts_empty(self) -> bool:
+        return self.accept in self.epsilon_closure({self.start})
+
+
+def compile_expression(expression: str) -> NFA:
+    """Compile a path expression to a Thompson NFA."""
+    ast = _Parser(expression).parse()
+    counter = [0]
+
+    def new_state() -> int:
+        counter[0] += 1
+        return counter[0] - 1
+
+    nfa = NFA(start=0, accept=0)
+
+    def build(node) -> Tuple[int, int]:
+        tag = node[0]
+        if tag == "label":
+            begin, end = new_state(), new_state()
+            nfa.add(begin, node[1], end)
+            return begin, end
+        if tag == "cat":
+            begin_a, end_a = build(node[1])
+            begin_b, end_b = build(node[2])
+            nfa.add(end_a, EPSILON, begin_b)
+            return begin_a, end_b
+        if tag == "alt":
+            begin, end = new_state(), new_state()
+            begin_a, end_a = build(node[1])
+            begin_b, end_b = build(node[2])
+            nfa.add(begin, EPSILON, begin_a)
+            nfa.add(begin, EPSILON, begin_b)
+            nfa.add(end_a, EPSILON, end)
+            nfa.add(end_b, EPSILON, end)
+            return begin, end
+        if tag in ("star", "plus", "opt"):
+            begin, end = new_state(), new_state()
+            inner_begin, inner_end = build(node[1])
+            nfa.add(begin, EPSILON, inner_begin)
+            nfa.add(inner_end, EPSILON, end)
+            if tag in ("star", "opt"):
+                nfa.add(begin, EPSILON, end)
+            if tag in ("star", "plus"):
+                nfa.add(inner_end, EPSILON, inner_begin)
+            return begin, end
+        raise AssertionError(f"unknown AST tag {tag!r}")
+
+    nfa.start, nfa.accept = build(ast)
+    return nfa
+
+
+# ----------------------------------------------------------------------
+# Evaluation (product BFS over the store)
+# ----------------------------------------------------------------------
+
+class RPQEngine:
+    """Evaluates path queries against any evaluated system.
+
+    The engine only needs two operations from the store: typed neighbor
+    lists (``get_neighbor_ids(node, label)``) and, to seed wildcard
+    evaluations, all sources carrying a label. The latter is derived
+    from a one-time label -> sources index built with typed neighbor
+    queries, standing in for ZipG's ``get_edge_record(*, edgeType)``.
+    """
+
+    def __init__(self, system, all_node_ids: Sequence[int]):
+        self._system = system
+        self._node_ids = list(all_node_ids)
+        self._sources_by_label: Dict[int, List[int]] = {}
+
+    def _sources_with_label(self, label: int) -> List[int]:
+        if label not in self._sources_by_label:
+            self._sources_by_label[label] = [
+                node
+                for node in self._node_ids
+                if self._system.get_neighbor_ids(node, label)
+            ]
+        return self._sources_by_label[label]
+
+    def evaluate(
+        self,
+        query: PathQuery,
+        start_nodes: Optional[Sequence[int]] = None,
+        max_results: Optional[int] = None,
+    ) -> Set[Tuple[int, int]]:
+        """All (start, end) node pairs connected by a matching path."""
+        nfa = compile_expression(query.expression)
+        if start_nodes is None:
+            seeds: Set[int] = set()
+            for label in nfa.first_labels():
+                seeds.update(self._sources_with_label(label))
+            if nfa.accepts_empty():
+                seeds.update(self._node_ids)
+        else:
+            seeds = set(start_nodes)
+
+        results: Set[Tuple[int, int]] = set()
+        for seed in sorted(seeds):
+            for end in self._evaluate_from(nfa, seed):
+                results.add((seed, end))
+                if max_results is not None and len(results) >= max_results:
+                    return results
+        return results
+
+    def _evaluate_from(self, nfa: NFA, seed: int) -> Set[int]:
+        """Fixpoint BFS over (node, nfa-state) pairs from one seed."""
+        initial = frozenset(nfa.epsilon_closure({nfa.start}))
+        frontier: List[Tuple[int, frozenset]] = [(seed, initial)]
+        visited: Set[Tuple[int, frozenset]] = {(seed, initial)}
+        reachable: Set[int] = set()
+        labels = nfa.labels()
+        while frontier:
+            node, states = frontier.pop()
+            if nfa.accept in states:
+                reachable.add(node)
+            for label in labels:
+                next_states = frozenset(nfa.step(states, label))
+                if not next_states:
+                    continue
+                for neighbor in self._system.get_neighbor_ids(node, label):
+                    key = (neighbor, next_states)
+                    if key not in visited:
+                        visited.add(key)
+                        frontier.append(key)
+        return reachable
+
+
+# ----------------------------------------------------------------------
+# gMark-style query generation (Appendix B.1)
+# ----------------------------------------------------------------------
+
+def generate_gmark_queries(
+    num_queries: int = 50, num_labels: int = 5, seed: int = 0
+) -> List[PathQuery]:
+    """A 50-query workload of widely varying nature: linear path
+    traversals, branched traversals and highly recursive queries."""
+    rng = np.random.default_rng(seed)
+    queries: List[PathQuery] = []
+
+    def label() -> str:
+        return str(int(rng.integers(0, num_labels)))
+
+    for index in range(num_queries):
+        shape = ("linear", "branched", "recursive")[index % 3]
+        if shape == "linear":
+            length = int(rng.integers(2, 5))
+            expression = "/".join(label() for _ in range(length))
+        elif shape == "branched":
+            left = "/".join(label() for _ in range(int(rng.integers(1, 3))))
+            right = "/".join(label() for _ in range(int(rng.integers(1, 3))))
+            tail = label()
+            expression = f"({left}|{right})/{tail}"
+        else:
+            head = label()
+            star = label()
+            expression = f"{head}/{star}*" if rng.random() < 0.5 else f"({head}|{star})+"
+        queries.append(PathQuery(f"q{index + 1}", expression, shape))
+    return queries

@@ -1,0 +1,171 @@
+"""The Facebook TAO workload (Table 2).
+
+Eleven query types with the published TAO production percentages.
+Read-dominated: ~99.8% of operations are reads, which is what lets
+ZipG's immutable compressed shards shine (§5.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+import numpy as np
+
+from repro.core.model import GraphData
+from repro.workloads.base import (
+    Operation,
+    WorkloadContext,
+    assoc_get_generic,
+    sample_mix,
+)
+from repro.workloads.properties import TAOPropertyModel
+
+#: Table 2, "TAO %" column.
+TAO_MIX: Dict[str, float] = {
+    "assoc_range": 40.8,
+    "obj_get": 28.8,
+    "assoc_get": 15.7,
+    "assoc_count": 11.7,
+    "assoc_time_range": 2.8,
+    "assoc_add": 0.1,
+    "obj_update": 0.04,
+    "obj_add": 0.03,
+    "assoc_del": 0.02,
+    "obj_del": 0.009,
+    "assoc_update": 0.009,
+}
+
+DEFAULT_RANGE_LIMIT = 10
+
+
+class TAOWorkload:
+    """Generates TAO operations against a loaded dataset.
+
+    Args:
+        graph: the dataset (used only for sampling query arguments).
+        seed: RNG seed (operation streams are deterministic).
+        mix: query-type percentages; defaults to Table 2's TAO column.
+        node_skew: zipf exponent for target-node sampling (0 = uniform,
+            TAO's access pattern; LinkBench overrides this).
+        property_model: source of PropertyLists for writes.
+    """
+
+    name = "tao"
+
+    def __init__(
+        self,
+        graph: GraphData,
+        seed: int = 0,
+        mix: Optional[Dict[str, float]] = None,
+        node_skew: float = 0.0,
+        property_model=None,
+    ):
+        self.rng = np.random.default_rng(seed)
+        self.mix = dict(mix or TAO_MIX)
+        self.context = WorkloadContext.from_graph(graph, self.rng, node_skew=node_skew)
+        self.property_model = property_model or TAOPropertyModel(self.rng, scale=0.05)
+
+    # ------------------------------------------------------------------
+    # Operation builders (one per Table 2 row)
+    # ------------------------------------------------------------------
+
+    def make_operation(self, name: str) -> Operation:
+        builder = getattr(self, f"_build_{name}")
+        return builder()
+
+    def _build_assoc_range(self) -> Operation:
+        node, etype = self.context.sample_node(), self.context.sample_edge_type()
+        index = int(self.rng.integers(0, 4))
+        return Operation(
+            "assoc_range",
+            lambda s: s.edges_from_index(node, etype, index, DEFAULT_RANGE_LIMIT),
+            target=node,
+        )
+
+    def _build_obj_get(self) -> Operation:
+        node = self.context.sample_node()
+        return Operation("obj_get", lambda s: s.get_node_property(node, "*"), target=node)
+
+    def _build_assoc_get(self) -> Operation:
+        node, etype = self.context.sample_node(), self.context.sample_edge_type()
+        id2_set = {self.context.sample_node() for _ in range(5)}
+        t_low, t_high = self.context.sample_time_window()
+        return Operation(
+            "assoc_get",
+            lambda s: assoc_get_generic(s, node, etype, id2_set, t_low, t_high),
+            target=node,
+        )
+
+    def _build_assoc_count(self) -> Operation:
+        node, etype = self.context.sample_node(), self.context.sample_edge_type()
+        return Operation("assoc_count", lambda s: s.edge_count(node, etype), target=node)
+
+    def _build_assoc_time_range(self) -> Operation:
+        node, etype = self.context.sample_node(), self.context.sample_edge_type()
+        t_low, t_high = self.context.sample_time_window()
+        return Operation(
+            "assoc_time_range",
+            lambda s: s.edges_in_time_range(node, etype, t_low, t_high, DEFAULT_RANGE_LIMIT),
+            target=node,
+        )
+
+    def _build_assoc_add(self) -> Operation:
+        source, etype = self.context.sample_node(), self.context.sample_edge_type()
+        destination = self.context.sample_node()
+        timestamp = self.context.fresh_timestamp()
+        properties = self.property_model.edge_properties()
+        return Operation(
+            "assoc_add",
+            lambda s: s.append_edge(source, etype, destination, timestamp, properties),
+            target=source,
+        )
+
+    def _build_obj_update(self) -> Operation:
+        node = self.context.sample_node()
+        properties = self.property_model.node_properties()
+        return Operation("obj_update", lambda s: s.update_node(node, properties), target=node)
+
+    def _build_obj_add(self) -> Operation:
+        node = self.context.fresh_node_id()
+        properties = self.property_model.node_properties()
+        return Operation("obj_add", lambda s: s.append_node(node, properties), target=node)
+
+    def _build_assoc_del(self) -> Operation:
+        source, etype, destination = self.context.sample_edge()
+        return Operation("assoc_del", lambda s: s.delete_edge(source, etype, destination), target=source)
+
+    def _build_obj_del(self) -> Operation:
+        # Prefer deleting previously added nodes so the base graph's
+        # sampling population stays intact across long runs.
+        if self.context.added_nodes:
+            node = self.context.added_nodes.pop()
+        else:
+            node = self.context.fresh_node_id()
+        return Operation("obj_del", lambda s: s.delete_node(node), target=node)
+
+    def _build_assoc_update(self) -> Operation:
+        source, etype, destination = self.context.sample_edge()
+        timestamp = self.context.fresh_timestamp()
+        properties = self.property_model.edge_properties()
+        return Operation(
+            "assoc_update",
+            lambda s: s.update_edge(source, etype, destination, timestamp, properties),
+            target=source,
+        )
+
+    # ------------------------------------------------------------------
+    # Streams
+    # ------------------------------------------------------------------
+
+    def operations(self, count: int) -> Iterator[Operation]:
+        """``count`` operations drawn from the query mix."""
+        for _ in range(count):
+            yield self.make_operation(sample_mix(self.rng, self.mix))
+
+    def operations_of(self, name: str, count: int) -> Iterator[Operation]:
+        """``count`` operations of a single query type (the per-query
+        isolation runs of Figures 6-8)."""
+        if name not in self.mix:
+            raise ValueError(f"unknown TAO query {name!r}")
+        for _ in range(count):
+            yield self.make_operation(name)

@@ -1,0 +1,43 @@
+"""Graph traversal workload: bounded-depth BFS (Appendix B.2).
+
+The paper's traversal experiment performs breadth-first traversals
+starting at 100 randomly selected nodes with depth bounded to 5. The
+traversal uses only typed-wildcard neighbor queries, so it runs on any
+evaluated system.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Sequence
+
+import numpy as np
+
+
+def bfs_traversal(system, root: int, max_depth: int = 5) -> List[int]:
+    """Nodes reachable from ``root`` within ``max_depth`` hops, in BFS
+    visit order (root included)."""
+    if max_depth < 0:
+        raise ValueError("max_depth must be non-negative")
+    visited = {root}
+    order = [root]
+    queue = deque([(root, 0)])
+    while queue:
+        node, depth = queue.popleft()
+        if depth == max_depth:
+            continue
+        for neighbor in system.get_neighbor_ids(node, "*"):
+            if neighbor not in visited:
+                visited.add(neighbor)
+                order.append(neighbor)
+                queue.append((neighbor, depth + 1))
+    return order
+
+
+def sample_roots(node_ids: Sequence[int], count: int = 100, seed: int = 0) -> List[int]:
+    """Random traversal roots (the paper uses 100)."""
+    rng = np.random.default_rng(seed)
+    population = list(node_ids)
+    count = min(count, len(population))
+    chosen = rng.choice(len(population), size=count, replace=False)
+    return [population[int(index)] for index in chosen]

@@ -1,0 +1,91 @@
+"""Tests for the analytics helpers over the serving store."""
+
+import pytest
+
+from repro.bench.systems import build_system
+from repro.core import GraphData
+from repro.workloads.analytics import (
+    count_triangles,
+    out_degree_distribution,
+    pagerank,
+    weakly_connected_components,
+)
+
+
+def two_components_graph():
+    graph = GraphData()
+    for node in range(7):
+        graph.add_node(node, {"tag": str(node)})
+    # Component A: triangle 0-1-2 plus a tail to 3.
+    graph.add_edge(0, 1, 0, 1)
+    graph.add_edge(1, 2, 0, 2)
+    graph.add_edge(2, 0, 0, 3)
+    graph.add_edge(2, 3, 0, 4)
+    # Component B: 4 -> 5 (6 isolated).
+    graph.add_edge(4, 5, 0, 5)
+    return graph
+
+
+@pytest.fixture(params=["zipg", "titan"])
+def setting(request):
+    graph = two_components_graph()
+    system = build_system(request.param, graph, num_shards=2, alpha=4,
+                          extra_property_ids=["tag"])
+    return system, graph
+
+
+class TestDegreeDistribution:
+    def test_histogram(self, setting):
+        system, graph = setting
+        histogram = out_degree_distribution(system, graph.node_ids())
+        assert histogram == {1: 3, 2: 1, 0: 3}  # 0,1,4 deg1; 2 deg2; 3,5,6 deg0
+
+
+class TestPageRank:
+    def test_ranks_sum_to_one(self, setting):
+        system, graph = setting
+        ranks = pagerank(system, graph.node_ids())
+        assert sum(ranks.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_cycle_members_outrank_isolated(self, setting):
+        system, graph = setting
+        ranks = pagerank(system, graph.node_ids())
+        assert ranks[0] > ranks[6]
+        assert ranks[2] > ranks[6]
+
+    def test_sink_receives_rank(self, setting):
+        system, graph = setting
+        ranks = pagerank(system, graph.node_ids())
+        assert ranks[3] > ranks[6]  # 3 is fed by 2
+
+    def test_empty(self, setting):
+        system, _ = setting
+        assert pagerank(system, []) == {}
+
+    def test_bad_damping(self, setting):
+        system, graph = setting
+        with pytest.raises(ValueError):
+            pagerank(system, graph.node_ids(), damping=1.5)
+
+    def test_matches_networkx(self, setting):
+        networkx = pytest.importorskip("networkx")
+        system, graph = setting
+        digraph = networkx.DiGraph()
+        digraph.add_nodes_from(graph.node_ids())
+        for edge in graph.all_edges():
+            digraph.add_edge(edge.source, edge.destination)
+        expected = networkx.pagerank(digraph, alpha=0.85)
+        got = pagerank(system, graph.node_ids(), iterations=100)
+        for node in graph.node_ids():
+            assert got[node] == pytest.approx(expected[node], abs=5e-3)
+
+
+class TestComponents:
+    def test_component_structure(self, setting):
+        system, graph = setting
+        components = weakly_connected_components(system, graph.node_ids())
+        assert components == [[0, 1, 2, 3], [4, 5], [6]]
+
+    def test_triangles(self, setting):
+        system, graph = setting
+        assert count_triangles(system, graph.node_ids()) == 1

@@ -1,0 +1,200 @@
+"""Unit tests for the benchmark infrastructure."""
+
+import pytest
+
+from repro.bench.datasets import (
+    DATASETS,
+    build_dataset,
+    dataset_summary,
+    memory_budget_bytes,
+)
+from repro.bench.harness import run_mixed_workload, run_query_class
+from repro.bench.memory_model import CostModel, MemoryBudget, hit_fraction
+from repro.bench.reporting import format_ratio_series, format_table, speedup
+from repro.bench.systems import SYSTEMS, build_system
+from repro.succinct.stats import AccessStats
+from repro.workloads import TAOWorkload
+from repro.workloads.base import Operation
+from repro.workloads.graphs import social_graph
+
+
+class TestMemoryModel:
+    def test_hit_fraction_bounds(self):
+        assert hit_fraction(100, 200) == 1.0
+        assert hit_fraction(200, 100) == 0.5
+        assert hit_fraction(0, 100) == 1.0
+
+    def test_budget_fits(self):
+        budget = MemoryBudget(1000)
+        assert budget.fits(1000)
+        assert not budget.fits(1001)
+
+    def test_in_memory_latency_cheaper(self):
+        model = CostModel()
+        stats = AccessStats(random_accesses=10, sequential_bytes=100)
+        hot = model.query_latency_ns(stats, footprint_bytes=100, budget_bytes=1000)
+        cold = model.query_latency_ns(stats, footprint_bytes=1000, budget_bytes=100)
+        assert cold > 10 * hot
+
+    def test_cpu_costs_charged_regardless_of_residency(self):
+        model = CostModel()
+        stats = AccessStats(npa_hops=1000, decompressed_bytes=1000)
+        hot = model.query_latency_ns(stats, 100, 1000)
+        cold = model.query_latency_ns(stats, 1000, 100)
+        assert hot == cold  # pure CPU work
+
+    def test_network_hops_add_latency(self):
+        model = CostModel()
+        stats = AccessStats(random_accesses=1)
+        base = model.query_latency_ns(stats, 100, 1000)
+        remote = model.query_latency_ns(stats, 100, 1000, network_hops=2)
+        assert remote == base + 2 * model.network_hop_ns
+
+    def test_empty_stats_free(self):
+        model = CostModel()
+        assert model.query_latency_ns(AccessStats(), 100, 1000) == 0.0
+
+
+class TestDatasets:
+    def test_registry_complete(self):
+        assert len(DATASETS) == 6
+        for name, spec in DATASETS.items():
+            assert spec.name == name
+            assert spec.memory_budget_fraction > 0
+
+    def test_build_is_cached(self):
+        assert build_dataset("orkut") is build_dataset("orkut")
+
+    def test_scale_shrinks(self):
+        full = build_dataset("orkut")
+        small = build_dataset("orkut", scale=0.3)
+        assert small.num_nodes < full.num_nodes
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            build_dataset("nope")
+
+    def test_budget_proportional_to_raw(self):
+        graph = build_dataset("orkut")
+        budget = memory_budget_bytes("orkut", graph)
+        assert budget == int(
+            DATASETS["orkut"].memory_budget_fraction * graph.on_disk_size_bytes()
+        )
+
+    def test_summary(self):
+        graph = build_dataset("orkut")
+        nodes, edges, raw = dataset_summary("orkut", graph)
+        assert nodes == graph.num_nodes
+        assert edges == graph.num_edges
+        assert raw > 0
+
+
+class TestHarness:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        graph = social_graph(40, avg_degree=4, seed=1, property_scale=0.1)
+        system = build_system(
+            "zipg", graph, num_shards=2, alpha=8,
+            extra_property_ids=["city", "interest"]
+            + [f"attr{i:02d}" for i in range(38)] + ["payload"],
+        )
+        return graph, system
+
+    def test_run_mixed_workload(self, setup):
+        graph, system = setup
+        workload = TAOWorkload(graph, seed=0)
+        result = run_mixed_workload(
+            system, workload.operations(30), CostModel(),
+            budget_bytes=10 * system.storage_footprint_bytes(),
+        )
+        assert result.operations == 30
+        assert result.throughput_kops > 0
+        assert result.hit_fraction == 1.0
+        assert result.per_query_latency_us
+        assert "KOps" in result.row()
+
+    def test_run_query_class(self, setup):
+        graph, system = setup
+        workload = TAOWorkload(graph, seed=0)
+        result = run_query_class(
+            system, workload, "obj_get", 10, CostModel(),
+            budget_bytes=10 * system.storage_footprint_bytes(),
+        )
+        assert result.workload == "obj_get"
+        assert list(result.per_query_latency_us) == ["obj_get"]
+
+    def test_empty_stream(self, setup):
+        _, system = setup
+        result = run_mixed_workload(system, [], CostModel(), budget_bytes=1)
+        assert result.operations == 0
+        assert result.throughput_kops == 0
+
+    def test_cores_scale_throughput(self, setup):
+        graph, system = setup
+        budget = 10 * system.storage_footprint_bytes()
+        ops = [Operation("obj_get", lambda s: s.get_node_property(0))]
+        one = run_mixed_workload(system, list(ops), CostModel(), budget, cores=1)
+        many = run_mixed_workload(system, list(ops), CostModel(), budget, cores=16)
+        assert many.throughput_kops == pytest.approx(16 * one.throughput_kops, rel=0.2)
+
+
+class TestSystemsRegistry:
+    def test_all_systems_buildable(self):
+        graph = social_graph(20, avg_degree=3, seed=2, property_scale=0.05)
+        for name in SYSTEMS:
+            system = build_system(name, graph, num_shards=2, alpha=8)
+            assert system.storage_footprint_bytes() > 0
+            assert system.name == name
+
+    def test_unknown_system(self):
+        with pytest.raises(ValueError):
+            build_system("oracle", social_graph(10, 2, seed=1))
+
+
+class TestReporting:
+    def test_format_table(self):
+        out = format_table("T", ["a", "b"], [(1, 2.5), ("x", "y")])
+        assert "=== T ===" in out
+        assert "2.50" in out
+
+    def test_format_ratio_series(self):
+        out = format_ratio_series("S", {"d1": {"zipg": 0.5, "neo4j": 2.0}})
+        assert "zipg" in out and "neo4j" in out and "d1" in out
+
+    def test_speedup(self):
+        assert speedup(10, 5) == 2.0
+        assert speedup(1, 0) == float("inf")
+
+
+class TestLatencyPercentiles:
+    def test_percentiles_ordered(self):
+        graph = social_graph(40, avg_degree=4, seed=1, property_scale=0.1)
+        system = build_system(
+            "zipg", graph, num_shards=2, alpha=8,
+            extra_property_ids=["city", "interest"]
+            + [f"attr{i:02d}" for i in range(38)] + ["payload"],
+        )
+        workload = TAOWorkload(graph, seed=4)
+        result = run_mixed_workload(
+            system, workload.operations(60), CostModel(),
+            budget_bytes=10 * system.storage_footprint_bytes(),
+        )
+        assert 0 < result.p50_latency_us <= result.p99_latency_us
+        assert result.p50_latency_us <= result.avg_latency_us * 3
+        assert "p99" in result.row()
+
+
+class TestCompactReport:
+    def test_run_report_structure(self):
+        from repro.bench.report import run_report
+
+        lines = []
+        results = run_report(datasets=["orkut"], ops=20, print_fn=lines.append)
+        assert "orkut" in results["ratios"]
+        assert set(results["ratios"]["orkut"]) == {
+            "zipg", "neo4j-tuned", "titan", "titan-compressed",
+        }
+        assert results["throughput"]["orkut"]["zipg"] > 0
+        assert results["graph_search"]["orkut"]["zipg"] > 0
+        joined = "\n".join(lines)
+        assert "Figure 5" in joined and "Table 5" in joined

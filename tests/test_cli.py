@@ -1,0 +1,85 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _load_graph_file, main
+
+
+class TestInfoAndDatasets:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "repro-zipg" in out
+        assert "zipg" in out
+
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "orkut" in out and "linkbench-large" in out
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestFootprintAndWorkload:
+    def test_footprint(self, capsys):
+        assert main(["footprint", "--dataset", "orkut"]) == 0
+        out = capsys.readouterr().out
+        assert "zipg" in out and "x raw" in out
+
+    def test_workload(self, capsys):
+        assert main(["workload", "--dataset", "orkut", "--workload", "tao",
+                     "--ops", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "KOps" in out
+
+    def test_bad_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["footprint", "--dataset", "mars"])
+
+
+class TestGraphFileAndQuery:
+    @pytest.fixture
+    def graph_file(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text(
+            "# demo graph\n"
+            "N 0 name=Alice;city=Ithaca\n"
+            "N 1 name=Bob;city=Boston\n"
+            "N 2 name=Carol;city=Ithaca\n"
+            "E 0 1 0 10\n"
+            "E 0 2 0 20\n"
+        )
+        return str(path)
+
+    def test_load_graph_file(self, graph_file):
+        graph = _load_graph_file(graph_file)
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 2
+        assert graph.node_properties(0) == {"name": "Alice", "city": "Ithaca"}
+
+    def test_query_command(self, graph_file, capsys):
+        code = main([
+            "query", "--file", graph_file, "--shards", "2",
+            'MATCH (a {id: 0})-[:0]->(b {city: "Ithaca"}) RETURN b.name',
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Carol" in out
+
+    def test_bad_graph_record(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("X nonsense\n")
+        with pytest.raises(SystemExit):
+            _load_graph_file(str(path))
+
+
+class TestExperimentsCommand:
+    def test_compact_report(self, capsys):
+        code = main(["experiments", "--datasets", "orkut", "--ops", "30"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        assert "Table 5" in out
+        assert "Figure 8" in out

@@ -1,0 +1,94 @@
+"""Unit tests for integer coding helpers."""
+
+import numpy as np
+import pytest
+
+from repro.succinct import (
+    delta_encoded_bit_size,
+    elias_gamma_bit_size,
+    varint_decode,
+    varint_encode,
+)
+from repro.succinct.coding import (
+    elias_gamma_bit_size_array,
+    varint_decode_all,
+    varint_encode_all,
+)
+
+
+class TestEliasGamma:
+    @pytest.mark.parametrize(
+        "value,bits", [(1, 1), (2, 3), (3, 3), (4, 5), (7, 5), (8, 7), (255, 15)]
+    )
+    def test_known_sizes(self, value, bits):
+        assert elias_gamma_bit_size(value) == bits
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            elias_gamma_bit_size(0)
+
+    def test_array_matches_scalar(self):
+        values = np.array([1, 2, 3, 100, 5000], dtype=np.int64)
+        expected = sum(elias_gamma_bit_size(int(v)) for v in values)
+        assert elias_gamma_bit_size_array(values) == expected
+
+    def test_array_empty(self):
+        assert elias_gamma_bit_size_array(np.array([], dtype=np.int64)) == 0
+
+    def test_array_rejects_zero(self):
+        with pytest.raises(ValueError):
+            elias_gamma_bit_size_array(np.array([1, 0]))
+
+
+class TestDeltaEncoding:
+    def test_small_gaps_compress_well(self):
+        dense = np.arange(0, 10000, dtype=np.int64)  # gaps of 1
+        sparse = np.arange(0, 10000 * 1000, 1000, dtype=np.int64)  # gaps of 1000
+        assert delta_encoded_bit_size(dense) < delta_encoded_bit_size(sparse)
+
+    def test_rejects_decreasing(self):
+        with pytest.raises(ValueError):
+            delta_encoded_bit_size(np.array([3, 2, 1]))
+
+    def test_empty(self):
+        assert delta_encoded_bit_size(np.array([], dtype=np.int64)) == 0
+
+    def test_single_value_is_one_anchor(self):
+        assert delta_encoded_bit_size(np.array([12345])) == 64
+
+    def test_anchor_spacing_tradeoff(self):
+        values = np.cumsum(np.ones(1000, dtype=np.int64))
+        frequent = delta_encoded_bit_size(values, sample_every=8)
+        rare = delta_encoded_bit_size(values, sample_every=512)
+        assert rare < frequent  # fewer 64-bit anchors for a smooth sequence
+
+
+class TestVarint:
+    @pytest.mark.parametrize("value", [0, 1, 127, 128, 300, 2**20, 2**63])
+    def test_roundtrip(self, value):
+        encoded = varint_encode(value)
+        decoded, offset = varint_decode(encoded)
+        assert decoded == value
+        assert offset == len(encoded)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            varint_encode(-1)
+
+    def test_truncated_raises(self):
+        encoded = varint_encode(300)
+        with pytest.raises(ValueError):
+            varint_decode(encoded[:1])
+
+    def test_encode_all_roundtrip(self):
+        values = [0, 5, 127, 128, 999999]
+        blob = varint_encode_all(values)
+        decoded, offset = varint_decode_all(blob, len(values))
+        assert decoded == values
+        assert offset == len(blob)
+
+    def test_decode_at_offset(self):
+        blob = b"\xff" + varint_encode(42)
+        value, offset = varint_decode(blob, 1)
+        assert value == 42
+        assert offset == len(blob)

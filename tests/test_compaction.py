@@ -1,0 +1,105 @@
+"""Tests for periodic garbage collection (§4.1): shard compaction."""
+
+import pytest
+
+from repro.core import GraphData, NodeNotFound, ZipG
+
+
+def build_store():
+    graph = GraphData()
+    for node in range(6):
+        graph.add_node(node, {"name": f"n{node}", "city": "Ithaca"})
+    graph.add_edge(0, 1, 0, 100)
+    graph.add_edge(0, 2, 0, 200)
+    graph.add_edge(3, 4, 0, 150)
+    return ZipG.compress(graph, num_shards=2, alpha=4,
+                         logstore_threshold_bytes=1 << 30,
+                         extra_property_ids=["zip"])
+
+
+def fragment_store(store, rounds=3):
+    """Create several frozen shards with interleaved updates."""
+    timestamp = 1_000
+    for round_number in range(rounds):
+        for node in range(3):
+            timestamp += 1
+            store.append_edge(node, 0, 5, timestamp=timestamp)
+        store.append_node(10 + round_number, {"name": f"new{round_number}"})
+        store.freeze_logstore()
+    return store
+
+
+class TestCompaction:
+    def test_reclaims_shards(self):
+        store = fragment_store(build_store())
+        before = store.num_shards
+        reclaimed = store.compact_frozen_shards()
+        assert reclaimed == before - store.num_shards
+        assert store.num_shards == store.num_initial_shards + 1
+
+    def test_noop_without_frozen_shards(self):
+        store = build_store()
+        assert store.compact_frozen_shards() == 0
+
+    def test_queries_unchanged_after_compaction(self):
+        store = fragment_store(build_store())
+        expected = {
+            node: (store.get_node_property(node),
+                   store.get_edge_record(node, 0).destinations())
+            for node in range(6)
+        }
+        expected_search = store.get_node_ids({"city": "Ithaca"})
+        store.compact_frozen_shards()
+        for node, (properties, destinations) in expected.items():
+            assert store.get_node_property(node) == properties
+            assert store.get_edge_record(node, 0).destinations() == destinations
+        assert store.get_node_ids({"city": "Ithaca"}) == expected_search
+        for round_number in range(3):
+            assert store.get_node_property(10 + round_number) == {
+                "name": f"new{round_number}"
+            }
+
+    def test_fragmentation_collapses(self):
+        store = fragment_store(build_store())
+        assert store.node_fragment_count(0) > 2
+        store.compact_frozen_shards()
+        assert store.node_fragment_count(0) <= 2  # home + one merged shard
+
+    def test_deleted_data_physically_dropped(self):
+        store = fragment_store(build_store())
+        store.delete_node(10)
+        store.delete_edge(0, 0, 5)
+        before = store.storage_footprint_bytes()
+        store.compact_frozen_shards()
+        assert store.storage_footprint_bytes() < before
+        with pytest.raises(NodeNotFound):
+            store.get_node_property(10)
+        assert 5 not in store.get_edge_record(0, 0).destinations()
+
+    def test_newest_node_version_wins(self):
+        store = build_store()
+        store.update_node(1, {"name": "v1", "city": "Boston"})
+        store.freeze_logstore()
+        store.update_node(1, {"name": "v2", "city": "Chicago"})
+        store.freeze_logstore()
+        store.compact_frozen_shards()
+        assert store.get_node_property(1) == {"name": "v2", "city": "Chicago"}
+        assert store.get_node_ids({"city": "Chicago"}) == [1]
+
+    def test_writes_continue_after_compaction(self):
+        store = fragment_store(build_store())
+        store.compact_frozen_shards()
+        store.append_edge(1, 0, 3, timestamp=9_999)
+        assert 3 in store.get_edge_record(1, 0).destinations()
+        store.freeze_logstore()
+        assert 3 in store.get_edge_record(1, 0).destinations()
+        # And a second compaction round still works.
+        store.compact_frozen_shards()
+        assert 3 in store.get_edge_record(1, 0).destinations()
+
+    def test_repeated_compaction_idempotent(self):
+        store = fragment_store(build_store())
+        store.compact_frozen_shards()
+        snapshot = store.get_edge_record(0, 0).destinations()
+        assert store.compact_frozen_shards() in (0, 1)  # merge of one shard
+        assert store.get_edge_record(0, 0).destinations() == snapshot

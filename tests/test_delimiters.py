@@ -1,0 +1,101 @@
+"""Unit tests for PropertyID delimiter assignment."""
+
+import pytest
+
+from repro.core.delimiters import (
+    END_OF_RECORD,
+    MAX_PROPERTIES,
+    MAX_SINGLE_BYTE_PROPERTIES,
+    DelimiterMap,
+    validate_property_value,
+)
+from repro.core.errors import GraphFormatError, TooManyProperties
+
+
+class TestAssignment:
+    def test_lexicographic_order(self):
+        dmap = DelimiterMap(["zip", "age", "location"])
+        assert dmap.property_ids() == ["age", "location", "zip"]
+        assert dmap.order_of("age") == 0
+        assert dmap.order_of("zip") == 2
+
+    def test_single_byte_until_24(self):
+        dmap = DelimiterMap([f"p{i:02d}" for i in range(MAX_SINGLE_BYTE_PROPERTIES)])
+        assert not dmap.uses_two_byte_delimiters
+        assert all(len(dmap.delimiter_of(p)) == 1 for p in dmap.property_ids())
+
+    def test_two_byte_beyond_24(self):
+        dmap = DelimiterMap([f"p{i:03d}" for i in range(40)])
+        assert dmap.uses_two_byte_delimiters
+        assert all(len(dmap.delimiter_of(p)) == 2 for p in dmap.property_ids())
+
+    def test_delimiters_unique(self):
+        dmap = DelimiterMap([f"p{i:03d}" for i in range(100)])
+        delimiters = [dmap.delimiter_of(p) for p in dmap.property_ids()]
+        assert len(set(delimiters)) == len(delimiters)
+
+    def test_too_many_properties(self):
+        with pytest.raises(TooManyProperties):
+            DelimiterMap([f"p{i:04d}" for i in range(MAX_PROPERTIES + 1)])
+
+    def test_duplicates_collapse(self):
+        dmap = DelimiterMap(["a", "a", "b"])
+        assert len(dmap) == 2
+
+    def test_unknown_property(self):
+        dmap = DelimiterMap(["a"])
+        with pytest.raises(GraphFormatError):
+            dmap.order_of("b")
+
+    def test_next_delimiter(self):
+        dmap = DelimiterMap(["a", "b"])
+        assert dmap.next_delimiter_after("a") == dmap.delimiter_of("b")
+        assert dmap.next_delimiter_after("b") == bytes([END_OF_RECORD])
+
+
+class TestSerialization:
+    @pytest.fixture
+    def dmap(self):
+        return DelimiterMap(["age", "location", "nickname"])
+
+    def test_serialize_values_figure1(self, dmap):
+        # Fig. 1: Alice -> delimiter-prefixed values in property order.
+        payload, lengths = dmap.serialize_values(
+            {"age": "42", "location": "Ithaca", "nickname": "Ally"}
+        )
+        assert lengths == [2, 6, 4]
+        d = [dmap.delimiter_of(p) for p in ("age", "location", "nickname")]
+        assert payload == d[0] + b"42" + d[1] + b"Ithaca" + d[2] + b"Ally"
+
+    def test_null_values_bare_delimiter(self, dmap):
+        # Fig. 1: Bob has no age -> bare delimiter, zero length.
+        payload, lengths = dmap.serialize_values(
+            {"location": "Princeton", "nickname": "Bobby"}
+        )
+        assert lengths == [0, 9, 5]
+        assert payload.startswith(dmap.delimiter_of("age") + dmap.delimiter_of("location"))
+
+    def test_serialize_rejects_unknown_property(self, dmap):
+        with pytest.raises(GraphFormatError):
+            dmap.serialize_values({"salary": "100"})
+
+    def test_sparse_roundtrip(self, dmap):
+        properties = {"age": "24", "nickname": "Cat"}
+        assert dmap.parse_sparse(dmap.serialize_sparse(properties)) == properties
+
+    def test_sparse_roundtrip_two_byte(self):
+        dmap = DelimiterMap([f"p{i:03d}" for i in range(30)])
+        properties = {"p003": "hello", "p027": "world wide"}
+        assert dmap.parse_sparse(dmap.serialize_sparse(properties)) == properties
+
+    def test_sparse_empty(self, dmap):
+        assert dmap.serialize_sparse({}) == b""
+        assert dmap.parse_sparse(b"") == {}
+
+    def test_control_bytes_rejected(self):
+        with pytest.raises(GraphFormatError):
+            validate_property_value("bad\x01value")
+
+    def test_unicode_values_roundtrip(self, dmap):
+        properties = {"nickname": "Zoë…"}
+        assert dmap.parse_sparse(dmap.serialize_sparse(properties)) == properties

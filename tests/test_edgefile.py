@@ -1,0 +1,162 @@
+"""Unit tests for the EdgeFile layout (§3.3, Figure 2)."""
+
+import pytest
+
+from repro.core.delimiters import DelimiterMap
+from repro.core.edgefile import EdgeFile
+from repro.core.model import Edge
+
+
+@pytest.fixture
+def dmap():
+    return DelimiterMap(["note", "weight"])
+
+
+@pytest.fixture
+def edges():
+    return {
+        (1, 0): [
+            Edge(1, 20, 0, 500, {"note": "old"}),
+            Edge(1, 30, 0, 1500, {"note": "mid", "weight": "3"}),
+            Edge(1, 40, 0, 2500),
+        ],
+        (1, 1): [Edge(1, 99, 1, 12345, {"weight": "7"})],
+        (2, 0): [Edge(2, 1, 0, 7)],
+        (11, 0): [Edge(11, 5, 0, 1)],  # source "11" shares prefix with "1"
+    }
+
+
+@pytest.fixture
+def edge_file(edges, dmap):
+    return EdgeFile(edges, dmap, alpha=4)
+
+
+class TestFindRecord:
+    def test_basic_lookup(self, edge_file):
+        record = edge_file.find_record(1, 0)
+        assert record is not None
+        assert record.source == 1
+        assert record.edge_type == 0
+        assert record.edge_count == 3
+
+    def test_missing_record(self, edge_file):
+        assert edge_file.find_record(1, 5) is None
+        assert edge_file.find_record(77, 0) is None
+
+    def test_no_prefix_collision(self, edge_file):
+        # Source 1 must not match records of source 11 and vice versa.
+        assert edge_file.find_record(1, 0).edge_count == 3
+        assert edge_file.find_record(11, 0).edge_count == 1
+
+    def test_no_type_prefix_collision(self, dmap):
+        edges = {(5, 1): [Edge(5, 6, 1, 10)], (5, 10): [Edge(5, 7, 10, 20), Edge(5, 8, 10, 30)]}
+        edge_file = EdgeFile(edges, dmap, alpha=2)
+        assert edge_file.find_record(5, 1).edge_count == 1
+        assert edge_file.find_record(5, 10).edge_count == 2
+
+    def test_wildcard_type(self, edge_file):
+        records = edge_file.find_records(1)
+        assert sorted(r.edge_type for r in records) == [0, 1]
+
+    def test_records_of_type(self, edge_file):
+        sources = sorted(r.source for r in edge_file.records_of_type(0))
+        assert sources == [1, 2, 11]
+
+    def test_len_counts_records(self, edge_file):
+        assert len(edge_file) == 4
+        assert edge_file.num_edges == 6
+
+
+class TestEdgeAccess:
+    def test_timestamps_sorted(self, edge_file):
+        record = edge_file.find_record(1, 0)
+        timestamps = [record.timestamp_at(i) for i in range(record.edge_count)]
+        assert timestamps == [500, 1500, 2500]
+
+    def test_destinations_align_with_timestamps(self, edge_file):
+        record = edge_file.find_record(1, 0)
+        assert [record.destination_at(i) for i in range(3)] == [20, 30, 40]
+        assert record.all_destinations() == [20, 30, 40]
+
+    def test_properties(self, edge_file):
+        record = edge_file.find_record(1, 0)
+        assert record.properties_at(0) == {"note": "old"}
+        assert record.properties_at(1) == {"note": "mid", "weight": "3"}
+        assert record.properties_at(2) == {}
+
+    def test_edge_data(self, edge_file):
+        record = edge_file.find_record(1, 1)
+        data = record.edge_data_at(0)
+        assert data.destination == 99
+        assert data.timestamp == 12345
+        assert data.properties == {"weight": "7"}
+
+    def test_edge_data_without_properties(self, edge_file):
+        record = edge_file.find_record(1, 0)
+        data = record.edge_data_at(1, with_properties=False)
+        assert data.properties == {}
+
+    def test_out_of_range(self, edge_file):
+        record = edge_file.find_record(2, 0)
+        with pytest.raises(IndexError):
+            record.timestamp_at(1)
+        with pytest.raises(IndexError):
+            record.destination_at(-1)
+
+
+class TestTimeRange:
+    def test_basic_binary_search(self, edge_file):
+        record = edge_file.find_record(1, 0)
+        assert record.time_range(500, 2500) == (0, 2)
+        assert record.time_range(501, 2501) == (1, 3)
+        assert record.time_range(0, 100) == (0, 0)
+        assert record.time_range(3000, 9000) == (3, 3)
+
+    def test_wildcard_bounds(self, edge_file):
+        record = edge_file.find_record(1, 0)
+        assert record.time_range(None, None) == (0, 3)
+        assert record.time_range(1500, None) == (1, 3)
+        assert record.time_range(None, 1500) == (0, 1)
+
+    def test_duplicate_timestamps(self, dmap):
+        edges = {(3, 0): [Edge(3, d, 0, 100) for d in (1, 2, 3)]}
+        record = EdgeFile(edges, dmap, alpha=2).find_record(3, 0)
+        assert record.time_range(100, 101) == (0, 3)
+
+
+class TestMetadataWidths:
+    def test_per_record_widths(self, dmap):
+        # A record with tiny timestamps next to one with huge: the
+        # paper's middle ground stores per-record fixed widths.
+        edges = {
+            (1, 0): [Edge(1, 2, 0, 5)],
+            (2, 0): [Edge(2, 3, 0, 1_000_000_000_000)],
+        }
+        edge_file = EdgeFile(edges, dmap, alpha=2)
+        small = edge_file.find_record(1, 0)
+        big = edge_file.find_record(2, 0)
+        assert small.timestamp_width < big.timestamp_width
+        assert small.timestamp_at(0) == 5
+        assert big.timestamp_at(0) == 1_000_000_000_000
+
+    def test_base_edge_index_in_metadata(self, edge_file):
+        # Records are laid out in sorted (source, type) order.
+        bases = {
+            (r.source, r.edge_type): r.base_edge_index
+            for r in (
+                edge_file.find_record(1, 0),
+                edge_file.find_record(1, 1),
+                edge_file.find_record(2, 0),
+                edge_file.find_record(11, 0),
+            )
+        }
+        assert bases[(1, 0)] == 0
+        assert bases[(1, 1)] == 3
+        assert bases[(2, 0)] == 4
+        assert bases[(11, 0)] == 5
+
+    def test_empty_edgefile(self, dmap):
+        edge_file = EdgeFile({}, dmap)
+        assert len(edge_file) == 0
+        assert edge_file.find_record(1, 0) is None
+        assert edge_file.records_of_type(0) == []

@@ -1,0 +1,96 @@
+"""Tests for the paper-flagged search extensions: node-property prefix
+search and edge-property search (§3.3)."""
+
+import pytest
+
+from repro.core import GraphData, ZipG
+from repro.core.delimiters import DelimiterMap
+from repro.core.nodefile import NodeFile
+
+
+class TestPrefixSearch:
+    @pytest.fixture
+    def node_file(self):
+        nodes = {
+            1: {"location": "Ithaca", "name": "Alice"},
+            2: {"location": "Irvine", "name": "Bob"},
+            3: {"location": "Boston", "name": "Ira"},
+            4: {"name": "Ivy"},  # no location
+        }
+        return NodeFile(nodes, DelimiterMap(["location", "name"]), alpha=4)
+
+    def test_prefix_matches(self, node_file):
+        assert node_file.find_nodes_by_prefix("location", "I") == [1, 2]
+        assert node_file.find_nodes_by_prefix("location", "Ith") == [1]
+        assert node_file.find_nodes_by_prefix("location", "B") == [3]
+
+    def test_prefix_no_match(self, node_file):
+        assert node_file.find_nodes_by_prefix("location", "Z") == []
+
+    def test_prefix_does_not_leak_other_properties(self, node_file):
+        # Names starting with "I" exist (Ira, Ivy) but must not match a
+        # *location* prefix search.
+        assert 3 not in node_file.find_nodes_by_prefix("location", "I")
+        assert node_file.find_nodes_by_prefix("name", "I") == [3, 4]
+
+    def test_empty_prefix_means_property_present(self, node_file):
+        assert node_file.find_nodes_by_prefix("location", "") == [1, 2, 3]
+
+    def test_full_value_equals_exact_search(self, node_file):
+        assert node_file.find_nodes_by_prefix("location", "Ithaca") == \
+            node_file.find_nodes({"location": "Ithaca"})
+
+
+@pytest.fixture
+def edge_store():
+    graph = GraphData()
+    for node in range(4):
+        graph.add_node(node, {"name": f"n{node}"})
+    graph.add_edge(0, 1, 0, 100, {"label": "close", "w": "2"})
+    graph.add_edge(0, 2, 0, 200, {"label": "work"})
+    graph.add_edge(1, 2, 1, 300, {"label": "close"})
+    graph.add_edge(2, 3, 0, 400)
+    return ZipG.compress(graph, num_shards=2, alpha=4,
+                         extra_property_ids=["label", "w"])
+
+
+class TestEdgePropertySearch:
+    def test_basic_match(self, edge_store):
+        hits = edge_store.find_edges("label", "close")
+        assert [(s, t, d.destination) for s, t, d in hits] == [(0, 0, 1), (1, 1, 2)]
+
+    def test_exact_value_only(self, edge_store):
+        assert edge_store.find_edges("label", "clo") == []
+        assert edge_store.find_edges("label", "closer") == []
+
+    def test_no_cross_property_match(self, edge_store):
+        assert edge_store.find_edges("w", "close") == []
+        hits = edge_store.find_edges("w", "2")
+        assert [(s, d.destination) for s, _, d in hits] == [(0, 1)]
+
+    def test_includes_logstore_edges(self, edge_store):
+        edge_store.append_edge(3, 0, 0, timestamp=500, properties={"label": "close"})
+        hits = edge_store.find_edges("label", "close")
+        assert (3, 0) in [(s, t) for s, t, _ in hits]
+
+    def test_survives_freeze(self, edge_store):
+        edge_store.append_edge(3, 0, 0, timestamp=500, properties={"label": "close"})
+        edge_store.freeze_logstore()
+        hits = edge_store.find_edges("label", "close")
+        assert len(hits) == 3
+
+    def test_deleted_edges_excluded(self, edge_store):
+        edge_store.delete_edge(0, 0, 1)
+        hits = edge_store.find_edges("label", "close")
+        assert [(s, t) for s, t, _ in hits] == [(1, 1)]
+
+    def test_edge_data_payload(self, edge_store):
+        hits = edge_store.find_edges("label", "work")
+        assert len(hits) == 1
+        _, _, data = hits[0]
+        assert data.destination == 2
+        assert data.timestamp == 200
+        assert data.properties == {"label": "work"}
+
+    def test_no_matches(self, edge_store):
+        assert edge_store.find_edges("label", "nothing") == []

@@ -1,0 +1,87 @@
+"""Unit tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.graphs import (
+    linkbench_graph,
+    social_graph,
+    web_graph,
+    zipf_node_sampler,
+)
+from repro.workloads.properties import NUM_EDGE_TYPES, TIMESTAMP_BASE
+
+
+class TestSocialGraph:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return social_graph(100, avg_degree=6, seed=7, property_scale=0.2)
+
+    def test_node_count(self, graph):
+        assert graph.num_nodes == 100
+
+    def test_average_degree_near_target(self, graph):
+        assert 3 <= graph.num_edges / graph.num_nodes <= 10
+
+    def test_no_self_loops(self, graph):
+        assert all(e.source != e.destination for e in graph.all_edges())
+
+    def test_degree_distribution_skewed(self, graph):
+        degrees = sorted((graph.degree(n) for n in graph.node_ids()), reverse=True)
+        # power law: the top node far exceeds the median.
+        assert degrees[0] >= 3 * degrees[len(degrees) // 2]
+
+    def test_in_degree_skewed_toward_low_ids(self, graph):
+        in_degree = {}
+        for edge in graph.all_edges():
+            in_degree[edge.destination] = in_degree.get(edge.destination, 0) + 1
+        low = sum(in_degree.get(n, 0) for n in range(10))
+        high = sum(in_degree.get(n, 0) for n in range(90, 100))
+        assert low > high  # celebrities are the low ids
+
+    def test_tao_annotations(self, graph):
+        properties = graph.node_properties(0)
+        assert "city" in properties and "interest" in properties
+        edge = next(graph.all_edges())
+        assert 0 <= edge.edge_type < NUM_EDGE_TYPES
+        assert edge.timestamp >= TIMESTAMP_BASE
+        assert "payload" in edge.properties
+
+    def test_deterministic(self):
+        a = social_graph(30, 4, seed=3, property_scale=0.1)
+        b = social_graph(30, 4, seed=3, property_scale=0.1)
+        assert a.node_properties(5) == b.node_properties(5)
+        assert [e.destination for e in a.edges_of(0)] == [
+            e.destination for e in b.edges_of(0)
+        ]
+
+    def test_unannotated(self):
+        graph = social_graph(30, 4, seed=3, annotate=False)
+        assert graph.node_properties(0) == {}
+
+
+class TestOtherGenerators:
+    def test_web_graph_denser(self):
+        social = social_graph(100, 8, seed=1, annotate=False)
+        web = web_graph(100, 12, seed=1, annotate=False)
+        assert web.num_edges > social.num_edges
+
+    def test_linkbench_single_property(self):
+        graph = linkbench_graph(50, 4, seed=2, property_scale=0.2)
+        assert set(graph.node_properties(0)) == {"data"}
+        edge = next(graph.all_edges())
+        assert set(edge.properties) == {"data"}
+
+    def test_zipf_sampler_skew(self):
+        rng = np.random.default_rng(0)
+        skewed = zipf_node_sampler(rng, 100, skew=1.5)
+        samples = [skewed() for _ in range(500)]
+        assert samples.count(0) > 100  # rank-1 dominates
+        assert max(samples) < 100
+
+    def test_uniform_sampler(self):
+        rng = np.random.default_rng(0)
+        uniform = zipf_node_sampler(rng, 100, skew=None)
+        samples = [uniform() for _ in range(500)]
+        assert samples.count(0) < 30
+        assert 0 <= min(samples) and max(samples) < 100

@@ -1,0 +1,239 @@
+"""Integration tests for the ZipG store (Table 1 API, fanned updates)."""
+
+import pytest
+
+from repro.core import GraphData, NodeNotFound, ZipG, WILDCARD
+
+
+def build_graph():
+    graph = GraphData()
+    people = {
+        1: {"name": "Alice", "city": "Ithaca", "likes": "Music"},
+        2: {"name": "Bob", "city": "Boston"},
+        3: {"name": "Carol", "city": "Ithaca"},
+        4: {"name": "Dan", "city": "Chicago", "likes": "Music"},
+        5: {"name": "Eve", "city": "Ithaca", "likes": "Films"},
+    }
+    for node_id, properties in people.items():
+        graph.add_node(node_id, properties)
+    # friendships (type 0) and likes (type 1)
+    graph.add_edge(1, 2, 0, 100)
+    graph.add_edge(1, 3, 0, 200, {"strength": "5"})
+    graph.add_edge(1, 5, 0, 300)
+    graph.add_edge(2, 1, 0, 100)
+    graph.add_edge(3, 4, 0, 50)
+    graph.add_edge(1, 4, 1, 400)
+    return graph
+
+
+@pytest.fixture
+def store():
+    return ZipG.compress(build_graph(), num_shards=2, alpha=4)
+
+
+class TestNodeQueries:
+    def test_get_node_property_wildcard(self, store):
+        assert store.get_node_property(1) == {
+            "name": "Alice",
+            "city": "Ithaca",
+            "likes": "Music",
+        }
+
+    def test_get_node_property_subset(self, store):
+        assert store.get_node_property(1, ["city"]) == {"city": "Ithaca"}
+        assert store.get_node_property(2, "name") == {"name": "Bob"}
+
+    def test_missing_node(self, store):
+        with pytest.raises(NodeNotFound):
+            store.get_node_property(42)
+        assert not store.has_node(42)
+
+    def test_get_node_ids(self, store):
+        assert store.get_node_ids({"city": "Ithaca"}) == [1, 3, 5]
+        assert store.get_node_ids({"city": "Ithaca", "likes": "Music"}) == [1]
+        assert store.get_node_ids({"city": "Nowhere"}) == []
+
+    def test_get_neighbor_ids(self, store):
+        assert store.get_neighbor_ids(1, 0) == [2, 3, 5]  # time order
+        assert store.get_neighbor_ids(1, WILDCARD) == [2, 3, 5, 4]
+
+    def test_get_neighbor_ids_with_filter(self, store):
+        # "Friends of Alice who live in Ithaca" (the paper's running example)
+        assert store.get_neighbor_ids(1, 0, {"city": "Ithaca"}) == [3, 5]
+        assert store.get_neighbor_ids(1, 0, {"city": "Mars"}) == []
+
+
+class TestEdgeQueries:
+    def test_edge_record_and_data(self, store):
+        record = store.get_edge_record(1, 0)
+        assert record.edge_count == 3
+        data = store.get_edge_data(record, 1)
+        assert data.destination == 3
+        assert data.timestamp == 200
+        assert data.properties == {"strength": "5"}
+
+    def test_edge_record_missing(self, store):
+        record = store.get_edge_record(1, 9)
+        assert record.is_empty
+
+    def test_edge_range(self, store):
+        record = store.get_edge_record(1, 0)
+        assert store.get_edge_range(record, 150, 350) == (1, 3)
+        assert store.get_edge_range(record) == (0, 3)
+
+    def test_wildcard_record_merges_types(self, store):
+        record = store.get_edge_record(1, WILDCARD)
+        assert record.edge_count == 4
+        assert sorted(record.destinations()) == [2, 3, 4, 5]
+
+
+class TestUpdates:
+    def test_append_node_visible(self, store):
+        store.append_node(10, {"name": "Frank", "city": "Ithaca"})
+        assert store.get_node_property(10, "name") == {"name": "Frank"}
+        assert 10 in store.get_node_ids({"city": "Ithaca"})
+
+    def test_append_edge_visible(self, store):
+        store.append_edge(2, 0, 5, timestamp=999)
+        assert store.get_neighbor_ids(2, 0) == [1, 5]
+        record = store.get_edge_record(2, 0)
+        assert record.edge_count == 2
+        assert record.timestamp_at(1) == 999
+
+    def test_update_node(self, store):
+        store.update_node(2, {"name": "Bob", "city": "Ithaca"})
+        assert store.get_node_property(2, "city") == {"city": "Ithaca"}
+        assert 2 in store.get_node_ids({"city": "Ithaca"})
+        assert 2 not in store.get_node_ids({"city": "Boston"})
+
+    def test_delete_node(self, store):
+        assert store.delete_node(3)
+        assert not store.has_node(3)
+        with pytest.raises(NodeNotFound):
+            store.get_node_property(3)
+        assert 3 not in store.get_node_ids({"city": "Ithaca"})
+        # Neighbor filters skip deleted destinations.
+        assert store.get_neighbor_ids(1, 0, {"city": "Ithaca"}) == [5]
+
+    def test_delete_edge(self, store):
+        assert store.delete_edge(1, 0, 3) == 1
+        assert store.get_neighbor_ids(1, 0) == [2, 5]
+        record = store.get_edge_record(1, 0)
+        assert record.edge_count == 2
+
+    def test_delete_missing_edge(self, store):
+        assert store.delete_edge(1, 0, 999) == 0
+
+    def test_update_edge(self, store):
+        store.update_edge(1, 0, 3, timestamp=777, properties={"strength": "9"})
+        record = store.get_edge_record(1, 0)
+        assert record.edge_count == 3
+        index = [record.destination_at(i) for i in range(3)].index(3)
+        assert record.timestamp_at(index) == 777
+        assert record.data_at(index).properties == {"strength": "9"}
+
+    def test_new_property_id_via_extra(self):
+        store = ZipG.compress(
+            build_graph(), num_shards=2, alpha=4, extra_property_ids=["zip"]
+        )
+        store.append_node(11, {"zip": "14850"})
+        assert store.get_node_ids({"zip": "14850"}) == [11]
+
+
+class TestFreezeAndFragmentation:
+    def test_freeze_on_threshold(self):
+        store = ZipG.compress(
+            build_graph(), num_shards=2, alpha=4, logstore_threshold_bytes=200
+        )
+        initial = store.num_shards
+        for i in range(30):
+            store.append_edge(1, 0, 100 + i, timestamp=1000 + i)
+        assert store.freeze_count > 0
+        assert store.num_shards > initial
+
+    def test_data_survives_freeze(self):
+        store = ZipG.compress(
+            build_graph(), num_shards=2, alpha=4, logstore_threshold_bytes=150
+        )
+        for i in range(20):
+            store.append_edge(1, 0, 100 + i, timestamp=1000 + i)
+        store.freeze_logstore()
+        record = store.get_edge_record(1, 0)
+        assert record.edge_count == 3 + 20
+        destinations = record.destinations()
+        assert destinations[:3] == [2, 3, 5]
+        assert set(destinations[3:]) == {100 + i for i in range(20)}
+
+    def test_node_appends_survive_freeze(self, store):
+        store.append_node(50, {"name": "Grace", "city": "Ithaca"})
+        store.freeze_logstore()
+        assert store.get_node_property(50, "name") == {"name": "Grace"}
+        assert 50 in store.get_node_ids({"city": "Ithaca"})
+
+    def test_update_across_freeze_resolves_newest(self, store):
+        store.update_node(2, {"name": "Bob", "city": "Ithaca"})
+        store.freeze_logstore()
+        store.update_node(2, {"name": "Bob", "city": "Chicago"})
+        assert store.get_node_property(2, "city") == {"city": "Chicago"}
+        store.freeze_logstore()
+        assert store.get_node_property(2, "city") == {"city": "Chicago"}
+
+    def test_fragment_count_grows(self, store):
+        assert store.node_fragment_count(1) == 1
+        store.append_edge(1, 0, 200, timestamp=5000)
+        assert store.node_fragment_count(1) == 2  # home + active logstore
+        store.freeze_logstore()
+        assert store.node_fragment_count(1) == 2  # home + frozen shard
+        store.append_edge(1, 0, 201, timestamp=5001)
+        assert store.node_fragment_count(1) == 3
+
+    def test_merged_record_time_range_across_fragments(self, store):
+        store.append_edge(1, 0, 200, timestamp=150)  # interleaves
+        store.freeze_logstore()
+        record = store.get_edge_record(1, 0)
+        assert record.edge_count == 4
+        assert [record.timestamp_at(i) for i in range(4)] == [100, 150, 200, 300]
+        assert record.time_range(120, 250) == (1, 3)
+
+    def test_empty_freeze_is_noop_shardwise(self, store):
+        before = store.num_shards
+        store.freeze_logstore()
+        assert store.num_shards == before
+
+
+class TestFootprintAndStats:
+    def test_footprint_positive(self, store):
+        assert store.storage_footprint_bytes() > 0
+
+    def test_stats_accumulate_and_reset(self, store):
+        store.reset_stats()
+        store.get_node_property(1)
+        stats = store.aggregate_stats()
+        assert stats.random_accesses > 0
+        store.reset_stats()
+        assert store.aggregate_stats().random_accesses == 0
+
+    def test_compress_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            ZipG.compress(build_graph(), num_shards=0)
+
+
+class TestDeleteReappendRegression:
+    def test_reappended_edge_does_not_resurrect_older_duplicates(self, store):
+        """Regression: deleting (src, type, dst) and then appending the
+        same edge again must yield exactly one live copy -- tombstone-
+        keyed deletion in the LogStore used to revive the old one."""
+        store.append_edge(0, 0, 0, timestamp=0)
+        store.delete_edge(0, 0, 0)
+        store.append_edge(0, 0, 0, timestamp=0)
+        assert store.get_neighbor_ids(0, 0) == [0]
+        assert store.get_edge_record(0, 0).edge_count == 1
+
+    def test_same_pattern_across_a_freeze(self, store):
+        store.append_edge(2, 1, 5, timestamp=10)
+        store.freeze_logstore()
+        store.delete_edge(2, 1, 5)
+        store.append_edge(2, 1, 5, timestamp=20)
+        record = store.get_edge_record(2, 1)
+        assert record.edge_count == 1
+        assert record.timestamp_at(0) == 20

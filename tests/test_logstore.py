@@ -1,0 +1,136 @@
+"""Unit tests for the query-optimized LogStore."""
+
+import pytest
+
+from repro.core.logstore import LogStore
+from repro.core.model import Edge
+
+
+@pytest.fixture
+def store():
+    log = LogStore()
+    log.append_node(1, {"name": "Alice", "city": "Ithaca"})
+    log.append_node(2, {"name": "Bob", "city": "Ithaca"})
+    log.append_edge(Edge(1, 2, 0, 300))
+    log.append_edge(Edge(1, 3, 0, 100))
+    log.append_edge(Edge(1, 4, 1, 200, {"note": "x"}))
+    return log
+
+
+class TestNodes:
+    def test_get_properties(self, store):
+        assert store.get_properties(1) == {"name": "Alice", "city": "Ithaca"}
+        assert store.get_properties(1, ["city"]) == {"city": "Ithaca"}
+        assert store.get_property(2, "name") == "Bob"
+        assert store.get_property(2, "zip") is None
+
+    def test_find_live_nodes_uses_index(self, store):
+        assert store.find_live_nodes({"city": "Ithaca"}) == [1, 2]
+        assert store.find_live_nodes({"city": "Ithaca", "name": "Bob"}) == [2]
+        assert store.find_live_nodes({"city": "Nowhere"}) == []
+
+    def test_find_all(self, store):
+        assert store.find_live_nodes({}) == [1, 2]
+
+    def test_reappend_replaces_version(self, store):
+        store.append_node(1, {"name": "Alice", "city": "Boston"})
+        assert store.get_property(1, "city") == "Boston"
+        assert store.find_live_nodes({"city": "Ithaca"}) == [2]
+
+    def test_delete_node(self, store):
+        assert store.delete_node(1)
+        assert not store.node_live(1)
+        assert store.find_live_nodes({"city": "Ithaca"}) == [2]
+        assert not store.delete_node(1)  # already tombstoned
+        assert not store.delete_node(99)  # never present
+
+    def test_append_revives_tombstone(self, store):
+        store.delete_node(1)
+        store.append_node(1, {"name": "Alice2"})
+        assert store.node_live(1)
+
+
+class TestEdges:
+    def test_fragment_sorted_by_timestamp(self, store):
+        fragment = store.edge_fragment(1, 0)
+        assert fragment.edge_count == 2
+        assert [fragment.timestamp_at(i) for i in range(2)] == [100, 300]
+        assert fragment.all_destinations() == [3, 2]
+
+    def test_missing_fragment(self, store):
+        assert store.edge_fragment(9, 0) is None
+        assert store.edge_fragment(1, 7) is None
+
+    def test_fragments_wildcard(self, store):
+        fragments = store.edge_fragments(1)
+        assert sorted(f.edge_type for f in fragments) == [0, 1]
+
+    def test_fragments_of_type(self, store):
+        fragments = store.fragments_of_type(0)
+        assert [f.source for f in fragments] == [1]
+
+    def test_edge_data(self, store):
+        fragment = store.edge_fragment(1, 1)
+        data = fragment.edge_data_at(0)
+        assert (data.destination, data.timestamp) == (4, 200)
+        assert data.properties == {"note": "x"}
+
+    def test_time_range(self, store):
+        fragment = store.edge_fragment(1, 0)
+        assert fragment.time_range(100, 300) == (0, 1)
+        assert fragment.time_range(None, None) == (0, 2)
+
+    def test_delete_edges_physical(self, store):
+        # LogStore deletes are physical: the edge vanishes from the
+        # fragment (no tombstone that a re-append could resurrect).
+        assert store.delete_edges(1, 0, 2) == 1
+        fragment = store.edge_fragment(1, 0)
+        assert fragment.edge_count == 1
+        assert fragment.all_destinations() == [3]
+        assert fragment.deleted_count() == 0
+
+    def test_delete_then_reappend_single_edge(self, store):
+        store.delete_edges(1, 0, 2)
+        store.append_edge(Edge(1, 2, 0, 999))
+        fragment = store.edge_fragment(1, 0)
+        assert fragment.all_destinations() == [3, 2]  # exactly one copy back
+
+    def test_delete_missing_edge(self, store):
+        assert store.delete_edges(1, 0, 999) == 0
+
+
+class TestFreezeSupport:
+    def test_live_contents_reflects_deletes(self, store):
+        store.delete_node(2)
+        store.delete_edges(1, 0, 3)
+        nodes, edges = store.live_contents()
+        assert set(nodes) == {1}
+        assert [e.destination for e in edges[(1, 0)]] == [2]
+        assert (1, 1) in edges
+
+    def test_fully_deleted_record_dropped(self, store):
+        store.delete_edges(1, 1, 4)
+        _, edges = store.live_contents()
+        assert (1, 1) not in edges
+        assert store.edge_fragment(1, 1) is None
+
+    def test_is_empty(self):
+        assert LogStore().is_empty()
+
+    def test_size_grows_with_writes(self):
+        log = LogStore()
+        assert log.size_bytes() == 0
+        log.append_node(1, {"a": "b"})
+        first = log.size_bytes()
+        log.append_edge(Edge(1, 2, 0, 10))
+        assert log.size_bytes() > first
+
+    def test_size_shrinks_on_physical_delete(self):
+        log = LogStore()
+        log.append_edge(Edge(1, 2, 0, 10))
+        before = log.size_bytes()
+        log.delete_edges(1, 0, 2)
+        assert log.size_bytes() < before
+
+    def test_serialized_size_includes_index_overhead(self, store):
+        assert store.serialized_size_bytes() > store.size_bytes()

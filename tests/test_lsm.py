@@ -1,0 +1,116 @@
+"""Unit tests for the Cassandra-like LSM substrate."""
+
+import pytest
+
+from repro.baselines.lsm import LSMStore, SSTable, _pack_entries, _unpack_entries
+from repro.succinct.stats import AccessStats
+
+
+class TestPacking:
+    def test_roundtrip(self):
+        entries = [(b"a", b"1"), (b"bb", b"22"), (b"a", b"333")]
+        assert _unpack_entries(_pack_entries(entries)) == entries
+
+    def test_empty(self):
+        assert _unpack_entries(_pack_entries([])) == []
+
+
+class TestSSTable:
+    @pytest.fixture(params=[False, True], ids=["raw", "compressed"])
+    def table(self, request):
+        entries = [(b"k%03d" % i, b"value-%d" % i) for i in range(300)]
+        entries.append((b"k005", b"second-fragment"))
+        return SSTable(entries, compressed=request.param, stats=AccessStats())
+
+    def test_get_single(self, table):
+        assert table.get_fragments(b"k100") == [b"value-100"]
+
+    def test_get_multiple_fragments(self, table):
+        assert table.get_fragments(b"k005") == [b"value-5", b"second-fragment"]
+
+    def test_get_missing(self, table):
+        assert table.get_fragments(b"nope") == []
+
+    def test_may_contain(self, table):
+        assert table.may_contain(b"k000")
+        assert not table.may_contain(b"zzz")
+
+    def test_scan_prefix(self, table):
+        hits = list(table.scan_prefix(b"k01"))
+        assert len(hits) == 10
+        assert all(key.startswith(b"k01") for key, _ in hits)
+
+    def test_scan_prefix_no_match(self, table):
+        assert list(table.scan_prefix(b"q")) == []
+
+    def test_all_entries_roundtrip(self, table):
+        assert len(table.all_entries()) == 301
+
+    def test_stored_bytes_positive(self, table):
+        assert table.stored_bytes() > 0
+
+    def test_compression_shrinks_storage(self):
+        entries = [(b"k%03d" % i, b"abcdabcd" * 16) for i in range(200)]
+        raw = SSTable(entries, compressed=False, stats=AccessStats())
+        packed = SSTable(entries, compressed=True, stats=AccessStats())
+        assert packed.stored_bytes() < raw.stored_bytes()
+
+    def test_compressed_reads_charge_decompression(self):
+        stats = AccessStats()
+        entries = [(b"key", b"value" * 10)]
+        table = SSTable(entries, compressed=True, stats=stats)
+        table.get_fragments(b"key")
+        assert stats.decompressed_bytes > 0
+
+
+class TestLSMStore:
+    def test_put_get_from_memtable(self):
+        store = LSMStore()
+        store.put(b"a", b"1")
+        store.put(b"a", b"2")
+        assert store.get_fragments(b"a") == [b"1", b"2"]
+
+    def test_fragments_ordered_across_flushes(self):
+        store = LSMStore(memtable_flush_bytes=1 << 30)
+        store.put(b"a", b"old")
+        store.flush()
+        store.put(b"a", b"new")
+        assert store.get_fragments(b"a") == [b"old", b"new"]
+
+    def test_auto_flush_on_threshold(self):
+        store = LSMStore(memtable_flush_bytes=64)
+        for i in range(20):
+            store.put(b"k%d" % i, b"x" * 16)
+        assert store.flush_count > 0
+        assert store.num_sstables >= 1
+
+    def test_compaction_bounds_sstables(self):
+        store = LSMStore(memtable_flush_bytes=32, max_sstables=3)
+        for i in range(100):
+            store.put(b"k%d" % i, b"y" * 16)
+        assert store.compaction_count > 0
+        assert store.num_sstables <= 4
+
+    def test_compaction_preserves_data(self):
+        store = LSMStore(memtable_flush_bytes=1 << 30)
+        for i in range(10):
+            store.put(b"key", b"f%d" % i)
+            store.flush()
+        store.compact()
+        assert store.num_sstables == 1
+        assert store.get_fragments(b"key") == [b"f%d" % i for i in range(10)]
+
+    def test_scan_prefix_across_tables(self):
+        store = LSMStore(memtable_flush_bytes=1 << 30)
+        store.put(b"p:1", b"a")
+        store.flush()
+        store.put(b"p:2", b"b")
+        store.put(b"q:1", b"c")
+        hits = store.scan_prefix(b"p:")
+        assert sorted(hits) == [(b"p:1", b"a"), (b"p:2", b"b")]
+
+    def test_stored_bytes_grows(self):
+        store = LSMStore()
+        before = store.stored_bytes()
+        store.put(b"k", b"v" * 100)
+        assert store.stored_bytes() > before

@@ -1,0 +1,80 @@
+"""Unit tests for the property-graph data model."""
+
+import pytest
+
+from repro.core import Edge, GraphData
+
+
+@pytest.fixture
+def social_graph():
+    graph = GraphData()
+    graph.add_node(1, {"name": "Alice", "location": "Ithaca"})
+    graph.add_node(2, {"name": "Bob", "location": "Princeton"})
+    graph.add_node(3, {"name": "Carol", "location": "Ithaca"})
+    graph.add_edge(1, 2, edge_type=0, timestamp=100)
+    graph.add_edge(1, 3, edge_type=0, timestamp=50)
+    graph.add_edge(1, 2, edge_type=1, timestamp=75, properties={"note": "hi"})
+    graph.add_edge(2, 3, edge_type=0, timestamp=10)
+    return graph
+
+
+class TestEdge:
+    def test_rejects_negative_type(self):
+        with pytest.raises(ValueError):
+            Edge(1, 2, -1)
+
+    def test_rejects_negative_timestamp(self):
+        with pytest.raises(ValueError):
+            Edge(1, 2, 0, -5)
+
+    def test_frozen(self):
+        edge = Edge(1, 2, 0)
+        with pytest.raises(AttributeError):
+            edge.source = 5
+
+
+class TestGraphData:
+    def test_counts(self, social_graph):
+        assert social_graph.num_nodes == 3
+        assert social_graph.num_edges == 4
+
+    def test_add_edge_autocreates_endpoints(self):
+        graph = GraphData()
+        graph.add_edge(7, 9)
+        assert graph.has_node(7) and graph.has_node(9)
+
+    def test_negative_node_id_rejected(self):
+        graph = GraphData()
+        with pytest.raises(ValueError):
+            graph.add_node(-1)
+
+    def test_edges_sorted_by_timestamp(self, social_graph):
+        edges = social_graph.edges_of(1, 0)
+        assert [e.timestamp for e in edges] == [50, 100]
+
+    def test_edges_all_types(self, social_graph):
+        assert len(social_graph.edges_of(1)) == 3
+        assert social_graph.edge_types_of(1) == [0, 1]
+
+    def test_degree(self, social_graph):
+        assert social_graph.degree(1) == 3
+        assert social_graph.degree(1, 0) == 2
+        assert social_graph.degree(3) == 0
+
+    def test_all_property_ids(self, social_graph):
+        assert social_graph.all_property_ids() == {"name", "location", "note"}
+
+    def test_find_nodes(self, social_graph):
+        assert social_graph.find_nodes({"location": "Ithaca"}) == [1, 3]
+        assert social_graph.find_nodes({"location": "Ithaca", "name": "Alice"}) == [1]
+        assert social_graph.find_nodes({"location": "Nowhere"}) == []
+
+    def test_neighbor_ids(self, social_graph):
+        assert social_graph.neighbor_ids(1, 0) == [3, 2]  # time order
+        assert social_graph.neighbor_ids(1, 0, {"location": "Ithaca"}) == [3]
+
+    def test_on_disk_size_positive_and_monotone(self, social_graph):
+        size = social_graph.on_disk_size_bytes()
+        assert size > 0
+        social_graph.add_node(99, {"name": "Dave"})
+        assert social_graph.on_disk_size_bytes() > size

@@ -1,0 +1,132 @@
+"""Unit tests for the NodeFile layout (§3.3, Figure 1)."""
+
+import pytest
+
+from repro.core.delimiters import DelimiterMap
+from repro.core.errors import NodeNotFound
+from repro.core.nodefile import NodeFile
+
+
+@pytest.fixture
+def nodes():
+    # The example of Figure 1.
+    return {
+        0: {"nickname": "Ally", "age": "42", "location": "Ithaca"},
+        1: {"nickname": "Bobby", "location": "Princeton"},
+        2: {"age": "24", "nickname": "Cat"},
+    }
+
+
+@pytest.fixture
+def dmap(nodes):
+    ids = set()
+    for properties in nodes.values():
+        ids.update(properties)
+    return DelimiterMap(ids)
+
+
+@pytest.fixture
+def node_file(nodes, dmap):
+    return NodeFile(nodes, dmap, alpha=4)
+
+
+class TestGetProperty:
+    def test_every_property(self, node_file, nodes):
+        for node_id, properties in nodes.items():
+            for property_id, value in properties.items():
+                assert node_file.get_property(node_id, property_id) == value
+
+    def test_absent_property_is_none(self, node_file):
+        assert node_file.get_property(1, "age") is None
+
+    def test_missing_node_raises(self, node_file):
+        with pytest.raises(NodeNotFound):
+            node_file.get_property(99, "age")
+
+    def test_get_all_properties(self, node_file, nodes):
+        for node_id, properties in nodes.items():
+            assert node_file.get_properties(node_id) == properties
+
+    def test_get_subset(self, node_file):
+        assert node_file.get_properties(0, ["age", "nickname"]) == {
+            "age": "42",
+            "nickname": "Ally",
+        }
+
+    def test_subset_with_absent(self, node_file):
+        assert node_file.get_properties(1, ["age", "nickname"]) == {"nickname": "Bobby"}
+
+
+class TestFindNodes:
+    def test_exact_value(self, node_file):
+        assert node_file.find_nodes({"nickname": "Ally"}) == [0]
+        assert node_file.find_nodes({"location": "Ithaca"}) == [0]
+
+    def test_no_match(self, node_file):
+        assert node_file.find_nodes({"location": "Chicago"}) == []
+
+    def test_value_prefix_does_not_match(self, node_file):
+        # Exact-value semantics: "Itha" must not match "Ithaca".
+        assert node_file.find_nodes({"location": "Itha"}) == []
+
+    def test_value_never_matches_other_property(self, node_file):
+        assert node_file.find_nodes({"nickname": "Ithaca"}) == []
+
+    def test_conjunction(self, node_file):
+        assert node_file.find_nodes({"age": "42", "location": "Ithaca"}) == [0]
+        assert node_file.find_nodes({"age": "24", "location": "Ithaca"}) == []
+
+    def test_empty_matches_all(self, node_file):
+        assert node_file.find_nodes({}) == [0, 1, 2]
+
+    def test_shared_values(self, dmap):
+        node_file = NodeFile(
+            {5: {"location": "Ithaca"}, 9: {"location": "Ithaca"}}, dmap, alpha=2
+        )
+        assert node_file.find_nodes({"location": "Ithaca"}) == [5, 9]
+
+    def test_last_property_bracketed_by_end_of_record(self, node_file):
+        # nickname is lexicographically last -> bracketed by EOR delimiter.
+        assert node_file.find_nodes({"nickname": "Cat"}) == [2]
+
+
+class TestDirectory:
+    def test_contains(self, node_file):
+        assert 0 in node_file and 2 in node_file
+        assert 7 not in node_file
+
+    def test_len_and_ids(self, node_file):
+        assert len(node_file) == 3
+        assert node_file.node_ids().tolist() == [0, 1, 2]
+
+    def test_node_index(self, node_file):
+        assert node_file.node_index(1) == 1
+        with pytest.raises(NodeNotFound):
+            node_file.node_index(42)
+
+    def test_empty_nodefile(self, dmap):
+        node_file = NodeFile({}, dmap)
+        assert len(node_file) == 0
+        assert node_file.find_nodes({"age": "42"}) == []
+
+    def test_sizes(self, node_file):
+        assert node_file.original_size_bytes() > 0
+        assert node_file.serialized_size_bytes() > 0
+
+
+class TestWideLengths:
+    def test_long_values_need_wider_length_fields(self, dmap):
+        nodes = {1: {"location": "x" * 150, "age": "9"}}
+        node_file = NodeFile(nodes, dmap, alpha=4)
+        assert node_file.get_property(1, "location") == "x" * 150
+        assert node_file.get_property(1, "age") == "9"
+
+    def test_sparse_big_map(self):
+        # Two-byte delimiter regime with 30 properties.
+        dmap = DelimiterMap([f"p{i:03d}" for i in range(30)])
+        nodes = {4: {"p001": "alpha", "p029": "omega"}}
+        node_file = NodeFile(nodes, dmap, alpha=4)
+        assert node_file.get_property(4, "p001") == "alpha"
+        assert node_file.get_property(4, "p029") == "omega"
+        assert node_file.get_property(4, "p015") is None
+        assert node_file.find_nodes({"p029": "omega"}) == [4]

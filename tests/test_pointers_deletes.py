@@ -1,0 +1,93 @@
+"""Unit tests for update pointers and deletion bitmaps."""
+
+from repro.core.deletes import DeletionIndex
+from repro.core.pointers import ACTIVE_LOGSTORE, UpdatePointerTable
+
+
+class TestUpdatePointerTable:
+    def test_node_pointers_in_append_order(self):
+        table = UpdatePointerTable()
+        table.add_node_pointer(1, 3)
+        table.add_node_pointer(1, 5)
+        table.add_node_pointer(1, 3)  # dedupe
+        assert table.node_shards(1) == [3, 5]
+        assert table.node_shards(2) == []
+
+    def test_edge_pointers_per_type(self):
+        table = UpdatePointerTable()
+        table.add_edge_pointer(1, 0, 4)
+        table.add_edge_pointer(1, 1, 5)
+        assert table.edge_shards(1, 0) == [4]
+        assert table.edge_shards(1, 1) == [5]
+        assert table.edge_shards(1, 2) == []
+
+    def test_all_edge_shards_union(self):
+        table = UpdatePointerTable()
+        table.add_edge_pointer(1, 0, 4)
+        table.add_edge_pointer(1, 1, 5)
+        table.add_edge_pointer(1, 1, 4)
+        assert table.all_edge_shards(1) == [4, 5]
+
+    def test_promote_active_node(self):
+        table = UpdatePointerTable()
+        table.add_node_pointer(1, ACTIVE_LOGSTORE)
+        table.promote_node_active(1, 7)
+        assert table.node_shards(1) == [7]
+
+    def test_promote_active_preserves_order(self):
+        table = UpdatePointerTable()
+        table.add_node_pointer(1, 3)
+        table.add_node_pointer(1, ACTIVE_LOGSTORE)
+        table.promote_node_active(1, 9)
+        assert table.node_shards(1) == [3, 9]
+
+    def test_promote_active_edge(self):
+        table = UpdatePointerTable()
+        table.add_edge_pointer(2, 1, ACTIVE_LOGSTORE)
+        table.promote_edge_active(2, 1, 8)
+        assert table.edge_shards(2, 1) == [8]
+
+    def test_promote_noop_without_active(self):
+        table = UpdatePointerTable()
+        table.add_node_pointer(1, 3)
+        table.promote_node_active(1, 9)
+        assert table.node_shards(1) == [3]
+
+    def test_fragment_count(self):
+        table = UpdatePointerTable()
+        assert table.fragment_count(1) == 0
+        table.add_node_pointer(1, 3)
+        table.add_edge_pointer(1, 0, 3)
+        table.add_edge_pointer(1, 0, 5)
+        assert table.fragment_count(1) == 2  # shards {3, 5}
+
+    def test_tracked_nodes(self):
+        table = UpdatePointerTable()
+        table.add_node_pointer(1, 3)
+        table.add_edge_pointer(2, 0, 4)
+        assert table.tracked_nodes() == {1, 2}
+
+    def test_serialized_size(self):
+        table = UpdatePointerTable()
+        assert table.serialized_size_bytes() == 0
+        table.add_node_pointer(1, 3)
+        assert table.serialized_size_bytes() > 0
+
+
+class TestDeletionIndex:
+    def test_node_bitmap(self):
+        index = DeletionIndex(10, 20)
+        assert not index.node_deleted(5)
+        index.delete_node(5)
+        assert index.node_deleted(5)
+        assert index.num_deleted_nodes() == 1
+
+    def test_edge_bitmap(self):
+        index = DeletionIndex(10, 20)
+        index.delete_edge(19)
+        assert index.edge_deleted(19)
+        assert not index.edge_deleted(0)
+        assert index.num_deleted_edges() == 1
+
+    def test_serialized_size(self):
+        assert DeletionIndex(64, 64).serialized_size_bytes() == 16

@@ -1,0 +1,116 @@
+"""Unit tests for the Neo4j-like pointer store."""
+
+import pytest
+
+from repro.baselines.pointerstore import PointerGraphStore
+from repro.core import GraphData
+
+
+def small_graph():
+    graph = GraphData()
+    graph.add_node(1, {"name": "Alice", "city": "Ithaca"})
+    graph.add_node(2, {"name": "Bob", "city": "Boston"})
+    graph.add_node(3, {"name": "Carol", "city": "Ithaca"})
+    graph.add_edge(1, 2, 0, 100)
+    graph.add_edge(1, 3, 0, 200)
+    graph.add_edge(1, 3, 1, 300, {"note": "x"})
+    return graph
+
+
+@pytest.fixture(params=[False, True], ids=["base", "tuned"])
+def store(request):
+    return PointerGraphStore.load(small_graph(), tuned=request.param)
+
+
+class TestQueries:
+    def test_get_node_property(self, store):
+        assert store.get_node_property(1) == {"name": "Alice", "city": "Ithaca"}
+        assert store.get_node_property(2, "city") == {"city": "Boston"}
+
+    def test_missing_node_raises(self, store):
+        with pytest.raises(KeyError):
+            store.get_node_property(42)
+
+    def test_get_node_ids_via_index(self, store):
+        assert store.get_node_ids({"city": "Ithaca"}) == [1, 3]
+        assert store.get_node_ids({"city": "Ithaca", "name": "Carol"}) == [3]
+
+    def test_get_neighbor_ids(self, store):
+        assert store.get_neighbor_ids(1, 0) == [2, 3]
+        assert sorted(store.get_neighbor_ids(1, "*")) == [2, 3, 3]
+
+    def test_neighbor_filter(self, store):
+        assert store.get_neighbor_ids(1, 0, {"city": "Ithaca"}) == [3]
+
+    def test_edge_count(self, store):
+        assert store.edge_count(1, 0) == 2
+        assert store.edge_count(1, 9) == 0
+
+    def test_edges_in_time_range(self, store):
+        edges = store.edges_in_time_range(1, 0, 150, 999)
+        assert [e.destination for e in edges] == [3]
+
+    def test_edges_from_index(self, store):
+        edges = store.edges_from_index(1, 0, 0, 1)
+        assert edges[0].timestamp == 100
+        edges = store.edges_from_index(1, 0, 1, None)
+        assert edges[0].destination == 3
+
+    def test_edge_properties_returned(self, store):
+        edges = store.edges_from_index(1, 1, 0, None)
+        assert edges[0].properties == {"note": "x"}
+
+
+class TestUpdates:
+    def test_append_and_delete_node(self, store):
+        store.append_node(10, {"city": "Ithaca"})
+        assert 10 in store.get_node_ids({"city": "Ithaca"})
+        assert store.delete_node(10)
+        assert 10 not in store.get_node_ids({"city": "Ithaca"})
+        assert not store.delete_node(10)
+
+    def test_update_node_reindexes(self, store):
+        store.update_node(2, {"name": "Bob", "city": "Ithaca"})
+        assert store.get_node_ids({"city": "Ithaca"}) == [1, 2, 3]
+        assert store.get_node_ids({"city": "Boston"}) == []
+
+    def test_append_edge(self, store):
+        store.append_edge(2, 0, 3, 500)
+        assert store.get_neighbor_ids(2, 0) == [3]
+
+    def test_delete_edge(self, store):
+        assert store.delete_edge(1, 0, 3) == 1
+        assert store.get_neighbor_ids(1, 0) == [2]
+        assert store.get_neighbor_ids(1, 1) == [3]  # other type untouched
+
+    def test_delete_missing_edge(self, store):
+        assert store.delete_edge(1, 0, 99) == 0
+
+
+class TestCostCharacteristics:
+    def test_tuned_walks_fewer_records_for_typed_query(self):
+        base = PointerGraphStore.load(small_graph(), tuned=False)
+        tuned = PointerGraphStore.load(small_graph(), tuned=True)
+        base.get_neighbor_ids(1, 0)
+        tuned.get_neighbor_ids(1, 0)
+        assert tuned.stats.random_accesses <= base.stats.random_accesses
+
+    def test_property_walk_counts_pointer_chases(self, store):
+        store.reset_stats()
+        store.get_node_property(1)
+        # node record + two property records
+        assert store.stats.random_accesses >= 3
+
+    def test_footprint_includes_index(self):
+        indexed = PointerGraphStore.load(small_graph())
+        bare = PointerGraphStore.load(GraphData())
+        assert indexed.storage_footprint_bytes() > bare.storage_footprint_bytes()
+
+    def test_long_values_spill_to_string_store(self):
+        graph = GraphData()
+        graph.add_node(1, {"bio": "x" * 10})
+        small = PointerGraphStore.load(graph).storage_footprint_bytes()
+        graph2 = GraphData()
+        graph2.add_node(1, {"bio": "x" * 500})
+        large = PointerGraphStore.load(graph2).storage_footprint_bytes()
+        assert large > small + 400

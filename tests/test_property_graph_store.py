@@ -1,0 +1,125 @@
+"""Property-based tests: ZipG against the in-memory oracle.
+
+A random property graph is compressed, then a random sequence of
+appends/deletes is applied to both ZipG and a plain mirror; every query
+in the Table 1 API must agree at every step. This exercises the full
+stack: layouts, Succinct search/extract, the LogStore, freezes, update
+pointers and deletion bitmaps.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import GraphData, NodeNotFound, ZipG
+
+CITIES = ["Ithaca", "Boston", "Chicago"]
+PROPERTY_IDS = ["city", "name"]
+
+
+@st.composite
+def graph_strategy(draw):
+    num_nodes = draw(st.integers(min_value=1, max_value=8))
+    graph = GraphData()
+    for node_id in range(num_nodes):
+        properties = {}
+        if draw(st.booleans()):
+            properties["city"] = draw(st.sampled_from(CITIES))
+        if draw(st.booleans()):
+            properties["name"] = f"n{node_id}"
+        graph.add_node(node_id, properties)
+    num_edges = draw(st.integers(min_value=0, max_value=12))
+    for _ in range(num_edges):
+        src = draw(st.integers(min_value=0, max_value=num_nodes - 1))
+        dst = draw(st.integers(min_value=0, max_value=num_nodes - 1))
+        etype = draw(st.integers(min_value=0, max_value=2))
+        ts = draw(st.integers(min_value=0, max_value=1000))
+        graph.add_edge(src, dst, etype, ts)
+    return graph
+
+
+class Mirror:
+    """Ground-truth state mirroring ZipG's update semantics."""
+
+    def __init__(self, graph: GraphData):
+        self.nodes = {n: graph.node_properties(n) for n in graph.node_ids()}
+        self.edges = []  # (src, dst, etype, ts)
+        for edge in graph.all_edges():
+            self.edges.append([edge.source, edge.destination, edge.edge_type, edge.timestamp])
+
+    def neighbor_ids(self, src, etype):
+        out = [
+            (ts, dst)
+            for (s, dst, et, ts) in self.edges
+            if s == src and et == etype
+        ]
+        return [dst for ts, dst in sorted(out)]
+
+    def find(self, props):
+        return sorted(
+            n for n, p in self.nodes.items() if all(p.get(k) == v for k, v in props.items())
+        )
+
+
+@settings(max_examples=25, deadline=None)
+@given(graph=graph_strategy(), data=st.data())
+def test_zipg_agrees_with_oracle_under_updates(graph, data):
+    store = ZipG.compress(
+        graph,
+        num_shards=2,
+        alpha=4,
+        logstore_threshold_bytes=120,
+        extra_property_ids=PROPERTY_IDS,
+    )
+    mirror = Mirror(graph)
+    node_ids = graph.node_ids()
+    max_id = max(node_ids) if node_ids else 0
+
+    num_ops = data.draw(st.integers(min_value=0, max_value=12))
+    for _ in range(num_ops):
+        op = data.draw(st.sampled_from(["add_edge", "add_node", "del_edge", "del_node", "freeze"]))
+        if op == "add_edge" and mirror.nodes:
+            src = data.draw(st.sampled_from(sorted(mirror.nodes)))
+            dst = data.draw(st.integers(min_value=0, max_value=max_id))
+            etype = data.draw(st.integers(min_value=0, max_value=2))
+            ts = data.draw(st.integers(min_value=0, max_value=1000))
+            store.append_edge(src, etype, dst, ts)
+            mirror.edges.append([src, dst, etype, ts])
+        elif op == "add_node":
+            node_id = max_id + 1
+            max_id += 1
+            properties = {"city": data.draw(st.sampled_from(CITIES))}
+            store.append_node(node_id, properties)
+            mirror.nodes[node_id] = properties
+        elif op == "del_edge" and mirror.edges:
+            src, dst, etype, _ = data.draw(st.sampled_from(mirror.edges))
+            store.delete_edge(src, etype, dst)
+            mirror.edges = [
+                e for e in mirror.edges if not (e[0] == src and e[1] == dst and e[2] == etype)
+            ]
+        elif op == "del_node" and mirror.nodes:
+            node_id = data.draw(st.sampled_from(sorted(mirror.nodes)))
+            store.delete_node(node_id)
+            mirror.nodes.pop(node_id)
+        elif op == "freeze":
+            store.freeze_logstore()
+
+    # --- Verify every query against the mirror ---
+    for node_id in sorted(mirror.nodes):
+        assert store.get_node_property(node_id) == mirror.nodes[node_id]
+        for etype in range(3):
+            assert store.get_neighbor_ids(node_id, etype) == mirror.neighbor_ids(node_id, etype)
+            record = store.get_edge_record(node_id, etype)
+            expected = sorted(
+                ts for (s, d, et, ts) in mirror.edges if s == node_id and et == etype
+            )
+            assert record.edge_count == len(expected)
+            assert [record.timestamp_at(i) for i in range(record.edge_count)] == expected
+
+    for city in CITIES:
+        assert store.get_node_ids({"city": city}) == mirror.find({"city": city})
+
+    deleted = [n for n in range(max_id + 1) if n not in mirror.nodes]
+    for node_id in deleted[:3]:
+        with pytest.raises(NodeNotFound):
+            store.get_node_property(node_id)

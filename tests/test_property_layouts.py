@@ -1,0 +1,144 @@
+"""Property-based tests for the NodeFile / EdgeFile layouts.
+
+Random property lists and edge sets must round-trip exactly through
+the compressed flat-file layouts, and search must agree with a naive
+evaluation -- for both delimiter regimes (1- and 2-byte).
+"""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.delimiters import DelimiterMap
+from repro.core.edgefile import EdgeFile
+from repro.core.model import Edge
+from repro.core.nodefile import NodeFile
+
+value_strategy = st.text(
+    alphabet=string.ascii_letters + string.digits + " .,-", min_size=0, max_size=20
+)
+SMALL_POOL = ["age", "city", "name", "zip"]
+BIG_POOL = [f"p{i:03d}" for i in range(30)]  # 2-byte delimiter regime
+small_ids = st.sampled_from(SMALL_POOL)
+big_ids = st.sampled_from(BIG_POOL)
+
+
+@st.composite
+def node_map_strategy(draw, id_pool):
+    num_nodes = draw(st.integers(min_value=1, max_value=6))
+    nodes = {}
+    for node_id in range(num_nodes):
+        properties = draw(
+            st.dictionaries(id_pool, value_strategy, max_size=4)
+        )
+        nodes[node_id * 3] = properties  # non-contiguous ids
+    return nodes
+
+
+@settings(max_examples=40, deadline=None)
+@given(nodes=node_map_strategy(small_ids), alpha=st.integers(min_value=1, max_value=8))
+def test_nodefile_roundtrip_single_byte(nodes, alpha):
+    _check_nodefile(nodes, SMALL_POOL, alpha)
+
+
+@settings(max_examples=25, deadline=None)
+@given(nodes=node_map_strategy(big_ids), alpha=st.integers(min_value=1, max_value=8))
+def test_nodefile_roundtrip_two_byte(nodes, alpha):
+    _check_nodefile(nodes, BIG_POOL, alpha)
+
+
+def _check_nodefile(nodes, id_pool, alpha):
+    # Build the map over the full pool, like a shared graph-wide map.
+    dmap = DelimiterMap(id_pool)
+    node_file = NodeFile(nodes, dmap, alpha=alpha)
+    for node_id, properties in nodes.items():
+        stored = node_file.get_properties(node_id)
+        expected = {k: v for k, v in properties.items() if v != ""}
+        assert stored == expected
+        for property_id, value in properties.items():
+            got = node_file.get_property(node_id, property_id)
+            assert got == (value if value != "" else None)
+    # Exact-value search agrees with a naive scan.
+    for node_id, properties in nodes.items():
+        for property_id, value in properties.items():
+            if value == "":
+                continue
+            expected_nodes = sorted(
+                n for n, p in nodes.items() if p.get(property_id) == value
+            )
+            assert node_file.find_nodes({property_id: value}) == expected_nodes
+
+
+@st.composite
+def edge_map_strategy(draw):
+    num_records = draw(st.integers(min_value=1, max_value=5))
+    edges = {}
+    for _ in range(num_records):
+        source = draw(st.integers(min_value=0, max_value=50))
+        edge_type = draw(st.integers(min_value=0, max_value=3))
+        if (source, edge_type) in edges:
+            continue
+        bucket = []
+        for _ in range(draw(st.integers(min_value=1, max_value=6))):
+            bucket.append(Edge(
+                source,
+                draw(st.integers(min_value=0, max_value=10_000)),
+                edge_type,
+                draw(st.integers(min_value=0, max_value=100_000)),
+                draw(st.dictionaries(small_ids, value_strategy, max_size=2)),
+            ))
+        edges[(source, edge_type)] = bucket
+    return edges
+
+
+@settings(max_examples=40, deadline=None)
+@given(edges=edge_map_strategy(), alpha=st.integers(min_value=2, max_value=16))
+def test_edgefile_roundtrip(edges, alpha):
+    dmap = DelimiterMap(["age", "city", "name", "zip"])
+    edge_file = EdgeFile(edges, dmap, alpha=alpha)
+    for (source, edge_type), bucket in edges.items():
+        record = edge_file.find_record(source, edge_type)
+        assert record is not None
+        expected = sorted(bucket, key=lambda e: (e.timestamp, e.destination))
+        assert record.edge_count == len(expected)
+        for order, edge in enumerate(expected):
+            assert record.timestamp_at(order) == edge.timestamp
+            assert record.destination_at(order) == edge.destination
+            # Sparse (delimiter-bounded) edge PropertyLists round-trip
+            # exactly -- empty strings included.
+            assert record.properties_at(order) == edge.properties
+
+
+@settings(max_examples=30, deadline=None)
+@given(edges=edge_map_strategy(), data=st.data())
+def test_edgefile_time_range_matches_bisect(edges, data):
+    import bisect
+
+    dmap = DelimiterMap(["age", "city", "name", "zip"])
+    edge_file = EdgeFile(edges, dmap, alpha=4)
+    for (source, edge_type), bucket in edges.items():
+        record = edge_file.find_record(source, edge_type)
+        timestamps = sorted(e.timestamp for e in bucket)
+        t_low = data.draw(st.integers(min_value=0, max_value=100_001))
+        t_high = data.draw(st.integers(min_value=t_low, max_value=100_002))
+        begin, end = record.time_range(t_low, t_high)
+        assert begin == bisect.bisect_left(timestamps, t_low)
+        assert end == bisect.bisect_left(timestamps, t_high)
+
+
+@settings(max_examples=30, deadline=None)
+@given(edges=edge_map_strategy())
+def test_edgefile_width_policies_agree(edges):
+    """Per-record and global width policies store identical content."""
+    dmap = DelimiterMap(["age", "city", "name", "zip"])
+    per_record = EdgeFile(edges, dmap, alpha=4, width_policy="per-record")
+    global_width = EdgeFile(edges, dmap, alpha=4, width_policy="global")
+    assert per_record.original_size_bytes() <= global_width.original_size_bytes()
+    for key in edges:
+        left = per_record.find_record(*key)
+        right = global_width.find_record(*key)
+        assert left.edge_count == right.edge_count
+        for order in range(left.edge_count):
+            assert left.timestamp_at(order) == right.timestamp_at(order)
+            assert left.destination_at(order) == right.destination_at(order)

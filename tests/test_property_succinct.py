@@ -1,0 +1,97 @@
+"""Property-based tests (hypothesis) for the Succinct substrate.
+
+These are the load-bearing invariants of the whole stack: if extract
+and search are exact on arbitrary inputs, every ZipG query built on
+them inherits correctness.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.succinct import BitVector, SuccinctFile, build_suffix_array, inverse_permutation
+
+# Bytes 1..255 (sentinel 0x00 is reserved by SuccinctFile).
+text_strategy = st.binary(min_size=0, max_size=120).map(
+    lambda b: bytes(x or 1 for x in b)
+)
+nonempty_text = st.binary(min_size=1, max_size=120).map(
+    lambda b: bytes(x or 1 for x in b)
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(text=text_strategy, alpha=st.integers(min_value=1, max_value=16))
+def test_extract_equals_slice(text, alpha):
+    sf = SuccinctFile(text, alpha=alpha)
+    assert sf.decompress() == text
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    text=nonempty_text,
+    alpha=st.integers(min_value=1, max_value=16),
+    data=st.data(),
+)
+def test_extract_arbitrary_window(text, alpha, data):
+    sf = SuccinctFile(text, alpha=alpha)
+    offset = data.draw(st.integers(min_value=0, max_value=len(text)))
+    length = data.draw(st.integers(min_value=0, max_value=len(text)))
+    assert sf.extract(offset, length) == text[offset : offset + length]
+
+
+@settings(max_examples=60, deadline=None)
+@given(text=nonempty_text, alpha=st.integers(min_value=1, max_value=16), data=st.data())
+def test_search_equals_naive(text, alpha, data):
+    sf = SuccinctFile(text, alpha=alpha)
+    # Mix patterns drawn from the text (guaranteed hits) and random ones.
+    if data.draw(st.booleans()):
+        start = data.draw(st.integers(min_value=0, max_value=len(text) - 1))
+        end = data.draw(st.integers(min_value=start + 1, max_value=len(text)))
+        pattern = text[start:end]
+    else:
+        pattern = data.draw(st.binary(min_size=1, max_size=5).map(
+            lambda b: bytes(x or 1 for x in b)
+        ))
+    expected = []
+    index = text.find(pattern)
+    while index >= 0:
+        expected.append(index)
+        index = text.find(pattern, index + 1)
+    assert sf.search(pattern).tolist() == expected
+    assert sf.count(pattern) == len(expected)
+
+
+@settings(max_examples=60, deadline=None)
+@given(text=nonempty_text)
+def test_suffix_array_sorts_suffixes(text):
+    sa = build_suffix_array(text)
+    suffixes = [text[i:] for i in sa]
+    assert suffixes == sorted(suffixes)
+    assert sorted(sa.tolist()) == list(range(len(text)))
+
+
+@settings(max_examples=60, deadline=None)
+@given(text=nonempty_text)
+def test_isa_inverts_sa(text):
+    sa = build_suffix_array(text)
+    isa = inverse_permutation(sa)
+    assert (sa[isa] == np.arange(len(text))).all()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    size=st.integers(min_value=1, max_value=300),
+    data=st.data(),
+)
+def test_bitvector_rank_select_consistency(size, data):
+    indices = data.draw(
+        st.lists(st.integers(min_value=0, max_value=size - 1), unique=True, max_size=size)
+    )
+    vec = BitVector.from_indices(size, indices)
+    members = sorted(indices)
+    assert vec.count() == len(members)
+    for position in range(0, size + 1, max(1, size // 7)):
+        assert vec.rank1(position) == sum(1 for m in members if m < position)
+    for rank, member in enumerate(members):
+        assert vec.select1(rank) == member

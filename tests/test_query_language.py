@@ -1,0 +1,148 @@
+"""Tests for ZipQL, the Cypher-inspired query layer."""
+
+import pytest
+
+from repro.bench.systems import build_system
+from repro.core import GraphData
+from repro.query import ParseError, QueryEngine, parse_query
+
+
+@pytest.fixture(scope="module")
+def graph():
+    graph = GraphData()
+    people = {
+        0: {"name": "Alice", "city": "Ithaca", "interest": "Music"},
+        1: {"name": "Bob", "city": "Boston", "interest": "Music"},
+        2: {"name": "Carol", "city": "Ithaca", "interest": "Films"},
+        3: {"name": "Dan", "city": "Ithaca", "interest": "Music"},
+        4: {"name": "Eve", "city": "Boston", "interest": "Art"},
+    }
+    for node_id, properties in people.items():
+        graph.add_node(node_id, properties)
+    graph.add_edge(0, 1, 0, 10)   # friend edges (type 0)
+    graph.add_edge(0, 2, 0, 20)
+    graph.add_edge(2, 3, 0, 30)
+    graph.add_edge(1, 4, 0, 40)
+    graph.add_edge(0, 3, 1, 50)   # likes edges (type 1)
+    graph.add_edge(3, 4, 1, 60)
+    return graph
+
+
+@pytest.fixture(scope="module", params=["zipg", "neo4j-tuned"])
+def engine(request, graph):
+    system = build_system(request.param, graph, num_shards=2, alpha=4)
+    return QueryEngine(system, graph.node_ids())
+
+
+class TestParser:
+    def test_basic_shape(self):
+        query = parse_query('MATCH (a)-[:0]->(b) RETURN b')
+        assert query.source.variable == "a"
+        assert query.edge.path_expression == "0"
+        assert query.target.variable == "b"
+
+    def test_node_properties_and_id(self):
+        query = parse_query('MATCH (a {city: "Ithaca", id: 3})-[:1]->(b) RETURN a')
+        assert query.source.node_id == 3
+        assert query.source.properties == {"city": "Ithaca"}
+
+    def test_where_and_returns(self):
+        query = parse_query(
+            'MATCH (a)-[:0]->(b) WHERE b.city = "Boston" AND a.city = "Ithaca" '
+            'RETURN a, b.name'
+        )
+        assert len(query.predicates) == 2
+        assert query.returns[1].property_id == "name"
+
+    def test_path_expressions(self):
+        assert parse_query('MATCH (a)-[:0/1]->(b) RETURN b').edge.path_expression == "0/1"
+        assert parse_query('MATCH (a)-[:0|1]->(b) RETURN b').edge.path_expression == "0|1"
+        assert parse_query('MATCH (a)-[:(0/1)*]->(b) RETURN b').edge.path_expression == "(0/1)*"
+
+    def test_wildcard_edge(self):
+        assert parse_query('MATCH (a)-[*]->(b) RETURN b').edge.path_expression is None
+
+    def test_node_only(self):
+        query = parse_query('MATCH (a {city: "Ithaca"}) RETURN a')
+        assert query.edge is None and query.target is None
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            'MATCH a RETURN a',
+            'MATCH (a)-[:0]->(b)',
+            'MATCH (a)-[:0]->(b) RETURN c',
+            'MATCH (a)-[:0]->(b) WHERE c.x = "y" RETURN a',
+            'MATCH (a {id: "five"})-[:0]->(b) RETURN b',
+            'MATCH (a)-[:zz]->(b) RETURN b',
+            'MATCH (a)-[:]->(b) RETURN b',
+            'RETURN a',
+        ],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ParseError):
+            parse_query(bad)
+
+
+class TestExecution:
+    def test_node_only_search(self, engine):
+        result = engine.execute('MATCH (a {city: "Ithaca"}) RETURN a')
+        assert sorted(result.column("a")) == [0, 2, 3]
+
+    def test_anchored_by_id(self, engine):
+        result = engine.execute('MATCH (a {id: 0})-[:0]->(b) RETURN b')
+        assert sorted(result.column("b")) == [1, 2]
+
+    def test_anchored_by_property(self, engine):
+        result = engine.execute('MATCH (a {city: "Boston"})-[:0]->(b) RETURN a, b')
+        assert [(r["a"], r["b"]) for r in result] == [(1, 4)]
+
+    def test_target_properties(self, engine):
+        result = engine.execute(
+            'MATCH (a {id: 0})-[:0]->(b {city: "Ithaca"}) RETURN b'
+        )
+        assert result.column("b") == [2]
+
+    def test_where_clause(self, engine):
+        result = engine.execute(
+            'MATCH (a {id: 0})-[:0]->(b) WHERE b.interest = "Music" RETURN b.name'
+        )
+        assert result.column("b.name") == ["Bob"]
+
+    def test_projection(self, engine):
+        result = engine.execute('MATCH (a {id: 2}) RETURN a.name, a.city')
+        assert result.rows == [{"a.name": "Carol", "a.city": "Ithaca"}]
+
+    def test_wildcard_edge(self, engine):
+        result = engine.execute('MATCH (a {id: 0})-[*]->(b) RETURN b')
+        assert sorted(result.column("b")) == [1, 2, 3]
+
+    def test_path_regex_two_hops(self, engine):
+        result = engine.execute('MATCH (a {id: 0})-[:0/0]->(b) RETURN b')
+        assert sorted(set(result.column("b"))) == [3, 4]
+
+    def test_path_regex_alternation(self, engine):
+        result = engine.execute('MATCH (a {id: 3})-[:0|1]->(b) RETURN b')
+        assert result.column("b") == [4]
+
+    def test_unanchored_regex_seeds_by_label(self, engine):
+        result = engine.execute('MATCH (a)-[:1]->(b) RETURN a, b')
+        assert sorted((r["a"], r["b"]) for r in result) == [(0, 3), (3, 4)]
+
+    def test_kleene_star(self, engine):
+        result = engine.execute('MATCH (a {id: 0})-[:0*]->(b) RETURN b')
+        # reflexive + transitive closure of friend edges from 0
+        assert sorted(set(result.column("b"))) == [0, 1, 2, 3, 4]
+
+    def test_empty_result(self, engine):
+        result = engine.execute('MATCH (a {city: "Nowhere"}) RETURN a')
+        assert len(result) == 0
+
+    def test_conflicting_anchor(self, engine):
+        result = engine.execute('MATCH (a {id: 0, city: "Boston"}) RETURN a')
+        assert len(result) == 0
+
+    def test_column_accessor_unknown(self, engine):
+        result = engine.execute('MATCH (a {id: 0}) RETURN a')
+        with pytest.raises(KeyError):
+            result.column("z")

@@ -1,0 +1,164 @@
+"""Unit tests for regular path queries (Appendix B.1)."""
+
+import pytest
+
+from repro.bench.systems import build_system
+from repro.core import GraphData
+from repro.workloads.rpq import (
+    NFA,
+    PathQuery,
+    RPQEngine,
+    compile_expression,
+    generate_gmark_queries,
+)
+
+
+class TestParsing:
+    @pytest.mark.parametrize(
+        "expression", ["0", "0/1", "01", "(0|1)/2", "0*", "1+", "2?", "(0/1)*"]
+    )
+    def test_valid_expressions_compile(self, expression):
+        assert isinstance(compile_expression(expression), NFA)
+
+    @pytest.mark.parametrize("expression", ["(0", "0)", "|", "0//|", "a/b", ""])
+    def test_invalid_expressions_raise(self, expression):
+        with pytest.raises(ValueError):
+            compile_expression(expression)
+
+    def test_multidigit_labels(self):
+        nfa = compile_expression("12/3")
+        assert nfa.labels() == {12, 3}
+
+
+class TestNFASemantics:
+    def accepts(self, expression, word):
+        nfa = compile_expression(expression)
+        states = nfa.epsilon_closure({nfa.start})
+        for label in word:
+            states = nfa.step(states, label)
+            if not states:
+                return False
+        return nfa.accept in states
+
+    def test_concatenation(self):
+        assert self.accepts("0/1", [0, 1])
+        assert not self.accepts("0/1", [1, 0])
+        assert not self.accepts("0/1", [0])
+
+    def test_alternation(self):
+        assert self.accepts("0|1", [0])
+        assert self.accepts("0|1", [1])
+        assert not self.accepts("0|1", [2])
+
+    def test_star(self):
+        assert self.accepts("0*", [])
+        assert self.accepts("0*", [0, 0, 0])
+        assert not self.accepts("0*", [1])
+
+    def test_plus(self):
+        assert not self.accepts("0+", [])
+        assert self.accepts("0+", [0])
+        assert self.accepts("0+", [0, 0])
+
+    def test_optional(self):
+        assert self.accepts("0?", [])
+        assert self.accepts("0?", [0])
+        assert not self.accepts("0?", [0, 0])
+
+    def test_nested(self):
+        assert self.accepts("(0/1)*2", [2])
+        assert self.accepts("(0/1)*2", [0, 1, 0, 1, 2])
+        assert not self.accepts("(0/1)*2", [0, 2])
+
+    def test_first_labels(self):
+        assert compile_expression("(0|1)/2").first_labels() == {0, 1}
+        assert compile_expression("0*1").first_labels() == {0, 1}
+
+    def test_accepts_empty(self):
+        assert compile_expression("0*").accepts_empty()
+        assert not compile_expression("0").accepts_empty()
+
+
+@pytest.fixture(scope="module")
+def labeled_graph():
+    # 0 --a--> 1 --a--> 2 --b--> 3 ; 0 --b--> 3 ; 3 --a--> 0  (a=0, b=1)
+    graph = GraphData()
+    for node in range(4):
+        graph.add_node(node, {"tag": str(node)})
+    graph.add_edge(0, 1, 0, 10)
+    graph.add_edge(1, 2, 0, 20)
+    graph.add_edge(2, 3, 1, 30)
+    graph.add_edge(0, 3, 1, 40)
+    graph.add_edge(3, 0, 0, 50)
+    return graph
+
+
+@pytest.fixture(
+    scope="module", params=["zipg", "neo4j-tuned", "titan"],
+)
+def engine(request, labeled_graph):
+    system = build_system(
+        request.param, labeled_graph, num_shards=2, alpha=4,
+        extra_property_ids=["tag"],
+    )
+    return RPQEngine(system, labeled_graph.node_ids())
+
+
+class TestEvaluation:
+    def test_single_label(self, engine):
+        assert engine.evaluate(PathQuery("q", "0")) == {(0, 1), (1, 2), (3, 0)}
+
+    def test_concatenation_path(self, engine):
+        assert engine.evaluate(PathQuery("q", "0/0")) == {(0, 2), (3, 1)}
+
+    def test_mixed_labels(self, engine):
+        # 1 -a-> 2 -b-> 3 and 3 -a-> 0 -b-> 3.
+        assert engine.evaluate(PathQuery("q", "0/1")) == {(1, 3), (3, 3)}
+
+    def test_alternation(self, engine):
+        result = engine.evaluate(PathQuery("q", "0|1"))
+        assert result == {(0, 1), (1, 2), (3, 0), (2, 3), (0, 3)}
+
+    def test_kleene_star_transitive_closure(self, engine):
+        # 0* from node 0: stay (empty), 0->1, 0->1->2.
+        result = engine.evaluate(PathQuery("q", "0*"), start_nodes=[0])
+        assert result == {(0, 0), (0, 1), (0, 2)}
+
+    def test_recursive_cycle_terminates(self, engine):
+        # (0|1)+ explores the whole cyclic graph but must terminate.
+        result = engine.evaluate(PathQuery("q", "(0|1)+"), start_nodes=[0])
+        ends = {end for _, end in result}
+        assert ends == {0, 1, 2, 3}
+
+    def test_start_restriction(self, engine):
+        assert engine.evaluate(PathQuery("q", "1"), start_nodes=[2]) == {(2, 3)}
+
+    def test_max_results_caps(self, engine):
+        result = engine.evaluate(PathQuery("q", "0|1"), max_results=2)
+        assert len(result) == 2
+
+
+class TestGMarkGeneration:
+    def test_fifty_queries(self):
+        queries = generate_gmark_queries(50, seed=1)
+        assert len(queries) == 50
+        assert len({q.query_id for q in queries}) == 50
+
+    def test_shapes_cycle(self):
+        queries = generate_gmark_queries(6, seed=1)
+        assert [q.kind for q in queries] == [
+            "linear", "branched", "recursive", "linear", "branched", "recursive",
+        ]
+
+    def test_all_parse(self):
+        for query in generate_gmark_queries(50, seed=2):
+            compile_expression(query.expression)
+
+    def test_recursive_flag(self):
+        queries = generate_gmark_queries(9, seed=3)
+        assert all(q.is_recursive for q in queries if q.kind == "recursive")
+
+    def test_deterministic(self):
+        a = [q.expression for q in generate_gmark_queries(20, seed=7)]
+        b = [q.expression for q in generate_gmark_queries(20, seed=7)]
+        assert a == b

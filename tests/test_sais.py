@@ -1,0 +1,69 @@
+"""Tests for the SA-IS suffix array builder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.succinct.sais import build_suffix_array_sais
+from repro.succinct.suffix_array import build_suffix_array
+
+
+def naive(data: bytes):
+    return sorted(range(len(data)), key=lambda i: data[i:])
+
+
+class TestSAIS:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            b"banana",
+            b"mississippi",
+            b"aaaa",
+            b"abcabc",
+            b"x",
+            b"ba",
+            b"abab",
+            b"cabbage",
+            bytes(range(1, 128)),
+            b"the quick brown fox jumps over the lazy dog",
+        ],
+    )
+    def test_matches_naive(self, text):
+        assert build_suffix_array_sais(text).tolist() == naive(text)
+
+    def test_empty(self):
+        assert build_suffix_array_sais(b"").tolist() == []
+
+    def test_deep_recursion_input(self):
+        # Repetitive inputs force the recursive reduced problem.
+        text = b"abab" * 40 + b"aab" * 30
+        assert build_suffix_array_sais(text).tolist() == naive(text)
+
+    def test_random_small_alphabet(self):
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            text = bytes(rng.integers(1, 4, int(rng.integers(1, 120)), dtype=np.uint8))
+            assert build_suffix_array_sais(text).tolist() == naive(text)
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.binary(min_size=0, max_size=150))
+def test_sais_agrees_with_prefix_doubling(data):
+    assert build_suffix_array_sais(data).tolist() == build_suffix_array(data).tolist()
+
+
+class TestSuccinctFileIntegration:
+    def test_sais_backed_file_queries(self):
+        from repro.succinct import SuccinctFile
+
+        text = b"compressed graphs, compressed queries"
+        sf = SuccinctFile(text, alpha=4, sa_algorithm="sais")
+        assert sf.decompress() == text
+        assert list(sf.search(b"compressed")) == [0, 19]
+
+    def test_invalid_algorithm_rejected(self):
+        from repro.succinct import SuccinctFile
+
+        with pytest.raises(ValueError):
+            SuccinctFile(b"abc", sa_algorithm="quantum")

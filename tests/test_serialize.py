@@ -1,0 +1,99 @@
+"""Tests for binary serialization of the compressed structures."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.delimiters import DelimiterMap
+from repro.core.edgefile import EdgeFile
+from repro.core.model import Edge
+from repro.core.nodefile import NodeFile
+from repro.succinct import SuccinctFile
+from repro.succinct.serialize import (
+    pack_array,
+    pack_ints,
+    pack_sections,
+    unpack_array,
+    unpack_ints,
+    unpack_sections,
+)
+
+
+class TestFraming:
+    def test_sections_roundtrip(self):
+        sections = {"a": b"hello", "b": b"", "long": b"x" * 5000}
+        assert unpack_sections(pack_sections(sections)) == sections
+
+    def test_bad_magic(self):
+        with pytest.raises(ValueError):
+            unpack_sections(b"NOPE" + b"\x00" * 10)
+
+    def test_trailing_bytes_rejected(self):
+        blob = pack_sections({"a": b"1"}) + b"junk"
+        with pytest.raises(ValueError):
+            unpack_sections(blob)
+
+    @pytest.mark.parametrize("dtype", ["<i8", "<u8", "|u1"])
+    def test_array_roundtrip(self, dtype):
+        array = np.arange(37).astype(np.dtype(dtype))
+        restored = unpack_array(pack_array(array))
+        assert restored.dtype == np.dtype(dtype)
+        assert (restored == array).all()
+
+    def test_ints_roundtrip(self):
+        values = (0, -5, 2**62)
+        assert unpack_ints(pack_ints(*values)) == values
+
+
+class TestSuccinctFileSerialization:
+    def test_roundtrip_queries(self):
+        text = b"persisted structures load without suffix sorting"
+        original = SuccinctFile(text, alpha=4)
+        restored = SuccinctFile.from_bytes(original.to_bytes())
+        assert restored.decompress() == text
+        assert list(restored.search(b"s")) == list(original.search(b"s"))
+        assert restored.alpha == original.alpha
+        assert restored.serialized_size_bytes() == original.serialized_size_bytes()
+
+    def test_empty_file(self):
+        restored = SuccinctFile.from_bytes(SuccinctFile(b"").to_bytes())
+        assert len(restored) == 0
+        assert restored.count(b"x") == 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        text=st.binary(min_size=1, max_size=80).map(lambda b: bytes(x or 1 for x in b)),
+        alpha=st.integers(min_value=1, max_value=8),
+    )
+    def test_property_roundtrip(self, text, alpha):
+        original = SuccinctFile(text, alpha=alpha)
+        restored = SuccinctFile.from_bytes(original.to_bytes())
+        assert restored.decompress() == text
+
+
+class TestLayoutSerialization:
+    def test_nodefile_roundtrip(self):
+        dmap = DelimiterMap(["age", "city"])
+        nodes = {1: {"age": "42", "city": "Ithaca"}, 5: {"city": "Boston"}}
+        original = NodeFile(nodes, dmap, alpha=4)
+        restored = NodeFile.from_bytes(original.to_bytes(), dmap)
+        assert restored.get_properties(1) == nodes[1]
+        assert restored.get_property(5, "age") is None
+        assert restored.find_nodes({"city": "Ithaca"}) == [1]
+        assert restored.node_ids().tolist() == [1, 5]
+
+    def test_edgefile_roundtrip(self):
+        dmap = DelimiterMap(["w"])
+        edges = {
+            (1, 0): [Edge(1, 2, 0, 10, {"w": "a"}), Edge(1, 3, 0, 20)],
+            (4, 1): [Edge(4, 1, 1, 5)],
+        }
+        original = EdgeFile(edges, dmap, alpha=4)
+        restored = EdgeFile.from_bytes(original.to_bytes(), dmap)
+        record = restored.find_record(1, 0)
+        assert record.edge_count == 2
+        assert record.all_destinations() == [2, 3]
+        assert record.properties_at(0) == {"w": "a"}
+        assert restored.num_edges == 3
+        assert len(restored.records_of_type(1)) == 1

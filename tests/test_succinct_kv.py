@@ -1,0 +1,83 @@
+"""Unit tests for the Succinct key-value interface."""
+
+import pytest
+
+from repro.succinct import SuccinctKV
+from repro.succinct.kv import build_kv
+
+
+@pytest.fixture
+def records():
+    return {
+        10: b"age=42;location=Ithaca",
+        20: b"age=24;location=Princeton",
+        35: b"age=31;location=Ithaca;nickname=Cat",
+        7: b"location=Boston",
+    }
+
+
+@pytest.fixture
+def kv(records):
+    return SuccinctKV(records, alpha=4)
+
+
+class TestGet:
+    def test_get_every_record(self, kv, records):
+        for key, value in records.items():
+            assert kv.get(key) == value
+
+    def test_missing_key_raises(self, kv):
+        with pytest.raises(KeyError):
+            kv.get(999)
+
+    def test_contains(self, kv):
+        assert 10 in kv
+        assert 11 not in kv
+
+    def test_len_and_keys_sorted(self, kv):
+        assert len(kv) == 4
+        assert kv.keys().tolist() == [7, 10, 20, 35]
+
+    def test_empty_store(self):
+        kv = SuccinctKV({})
+        assert len(kv) == 0
+        assert kv.search(b"x") == []
+
+    def test_value_with_delimiter_rejected(self):
+        with pytest.raises(ValueError):
+            SuccinctKV({1: b"bad\x1evalue"})
+
+
+class TestSearch:
+    def test_search_finds_matching_keys(self, kv):
+        assert kv.search(b"Ithaca") == [10, 35]
+        assert kv.search(b"Boston") == [7]
+
+    def test_search_no_match(self, kv):
+        assert kv.search(b"Chicago") == []
+
+    def test_search_deduplicates_within_record(self):
+        kv = SuccinctKV({1: b"abab", 2: b"cd"})
+        assert kv.search(b"ab") == [1]
+
+    def test_offset_translation(self, kv, records):
+        for key in records:
+            offset = kv.record_offset(key)
+            assert kv.offset_to_key(offset) == key
+            # Any offset inside the record maps back to the same key.
+            assert kv.offset_to_key(offset + 2) == key
+
+
+class TestRandomAccessWithinRecord:
+    def test_extract_from(self, kv):
+        assert kv.extract_from(10, 4, 2) == b"42"
+        assert kv.extract_from(35, 0, 6) == b"age=31"
+
+    def test_sizes_accounted(self, kv, records):
+        payload = sum(len(v) + 1 for v in records.values())
+        assert kv.original_size_bytes() == payload
+        assert kv.serialized_size_bytes() > 0
+
+    def test_build_kv_helper(self):
+        kv = build_kv([(1, b"one"), (2, b"two")])
+        assert kv.get(2) == b"two"

@@ -1,0 +1,135 @@
+"""Tests for the paper's Algorithms 1-3 (TAO queries on the ZipG API).
+
+assoc_range (Alg. 1), assoc_get (Alg. 2) and assoc_time_range (Alg. 3)
+are implemented on ``get_edge_record`` / ``get_time_range`` /
+``get_edge_data`` exactly as in §4.2; these tests pin their semantics
+against a hand-computed oracle, including limits, ranges and id2set
+filtering -- on fresh data, on LogStore data, and across a freeze.
+"""
+
+import pytest
+
+from repro.bench.systems import ZipGSystem
+from repro.core import GraphData
+
+NODE = 1
+TYPE = 0
+# (timestamp, destination) pairs, deliberately unsorted on insert.
+EDGES = [(500, 20), (100, 10), (300, 15), (900, 30), (700, 25)]
+
+
+def build_system():
+    graph = GraphData()
+    graph.add_node(NODE, {"name": "Alice"})
+    for timestamp, destination in EDGES:
+        graph.add_node(destination, {"name": f"n{destination}"})
+        graph.add_edge(NODE, destination, TYPE, timestamp,
+                       {"note": f"e{timestamp}"})
+    return ZipGSystem.load(graph, num_shards=2, alpha=4)
+
+
+@pytest.fixture
+def system():
+    return build_system()
+
+
+SORTED_EDGES = sorted(EDGES)
+
+
+class TestAlgorithm1AssocRange:
+    def test_from_start_with_limit(self, system):
+        out = system.edges_from_index(NODE, TYPE, 0, 2)
+        assert [(e.timestamp, e.destination) for e in out] == SORTED_EDGES[:2]
+
+    def test_mid_index(self, system):
+        out = system.edges_from_index(NODE, TYPE, 2, 2)
+        assert [(e.timestamp, e.destination) for e in out] == SORTED_EDGES[2:4]
+
+    def test_unlimited(self, system):
+        out = system.edges_from_index(NODE, TYPE, 1, None)
+        assert [(e.timestamp, e.destination) for e in out] == SORTED_EDGES[1:]
+
+    def test_limit_past_end_clamps(self, system):
+        out = system.edges_from_index(NODE, TYPE, 3, 100)
+        assert len(out) == 2
+
+    def test_properties_included(self, system):
+        out = system.edges_from_index(NODE, TYPE, 0, 1)
+        assert out[0].properties == {"note": "e100"}
+
+    def test_without_properties(self, system):
+        out = system.edges_from_index(NODE, TYPE, 0, 1, with_properties=False)
+        assert out[0].properties == {}
+
+    def test_empty_record(self, system):
+        assert system.edges_from_index(99, TYPE, 0, 10) == []
+
+
+class TestAlgorithm2AssocGet:
+    def test_filters_by_id2set_and_range(self, system):
+        out = system.assoc_get(NODE, TYPE, {10, 25, 30}, 200, 800)
+        assert [(e.timestamp, e.destination) for e in out] == [(700, 25)]
+
+    def test_full_range_wildcards(self, system):
+        out = system.assoc_get(NODE, TYPE, {10, 30}, None, None)
+        assert [(e.timestamp, e.destination) for e in out] == [(100, 10), (900, 30)]
+
+    def test_empty_id2set(self, system):
+        assert system.assoc_get(NODE, TYPE, set(), None, None) == []
+
+    def test_generic_fallback_matches_native(self, system):
+        from repro.workloads.base import assoc_get_generic
+
+        native = system.assoc_get(NODE, TYPE, {15, 20}, 200, 600)
+        generic = [
+            e for e in system.edges_in_time_range(NODE, TYPE, 200, 600)
+            if e.destination in {15, 20}
+        ]
+        assert [(e.timestamp, e.destination) for e in native] == [
+            (e.timestamp, e.destination) for e in generic
+        ]
+        via_helper = assoc_get_generic(system, NODE, TYPE, {15, 20}, 200, 600)
+        assert [(e.timestamp, e.destination) for e in via_helper] == [
+            (e.timestamp, e.destination) for e in native
+        ]
+
+
+class TestAlgorithm3AssocTimeRange:
+    def test_basic_window(self, system):
+        out = system.edges_in_time_range(NODE, TYPE, 200, 800)
+        assert [(e.timestamp, e.destination) for e in out] == [
+            (300, 15), (500, 20), (700, 25),
+        ]
+
+    def test_limit_truncates(self, system):
+        out = system.edges_in_time_range(NODE, TYPE, 200, 800, limit=2)
+        assert [(e.timestamp, e.destination) for e in out] == [(300, 15), (500, 20)]
+
+    def test_inclusive_low_exclusive_high(self, system):
+        out = system.edges_in_time_range(NODE, TYPE, 300, 700)
+        assert [e.timestamp for e in out] == [300, 500]
+
+    def test_empty_window(self, system):
+        assert system.edges_in_time_range(NODE, TYPE, 901, 10_000) == []
+
+
+class TestAcrossUpdatesAndFreezes:
+    def test_appends_merge_into_time_order(self, system):
+        system.append_edge(NODE, TYPE, 40, timestamp=400)
+        out = system.edges_from_index(NODE, TYPE, 0, None, with_properties=False)
+        assert [e.timestamp for e in out] == [100, 300, 400, 500, 700, 900]
+
+    def test_algorithms_after_freeze(self, system):
+        system.append_edge(NODE, TYPE, 40, timestamp=400)
+        system.store.freeze_logstore()
+        out = system.edges_in_time_range(NODE, TYPE, 350, 550, with_properties=False)
+        assert [(e.timestamp, e.destination) for e in out] == [(400, 40), (500, 20)]
+        assert system.edge_count(NODE, TYPE) == 6
+
+    def test_deleted_edges_excluded_from_all_algorithms(self, system):
+        system.delete_edge(NODE, TYPE, 20)
+        assert system.edge_count(NODE, TYPE) == 4
+        out = system.edges_from_index(NODE, TYPE, 0, None, with_properties=False)
+        assert 20 not in [e.destination for e in out]
+        out = system.edges_in_time_range(NODE, TYPE, None, None, with_properties=False)
+        assert [e.timestamp for e in out] == [100, 300, 700, 900]

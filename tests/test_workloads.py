@@ -1,0 +1,171 @@
+"""Unit tests for the workload generators (TAO, LinkBench, GraphSearch)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.systems import build_system
+from repro.core import GraphData
+from repro.workloads import (
+    GraphSearchWorkload,
+    LINKBENCH_MIX,
+    LinkBenchWorkload,
+    TAO_MIX,
+    TAOWorkload,
+)
+from repro.workloads.base import WorkloadContext, sample_mix
+from repro.workloads.graphs import social_graph
+from repro.workloads.properties import LinkBenchPropertyModel, TAOPropertyModel
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return social_graph(60, avg_degree=4, seed=3, property_scale=0.1)
+
+
+@pytest.fixture(scope="module")
+def extra_ids():
+    rng = np.random.default_rng(0)
+    return TAOPropertyModel(rng).property_ids() + ["payload", "data"]
+
+
+class TestPropertyModels:
+    def test_tao_node_properties_have_40_ids(self):
+        model = TAOPropertyModel(np.random.default_rng(0))
+        properties = model.node_properties()
+        assert len(properties) == 40
+        assert "city" in properties and "interest" in properties
+
+    def test_tao_sizes_near_target(self):
+        model = TAOPropertyModel(np.random.default_rng(0))
+        sizes = [
+            sum(len(v) for v in model.node_properties().values()) for _ in range(50)
+        ]
+        average = sum(sizes) / len(sizes)
+        assert 400 < average < 900  # ~640 B target
+
+    def test_linkbench_single_property(self):
+        model = LinkBenchPropertyModel(np.random.default_rng(0))
+        properties = model.node_properties()
+        assert list(properties) == ["data"]
+
+    def test_linkbench_median_size(self):
+        model = LinkBenchPropertyModel(np.random.default_rng(0))
+        sizes = sorted(len(model.node_properties()["data"]) for _ in range(200))
+        median = sizes[100]
+        assert 90 < median < 170  # around 128
+
+    def test_edge_type_range(self):
+        model = TAOPropertyModel(np.random.default_rng(0))
+        assert all(0 <= model.edge_type() < 5 for _ in range(50))
+
+    def test_deterministic_with_seed(self):
+        a = TAOPropertyModel(np.random.default_rng(9)).node_properties()
+        b = TAOPropertyModel(np.random.default_rng(9)).node_properties()
+        assert a == b
+
+
+class TestMixSampling:
+    def test_tao_mix_percentages_sum(self):
+        assert abs(sum(TAO_MIX.values()) - 100.0) < 1.0
+        assert abs(sum(LINKBENCH_MIX.values()) - 100.0) < 1.0
+
+    def test_sample_mix_respects_weights(self):
+        rng = np.random.default_rng(0)
+        counts = {}
+        for _ in range(3000):
+            name = sample_mix(rng, TAO_MIX)
+            counts[name] = counts.get(name, 0) + 1
+        # Dominant queries dominate; rare write queries are rare.
+        assert counts["assoc_range"] > counts["assoc_count"]
+        assert counts.get("obj_del", 0) < 20
+
+    def test_linkbench_write_heavier_than_tao(self):
+        writes = ("assoc_add", "obj_update", "obj_add", "assoc_del", "obj_del", "assoc_update")
+        tao_writes = sum(TAO_MIX[w] for w in writes)
+        lb_writes = sum(LINKBENCH_MIX[w] for w in writes)
+        assert lb_writes > 30 > 1 > tao_writes
+
+
+class TestWorkloadContext:
+    def test_samplers_in_range(self, graph):
+        context = WorkloadContext.from_graph(graph, np.random.default_rng(0))
+        nodes = set(graph.node_ids())
+        for _ in range(50):
+            assert context.sample_node() in nodes
+        t_low, t_high = context.sample_time_window()
+        assert t_low < t_high
+
+    def test_skewed_sampling_prefers_low_ranks(self, graph):
+        context = WorkloadContext.from_graph(
+            graph, np.random.default_rng(0), node_skew=1.5
+        )
+        samples = [context.sample_node() for _ in range(500)]
+        # zipf-skew: the single hottest node should be very frequent
+        top_count = max(samples.count(node) for node in set(samples))
+        assert top_count > len(samples) * 0.2
+
+    def test_fresh_ids_monotone(self, graph):
+        context = WorkloadContext.from_graph(graph, np.random.default_rng(0))
+        first, second = context.fresh_node_id(), context.fresh_node_id()
+        assert second == first + 1
+        assert first > max(graph.node_ids())
+
+
+class TestTAOWorkloadExecution:
+    def test_all_query_types_run(self, graph, extra_ids):
+        system = build_system("zipg", graph, num_shards=2, alpha=8,
+                              extra_property_ids=extra_ids)
+        workload = TAOWorkload(graph, seed=1)
+        for name in TAO_MIX:
+            operation = workload.make_operation(name)
+            operation.run(system)  # must not raise
+
+    def test_mixed_stream_runs_on_every_system(self, graph, extra_ids):
+        for name in ("neo4j-tuned", "titan"):
+            system = build_system(name, graph)
+            workload = TAOWorkload(graph, seed=2)
+            for operation in workload.operations(40):
+                operation.run(system)
+
+    def test_unknown_query_rejected(self, graph):
+        workload = TAOWorkload(graph)
+        with pytest.raises(ValueError):
+            list(workload.operations_of("nope", 1))
+
+    def test_deterministic_streams(self, graph):
+        names_a = [op.name for op in TAOWorkload(graph, seed=5).operations(60)]
+        names_b = [op.name for op in TAOWorkload(graph, seed=5).operations(60)]
+        assert names_a == names_b
+
+    def test_linkbench_uses_its_mix(self, graph):
+        workload = LinkBenchWorkload(graph, seed=0)
+        names = [op.name for op in workload.operations(500)]
+        writes = sum(
+            1 for n in names
+            if n in ("assoc_add", "obj_update", "obj_add", "assoc_del", "obj_del", "assoc_update")
+        )
+        assert writes > 60  # ~31% of 500
+
+
+class TestGraphSearchExecution:
+    def test_equal_proportions(self, graph):
+        workload = GraphSearchWorkload(graph, seed=0)
+        names = [op.name for op in workload.operations(25)]
+        assert all(names.count(f"GS{i}") == 5 for i in range(1, 6))
+
+    def test_all_queries_run(self, graph, extra_ids):
+        system = build_system("zipg", graph, num_shards=2, alpha=8,
+                              extra_property_ids=extra_ids)
+        workload = GraphSearchWorkload(graph, seed=0)
+        for operation in workload.operations(10):
+            operation.run(system)
+
+    def test_join_and_nojoin_agree(self, graph, extra_ids):
+        system = build_system("zipg", graph, num_shards=2, alpha=8,
+                              extra_property_ids=extra_ids)
+        plain = GraphSearchWorkload(graph, seed=3, use_joins=False)
+        joins = GraphSearchWorkload(graph, seed=3, use_joins=True)
+        for name in ("GS2", "GS3"):
+            left = plain.make_operation(name).run(system)
+            right = joins.make_operation(name).run(system)
+            assert sorted(left) == sorted(right)
