@@ -43,12 +43,27 @@ def test_micro_compress_64kib(benchmark, corpus):
 
 
 def test_micro_extract_1kib(benchmark, compressed, corpus):
+    """The vectorized extract kernel (one lockstep NPA walk)."""
     offsets = np.random.default_rng(1).integers(0, len(corpus) - 1024, 50)
     offset_iter = iter(offsets.tolist() * 100)
 
     def run():
         offset = next(offset_iter)
         return compressed.extract(offset, 1024)
+
+    result = benchmark(run)
+    assert len(result) == 1024
+
+
+def test_micro_extract_scalar_1kib(benchmark, compressed, corpus):
+    """Scalar baseline for the same extracts: one Python-level NPA hop
+    per byte. The batched/scalar ratio is the kernel speedup."""
+    offsets = np.random.default_rng(1).integers(0, len(corpus) - 1024, 50)
+    offset_iter = iter(offsets.tolist() * 100)
+
+    def run():
+        offset = next(offset_iter)
+        return compressed.extract_scalar(offset, 1024)
 
     result = benchmark(run)
     assert len(result) == 1024
@@ -62,6 +77,46 @@ def test_micro_search(benchmark, compressed, corpus):
 
     hits = benchmark(run)
     assert len(hits) >= 1
+
+
+def test_micro_search_many_hits(benchmark, compressed, corpus):
+    """Batched SA resolution over a large matching row range (the case
+    the per-row scalar loop made linear in the hit count)."""
+    pattern = corpus[5_000:5_002]
+    assert compressed.count(pattern) > 50
+
+    def run():
+        return compressed.search(pattern)
+
+    hits = benchmark(run)
+    assert len(hits) > 50
+
+
+def test_micro_search_scalar_many_hits(benchmark, compressed, corpus):
+    """Scalar baseline for the many-hit search."""
+    pattern = corpus[5_000:5_002]
+
+    def run():
+        return compressed.search_scalar(pattern)
+
+    hits = benchmark(run)
+    assert len(hits) > 50
+
+
+def test_micro_kernel_counters_and_parity(compressed, corpus):
+    """Not a timing bench: asserts the batched kernels actually ran
+    batched (AccessStats counters) and match the scalar paths byte for
+    byte on this corpus."""
+    pattern = corpus[5_000:5_002]
+    stats = compressed.stats
+    before = stats.snapshot()
+    batched = compressed.extract(2_048, 1_024)
+    hits = compressed.search(pattern)
+    delta = stats.delta_since(before)
+    assert delta.batch_kernel_calls >= 2
+    assert delta.npa_batched_hops > 0
+    assert batched == compressed.extract_scalar(2_048, 1_024)
+    assert (hits == compressed.search_scalar(pattern)).all()
 
 
 def test_micro_count(benchmark, compressed, corpus):

@@ -41,12 +41,21 @@ class ZipGCluster(ZipGSystem):
 
     name = "zipg"
 
-    def __init__(self, store: ZipG, num_servers: int):
+    def __init__(self, store: ZipG, num_servers: int,
+                 max_workers: Optional[int] = None):
         super().__init__(store)
         if num_servers < 1:
             raise ValueError("num_servers must be >= 1")
         self.num_servers = num_servers
         self.servers = [Server(i) for i in range(num_servers)]
+        if max_workers is not None:
+            # Re-size the store's fan-out pool so the broadcast path
+            # (get_node_ids / find_edges) matches the simulated cluster
+            # width.
+            from repro.core.executor import ShardExecutor
+
+            store.executor.close()
+            store.executor = ShardExecutor(max_workers)
 
     # -- placement -------------------------------------------------------
 

@@ -21,6 +21,7 @@ from repro.core.errors import (
     NodeNotFound,
     ZipGError,
 )
+from repro.core.executor import ShardExecutor
 from repro.core.graph_store import ZipG
 from repro.core.model import (
     WILDCARD,
@@ -38,6 +39,7 @@ __all__ = [
     "GraphFormatError",
     "NodeNotFound",
     "PropertyList",
+    "ShardExecutor",
     "WILDCARD",
     "ZipG",
     "ZipGError",

@@ -118,11 +118,43 @@ class EdgeRecordFragment:
         return self.edge_file._delimiters.parse_sparse(payload)
 
     def edge_data_at(self, time_order: int, with_properties: bool = True) -> EdgeData:
-        """The (destination, timestamp, PropertyList) triplet (§2.2)."""
-        properties = self.properties_at(time_order) if with_properties else {}
+        """The (destination, timestamp, PropertyList) triplet (§2.2).
+
+        The timestamp, destination and property-length fields are pulled
+        through one ``extract_batch`` call -- a single lockstep NPA walk
+        per record instead of one walk per field.
+        """
+        self._check_order(time_order)
+        file = self.edge_file._file
+        requests = [
+            (
+                self.timestamps_offset + time_order * self.timestamp_width,
+                self.timestamp_width,
+            ),
+            (
+                self.destinations_offset + time_order * self.destination_width,
+                self.destination_width,
+            ),
+        ]
+        if with_properties:
+            requests.append(
+                (self.plens_offset, (time_order + 1) * self.plen_width)
+            )
+            raw_ts, raw_dst, raw_plens = file.extract_batch(requests)
+            lengths = [
+                int(raw_plens[k * self.plen_width : (k + 1) * self.plen_width])
+                for k in range(time_order + 1)
+            ]
+            payload = file.extract(
+                self.properties_offset + sum(lengths[:-1]), lengths[-1]
+            )
+            properties = self.edge_file._delimiters.parse_sparse(payload)
+        else:
+            raw_ts, raw_dst = file.extract_batch(requests)
+            properties = {}
         return EdgeData(
-            destination=self.destination_at(time_order),
-            timestamp=self.timestamp_at(time_order),
+            destination=int(raw_dst),
+            timestamp=int(raw_ts),
             properties=properties,
         )
 
@@ -153,6 +185,16 @@ class EdgeRecordFragment:
             self.destinations_offset, self.edge_count * self.destination_width
         )
         width = self.destination_width
+        return [
+            int(raw[k * width : (k + 1) * width]) for k in range(self.edge_count)
+        ]
+
+    def all_timestamps(self) -> List[int]:
+        """All timestamps in time order (one sequential extract)."""
+        raw = self.edge_file._file.extract(
+            self.timestamps_offset, self.edge_count * self.timestamp_width
+        )
+        width = self.timestamp_width
         return [
             int(raw[k * width : (k + 1) * width]) for k in range(self.edge_count)
         ]

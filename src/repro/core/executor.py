@@ -1,0 +1,113 @@
+"""Parallel fan-out executor for multi-shard queries (§4.1).
+
+All-shard operations (``get_node_ids``, ``find_edges``, the cluster
+broadcast path) fan one function out over many shards. With the CPython
+GIL the win comes from the shards' numpy kernels releasing the GIL
+during their gathers, and from modeling the paper's per-core shard
+parallelism with real concurrent execution rather than a serial loop.
+
+Thread-safety contract: hot-path ``stats.counter += n`` increments on
+:class:`~repro.succinct.stats.AccessStats` are not atomic, so two work
+items whose shards *share* one stats object must never run on two
+threads at once. :meth:`ShardExecutor.map` enforces this by grouping
+items that share a stats instance into a single serial task.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence
+
+_DEFAULT_WORKER_CAP = 8
+
+
+def default_max_workers() -> int:
+    """Default pool width: one thread per core, capped."""
+    return max(1, min(_DEFAULT_WORKER_CAP, os.cpu_count() or 1))
+
+
+class ShardExecutor:
+    """A reusable thread pool for fanning a query out over shards.
+
+    Args:
+        max_workers: pool width. ``None`` picks a per-core default;
+            ``1`` degrades to a plain serial loop (useful for
+            deterministic debugging and as the zero-thread baseline).
+
+    The underlying pool is created lazily on the first parallel
+    :meth:`map`, so constructing a store never spawns threads that a
+    serial workload would not use.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None):
+        if max_workers is None:
+            max_workers = default_max_workers()
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.max_workers = max_workers
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._lock = threading.Lock()
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix="zipg-shard",
+                )
+            return self._pool
+
+    def map(
+        self,
+        fn: Callable,
+        items: Sequence,
+        stats_of: Optional[Callable] = None,
+    ) -> List:
+        """``[fn(item) for item in items]``, fanned across the pool.
+
+        Results come back in input order; an exception in any work item
+        propagates to the caller. ``stats_of(item)`` names the
+        :class:`AccessStats` instance the item mutates -- items sharing
+        one instance are chained into a single serial task so unlocked
+        ``+=`` increments never race.
+        """
+        items = list(items)
+        if self.max_workers == 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+
+        groups: dict = {}
+        order: List = []
+        for index, item in enumerate(items):
+            stats = stats_of(item) if stats_of is not None else None
+            key = id(stats) if stats is not None else ("solo", index)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append((index, item))
+
+        def run_group(group):
+            return [(index, fn(item)) for index, item in group]
+
+        pool = self._ensure_pool()
+        futures = [pool.submit(run_group, groups[key]) for key in order]
+        results: List = [None] * len(items)
+        for future in futures:
+            for index, result in future.result():
+                results[index] = result
+        return results
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent; the executor can be reused,
+        a new pool is created on the next parallel map)."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ShardExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

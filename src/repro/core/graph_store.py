@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.delimiters import DelimiterMap
 from repro.core.errors import NodeNotFound
+from repro.core.executor import ShardExecutor
 from repro.core.logstore import LogStore
 from repro.core.model import Edge, EdgeData, GraphData, PropertyList, WILDCARD
 from repro.core.pointers import ACTIVE_LOGSTORE, UpdatePointerTable
@@ -71,9 +72,12 @@ class EdgeRecord:
         self._direct = False
         merged: List[Tuple[int, int, int]] = []
         for fragment_index, fragment in enumerate(self.fragments):
+            # One batched timestamp read per fragment, not one random
+            # access per edge.
+            timestamps = fragment.all_timestamps()
             for local in range(fragment.edge_count):
                 if not fragment.deleted(local):
-                    merged.append((fragment.timestamp_at(local), fragment_index, local))
+                    merged.append((timestamps[local], fragment_index, local))
         merged.sort()
         self._index = merged
 
@@ -146,6 +150,7 @@ class ZipG:
         shards: List[CompressedShard],
         alpha: int,
         logstore_threshold_bytes: int,
+        max_workers: Optional[int] = None,
     ):
         self._delimiters = delimiters
         self._num_initial = len(shards)
@@ -154,6 +159,7 @@ class ZipG:
         self._logstore = LogStore()
         self._alpha = alpha
         self._threshold = logstore_threshold_bytes
+        self.executor = ShardExecutor(max_workers)
         self.freeze_count = 0
 
     # ------------------------------------------------------------------
@@ -168,6 +174,7 @@ class ZipG:
         alpha: int = 32,
         logstore_threshold_bytes: int = 1 << 20,
         extra_property_ids: Optional[Sequence[str]] = None,
+        max_workers: Optional[int] = None,
     ) -> "ZipG":
         """Compress ``graph`` into a ZipG store (the paper's
         ``g = compress(graph)``).
@@ -182,6 +189,8 @@ class ZipG:
             extra_property_ids: PropertyIDs that future appends may use
                 but which do not occur in the initial graph (the
                 delimiter map is immutable once built).
+            max_workers: width of the store's shard fan-out thread pool
+                (``None`` -> per-core default, ``1`` -> serial).
         """
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
@@ -205,7 +214,8 @@ class ZipG:
             CompressedShard(i, node_parts[i], edge_parts[i], delimiters, alpha=alpha)
             for i in range(num_shards)
         ]
-        return cls(delimiters, shards, alpha, logstore_threshold_bytes)
+        return cls(delimiters, shards, alpha, logstore_threshold_bytes,
+                   max_workers=max_workers)
 
     # ------------------------------------------------------------------
     # Routing helpers
@@ -292,11 +302,18 @@ class ZipG:
     def get_node_ids(self, property_list: PropertyList) -> List[int]:
         """NodeIDs whose properties match every pair in ``property_list``.
 
-        The one query that must touch *all* shards (§4.1 footnote 5).
+        The one query that must touch *all* shards (§4.1 footnote 5);
+        the shard searches fan out across the store's thread pool.
         """
-        result = set(self._logstore.find_live_nodes(property_list))
-        for shard in self._shards:
-            result.update(shard.find_live_nodes(property_list))
+        locations: List = [self._logstore] + self._shards
+        hits = self.executor.map(
+            lambda location: location.find_live_nodes(property_list),
+            locations,
+            stats_of=lambda location: location.stats,
+        )
+        result: set = set()
+        for shard_hits in hits:
+            result.update(shard_hits)
         return sorted(result)
 
     def get_neighbor_ids(
@@ -369,10 +386,13 @@ class ZipG:
         Returns ``(source, edge_type, EdgeData)`` triples sorted by
         (source, edge_type, timestamp, destination).
         """
-        results = []
-        for shard in self._shards:
-            results.extend(shard.find_edges_by_property(property_id, value))
-        results.extend(self._logstore.find_edges_by_property(property_id, value))
+        locations: List = self._shards + [self._logstore]
+        hits = self.executor.map(
+            lambda location: location.find_edges_by_property(property_id, value),
+            locations,
+            stats_of=lambda location: location.stats,
+        )
+        results = [hit for shard_hits in hits for hit in shard_hits]
         results.sort(key=lambda hit: (hit[0], hit[1], hit[2].timestamp, hit[2].destination))
         return results
 
@@ -409,10 +429,20 @@ class ZipG:
         return deleted
 
     def delete_edge(self, source: int, edge_type: int, destination: int) -> int:
-        """Lazily delete all (source, edge_type, destination) edges."""
+        """Lazily delete all (source, edge_type, destination) edges.
+
+        LogStore edge deletes are *physical*; if they emptied the
+        (source, edge_type) bucket, the ACTIVE_LOGSTORE pointer is
+        pruned so queries stop routing to a store that holds nothing
+        (and ``node_fragment_count`` stops overcounting).
+        """
         deleted = 0
         for location in self._edge_locations(source, edge_type):
             deleted += location.delete_edges(source, edge_type, destination)
+        if not self._logstore.has_edge_bucket(source, edge_type):
+            self._table(source).remove_edge_pointer(
+                source, edge_type, ACTIVE_LOGSTORE
+            )
         return deleted
 
     def update_node(self, node_id: int, properties: PropertyList) -> None:
@@ -442,7 +472,13 @@ class ZipG:
 
     def freeze_logstore(self) -> Optional[CompressedShard]:
         """Compress the active LogStore into a new immutable shard and
-        promote its ACTIVE pointers to the new shard id."""
+        promote its ACTIVE pointers to the new shard id.
+
+        Pointers still marked ACTIVE after promotion refer to data that
+        did not survive the freeze (physically deleted edge buckets,
+        tombstoned nodes); they are dropped rather than left dangling at
+        the fresh, empty LogStore.
+        """
         nodes, edges = self._logstore.live_contents()
         new_shard: Optional[CompressedShard] = None
         if nodes or edges:
@@ -455,6 +491,8 @@ class ZipG:
                 self._table(node_id).promote_node_active(node_id, shard_id)
             for (source, edge_type) in edges:
                 self._table(source).promote_edge_active(source, edge_type, shard_id)
+        for table in self._pointer_tables:
+            table.drop_active()
         self._logstore = LogStore()
         self.freeze_count += 1
         return new_shard

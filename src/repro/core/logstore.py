@@ -69,6 +69,11 @@ class LogEdgeFragment:
         self._store.stats.sequential_bytes += 8 * len(self._edges)
         return [edge.destination for edge in self._edges]
 
+    def all_timestamps(self) -> List[int]:
+        self._store.stats.random_accesses += 1
+        self._store.stats.sequential_bytes += 8 * len(self._edges)
+        return [edge.timestamp for edge in self._edges]
+
     def deleted(self, time_order: int) -> bool:
         # LogStore deletes are physical (the store is mutable), so a
         # present edge is by definition live.
@@ -93,7 +98,6 @@ class LogStore:
         self._edges: Dict[Tuple[int, int], List[Edge]] = {}
         self._value_index: Dict[Tuple[str, str], Set[int]] = {}
         self._node_tombstones: Set[int] = set()
-        self._edge_tombstones: Set[Tuple[int, int, int]] = set()
         self._size_bytes = 0
 
     # ------------------------------------------------------------------
@@ -107,7 +111,10 @@ class LogStore:
         if previous is not None:
             for key, value in previous.items():
                 self._value_index.get((key, value), set()).discard(node_id)
-            self._size_bytes -= self._node_size(node_id, previous)
+            # A tombstoned previous version was already subtracted from
+            # the size accounting when it was deleted.
+            if node_id not in self._node_tombstones:
+                self._size_bytes -= self._node_size(node_id, previous)
         self._nodes[node_id] = dict(properties)
         self._node_tombstones.discard(node_id)
         for key, value in properties.items():
@@ -123,10 +130,15 @@ class LogStore:
         self._size_bytes += self._edge_size(edge)
 
     def delete_node(self, node_id: int) -> bool:
-        """Tombstone a node held here; returns whether it was present."""
+        """Tombstone a node held here; returns whether it was present.
+
+        The dead payload no longer counts toward the freeze threshold or
+        the footprint; :meth:`append_node` re-adds it on revive.
+        """
         self.stats.writes += 1
         if node_id in self._nodes and node_id not in self._node_tombstones:
             self._node_tombstones.add(node_id)
+            self._size_bytes -= self._node_size(node_id, self._nodes[node_id])
             return True
         return False
 
@@ -156,6 +168,11 @@ class LogStore:
     def has_node(self, node_id: int) -> bool:
         self.stats.random_accesses += 1
         return node_id in self._nodes
+
+    def has_edge_bucket(self, source: int, edge_type: int) -> bool:
+        """Whether any (source, edge_type) edges are physically present
+        (routing-metadata probe; not metered as a storage touch)."""
+        return bool(self._edges.get((source, edge_type)))
 
     def node_live(self, node_id: int) -> bool:
         return node_id in self._nodes and node_id not in self._node_tombstones

@@ -76,7 +76,6 @@ def save_store(store: ZipG, root: str) -> None:
             for (src, etype), bucket in log._edges.items()
         },
         "node_tombstones": sorted(log._node_tombstones),
-        "edge_tombstones": sorted(list(t) for t in log._edge_tombstones),
     }
     with open(os.path.join(root, "logstore.json"), "w") as handle:
         json.dump(log_payload, handle)
@@ -121,8 +120,10 @@ def load_store(root: str) -> ZipG:
     for key, rows in log_payload["edges"].items():
         for row in rows:
             log.append_edge(_edge_from_json(row))
-    log._node_tombstones = set(log_payload["node_tombstones"])
-    log._edge_tombstones = {tuple(t) for t in log_payload["edge_tombstones"]}
+    # Tombstones go through delete_node so the freeze-threshold size
+    # accounting excludes the dead payload, exactly as it did pre-save.
+    for node_id in log_payload["node_tombstones"]:
+        log.delete_node(int(node_id))
     log.stats.reset()
     store._logstore = log
 

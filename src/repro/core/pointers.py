@@ -63,6 +63,40 @@ class UpdatePointerTable:
                 shards.append(shard_id)
 
     # ------------------------------------------------------------------
+    # Pruning (called when the pointed-to data is physically gone)
+    # ------------------------------------------------------------------
+
+    def remove_node_pointer(self, node_id: int, shard_id: int) -> None:
+        """Drop one node pointer if present (no-op otherwise)."""
+        shards = self._node_pointers.get(node_id)
+        if shards and shard_id in shards:
+            shards.remove(shard_id)
+            if not shards:
+                del self._node_pointers[node_id]
+
+    def remove_edge_pointer(self, node_id: int, edge_type: int, shard_id: int) -> None:
+        """Drop one edge pointer if present (no-op otherwise)."""
+        shards = self._edge_pointers.get((node_id, edge_type))
+        if shards and shard_id in shards:
+            shards.remove(shard_id)
+            if not shards:
+                del self._edge_pointers[(node_id, edge_type)]
+
+    def drop_active(self) -> None:
+        """Remove every remaining ACTIVE_LOGSTORE pointer.
+
+        Called at the end of a freeze, *after* pointers for the frozen
+        contents were promoted: anything still pointing at the (about to
+        be replaced) LogStore refers to data that did not survive --
+        physically deleted edge buckets or tombstoned nodes -- and would
+        otherwise route queries to a fresh empty LogStore forever.
+        """
+        for node_id in list(self._node_pointers):
+            self.remove_node_pointer(node_id, ACTIVE_LOGSTORE)
+        for (node_id, edge_type) in list(self._edge_pointers):
+            self.remove_edge_pointer(node_id, edge_type, ACTIVE_LOGSTORE)
+
+    # ------------------------------------------------------------------
     # Query-time chasing
     # ------------------------------------------------------------------
 

@@ -49,6 +49,9 @@ class ShardEdgeFragment:
     def all_destinations(self) -> List[int]:
         return self._fragment.all_destinations()
 
+    def all_timestamps(self) -> List[int]:
+        return self._fragment.all_timestamps()
+
     def deleted(self, time_order: int) -> bool:
         return self._shard.deletions.edge_deleted(
             self._fragment.base_edge_index + time_order
@@ -242,15 +245,19 @@ class CompressedShard:
         edges: Dict[Tuple[int, int], List[Edge]] = {}
         for offset in self.edge_file._record_offsets.tolist():
             fragment = self.edge_file._parse_record_at(int(offset))
+            # One sequential extract per column instead of per-edge
+            # random accesses (the batched decode path).
+            destinations = fragment.all_destinations()
+            timestamps = fragment.all_timestamps()
             live: List[Edge] = []
             for order in range(fragment.edge_count):
                 if self.deletions.edge_deleted(fragment.base_edge_index + order):
                     continue
                 live.append(Edge(
                     fragment.source,
-                    fragment.destination_at(order),
+                    destinations[order],
                     fragment.edge_type,
-                    fragment.timestamp_at(order),
+                    timestamps[order],
                     fragment.properties_at(order),
                 ))
             if live:

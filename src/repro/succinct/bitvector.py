@@ -110,6 +110,28 @@ class BitVector:
             total += int(_popcount_scalar(self._blocks[block] & mask))
         return total
 
+    def get_many(self, indices: np.ndarray) -> np.ndarray:
+        """Vectorized ``__getitem__``: boolean array of bit values.
+
+        No bounds checking beyond numpy's own; callers pass indices
+        they already know are in range (query-kernel hot path).
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        blocks = self._blocks[indices // _BLOCK_BITS]
+        offsets = (indices % _BLOCK_BITS).astype(np.uint64)
+        return ((blocks >> offsets) & np.uint64(1)).astype(bool)
+
+    def rank1_many(self, indices: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`rank1` over an index array."""
+        indices = np.asarray(indices, dtype=np.int64)
+        self._ensure_rank()
+        block = indices // _BLOCK_BITS
+        offset = (indices % _BLOCK_BITS).astype(np.uint64)
+        totals = self._rank_prefix[block]
+        mask = (np.uint64(1) << offset) - np.uint64(1)
+        partial = _popcount64(self._blocks[block] & mask)
+        return totals + partial.astype(np.int64)
+
     def rank0(self, index: int) -> int:
         """Number of zero bits in ``[0, index)``."""
         return index - self.rank1(index)

@@ -54,6 +54,15 @@ class NextPointerArray:
         self._npa_list = self._npa.tolist()
         self._bucket_starts_list = self._bucket_starts.tolist()
         self._bucket_chars_list = self._bucket_chars.tolist()
+        # Dense row -> first-character map for the vectorized kernels
+        # (one gather instead of a searchsorted per lockstep round).
+        self._row_chars = np.repeat(
+            self._bucket_chars, self._bucket_ends - self._bucket_starts
+        )
+        # Hop-doubling tables (npa^1, npa^2, npa^4, ...), built lazily by
+        # the batched kernels: expanding anchors to `steps` consecutive
+        # positions then costs O(log steps) gathers, not O(steps).
+        self._hop_tables = [self._npa]
 
     @classmethod
     def from_text(cls, data: bytes, suffix_array: np.ndarray, isa: np.ndarray) -> "NextPointerArray":
@@ -94,6 +103,92 @@ class NextPointerArray:
         """First character (byte value) of the suffix at ``row``."""
         bucket = bisect.bisect_right(self._bucket_starts_list, row) - 1
         return self._bucket_chars_list[bucket]
+
+    # ------------------------------------------------------------------
+    # Vectorized query kernels: advance many rows in lockstep via
+    # repeated fancy indexing so per-hop cost is a numpy gather, not a
+    # Python-level loop iteration (the "decode speed" bottleneck of
+    # compressed formats that Log(Graph)/Zuckerli attack with batch
+    # decoding).
+    # ------------------------------------------------------------------
+
+    def chars_of_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`char_of_row`: first byte of each suffix."""
+        return self._row_chars[rows]
+
+    def _hop_table(self, index: int) -> np.ndarray:
+        """The ``npa^(2^index)`` pointer table, built on first use."""
+        while len(self._hop_tables) <= index:
+            last = self._hop_tables[-1]
+            self._hop_tables.append(last[last])
+        return self._hop_tables[index]
+
+    def walk(self, rows: np.ndarray, steps: int) -> np.ndarray:
+        """Advance every row ``steps`` NPA hops in lockstep.
+
+        Binary-decomposes ``steps`` over the hop-doubling tables, so the
+        cost is O(log steps) numpy gathers over the whole batch instead
+        of ``steps * len(rows)`` scalar dereferences.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        index = 0
+        while steps:
+            if steps & 1:
+                rows = self._hop_table(index)[rows]
+            steps >>= 1
+            index += 1
+        return rows
+
+    def walk_varying(self, rows: np.ndarray, steps: np.ndarray) -> np.ndarray:
+        """Advance row ``k`` by ``steps[k]`` hops (per-row depths).
+
+        One masked gather per bit of the maximum depth.
+        """
+        rows = np.array(rows, dtype=np.int64, copy=True)
+        steps = np.asarray(steps, dtype=np.int64)
+        remaining = int(steps.max()) if steps.size else 0
+        index = 0
+        while remaining:
+            moving = (steps >> index) & 1 == 1
+            if moving.any():
+                rows[moving] = self._hop_table(index)[rows[moving]]
+            remaining >>= 1
+            index += 1
+        return rows
+
+    def expand_rows(self, rows: np.ndarray, steps: int) -> np.ndarray:
+        """Rows reached from each start row after 0..steps-1 hops.
+
+        Returns a ``(steps, len(rows))`` matrix with ``out[s, k] =
+        npa^s(rows[k])``, filled by doubling: the block of rows already
+        known is advanced wholesale with the matching power-of-two hop
+        table, so only O(log steps) gathers are issued.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        out = np.empty((steps, len(rows)), dtype=np.int64)
+        if steps == 0:
+            return out
+        out[0] = rows
+        filled = 1
+        index = 0
+        while filled < steps:
+            take = min(filled, steps - filled)
+            out[filled : filled + take] = self._hop_table(index)[out[:take]]
+            filled += take
+            index += 1
+        return out
+
+    def walk_collect(self, rows: np.ndarray, steps: int) -> np.ndarray:
+        """Bytes at the ``steps`` consecutive text positions starting at
+        each row's suffix.
+
+        Returns a ``(len(rows), steps)`` ``uint8`` matrix; row ``k``
+        holds the text bytes decoded from row ``k`` onward. Built from
+        :meth:`expand_rows` plus one dense character gather.
+        """
+        matrix = self.expand_rows(rows, steps)
+        chars = self._row_chars[matrix.ravel()].reshape(matrix.shape)
+        return np.ascontiguousarray(chars.T)
 
     def bucket_range(self, char: int) -> tuple:
         """Row range ``[start, end)`` of suffixes starting with ``char``.

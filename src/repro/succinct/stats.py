@@ -6,10 +6,19 @@ the logical *storage touches* it performs. The benchmark memory model
 (:mod:`repro.bench.memory_model`) converts those touches into simulated
 latency, classifying each as in-memory or spilled to SSD depending on
 the engine's measured footprint versus the configured memory budget.
+
+Thread safety: the plain ``stats.counter += n`` increments on the hot
+paths are *not* atomic, so a single :class:`AccessStats` instance must
+only be mutated from one thread at a time. The parallel fan-out
+executor (:class:`repro.core.executor.ShardExecutor`) enforces this by
+grouping work items that share a stats object into one serial task;
+cross-thread aggregation goes through the locked :meth:`merge`,
+:meth:`add`, :meth:`snapshot` and :meth:`reset` methods.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 
@@ -24,6 +33,15 @@ class AccessStats:
         sequential_bytes: bytes read sequentially (scans, extracts).
         npa_hops: Succinct NPA dereferences (CPU cost of operating on
             the compressed representation; proportional to ``alpha``).
+            Counts *logical* hops regardless of whether they were issued
+            one at a time or through a vectorized kernel.
+        npa_batched_hops: the subset of ``npa_hops`` performed inside a
+            vectorized (numpy lockstep) kernel rather than a scalar
+            Python loop. ``npa_hops - npa_batched_hops`` is the scalar
+            residue; a well-batched workload drives it toward zero.
+        batch_kernel_calls: number of vectorized kernel invocations
+            (one batched ``extract``/``search``/``extract_batch`` call
+            issues one or two of these, amortizing many hops each).
         searches: substring/index search operations issued.
         writes: record appends/mutations.
         decompressed_bytes: bytes run through block decompression (CPU
@@ -33,29 +51,41 @@ class AccessStats:
     random_accesses: int = 0
     sequential_bytes: int = 0
     npa_hops: int = 0
+    npa_batched_hops: int = 0
+    batch_kernel_calls: int = 0
     searches: int = 0
     writes: int = 0
     decompressed_bytes: int = 0
 
+    def __post_init__(self) -> None:
+        # Not a dataclass field: excluded from eq/repr, never serialized.
+        self._lock = threading.Lock()
+
     def reset(self) -> None:
         """Zero all counters."""
-        self.random_accesses = 0
-        self.sequential_bytes = 0
-        self.npa_hops = 0
-        self.searches = 0
-        self.writes = 0
-        self.decompressed_bytes = 0
+        with self._lock:
+            self.random_accesses = 0
+            self.sequential_bytes = 0
+            self.npa_hops = 0
+            self.npa_batched_hops = 0
+            self.batch_kernel_calls = 0
+            self.searches = 0
+            self.writes = 0
+            self.decompressed_bytes = 0
 
     def snapshot(self) -> "AccessStats":
         """A copy of the current counter values."""
-        return AccessStats(
-            random_accesses=self.random_accesses,
-            sequential_bytes=self.sequential_bytes,
-            npa_hops=self.npa_hops,
-            searches=self.searches,
-            writes=self.writes,
-            decompressed_bytes=self.decompressed_bytes,
-        )
+        with self._lock:
+            return AccessStats(
+                random_accesses=self.random_accesses,
+                sequential_bytes=self.sequential_bytes,
+                npa_hops=self.npa_hops,
+                npa_batched_hops=self.npa_batched_hops,
+                batch_kernel_calls=self.batch_kernel_calls,
+                searches=self.searches,
+                writes=self.writes,
+                decompressed_bytes=self.decompressed_bytes,
+            )
 
     def delta_since(self, earlier: "AccessStats") -> "AccessStats":
         """Counters accumulated since ``earlier`` (a prior snapshot)."""
@@ -63,19 +93,35 @@ class AccessStats:
             random_accesses=self.random_accesses - earlier.random_accesses,
             sequential_bytes=self.sequential_bytes - earlier.sequential_bytes,
             npa_hops=self.npa_hops - earlier.npa_hops,
+            npa_batched_hops=self.npa_batched_hops - earlier.npa_batched_hops,
+            batch_kernel_calls=self.batch_kernel_calls - earlier.batch_kernel_calls,
             searches=self.searches - earlier.searches,
             writes=self.writes - earlier.writes,
             decompressed_bytes=self.decompressed_bytes - earlier.decompressed_bytes,
         )
 
     def merge(self, other: "AccessStats") -> None:
-        """Accumulate ``other`` into this instance."""
-        self.random_accesses += other.random_accesses
-        self.sequential_bytes += other.sequential_bytes
-        self.npa_hops += other.npa_hops
-        self.searches += other.searches
-        self.writes += other.writes
-        self.decompressed_bytes += other.decompressed_bytes
+        """Accumulate ``other`` into this instance (thread-safe)."""
+        with self._lock:
+            self.random_accesses += other.random_accesses
+            self.sequential_bytes += other.sequential_bytes
+            self.npa_hops += other.npa_hops
+            self.npa_batched_hops += other.npa_batched_hops
+            self.batch_kernel_calls += other.batch_kernel_calls
+            self.searches += other.searches
+            self.writes += other.writes
+            self.decompressed_bytes += other.decompressed_bytes
+
+    def add(self, **deltas: int) -> None:
+        """Atomically add named counter deltas (for cross-thread use)."""
+        with self._lock:
+            for name, amount in deltas.items():
+                setattr(self, name, getattr(self, name) + amount)
+
+    @property
+    def scalar_npa_hops(self) -> int:
+        """NPA hops issued one at a time outside any batched kernel."""
+        return self.npa_hops - self.npa_batched_hops
 
     @property
     def total_touches(self) -> int:

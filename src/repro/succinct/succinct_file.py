@@ -31,6 +31,14 @@ from repro.succinct.suffix_array import build_suffix_array, inverse_permutation
 
 SENTINEL = 0  # terminal byte appended to every file; may not occur in input
 
+# Below this many bytes the numpy kernel's fixed setup cost loses to the
+# plain Python loop, so ``extract`` falls back to the scalar path.
+_SCALAR_EXTRACT_CUTOFF = 8
+
+# Same trade-off for ``search``: resolving only a handful of matching
+# rows is cheaper with per-row scalar walks than one batched kernel.
+_SCALAR_SEARCH_CUTOFF = 8
+
 
 class SuccinctFile:
     """A compressed flat file supporting ``extract`` and ``search``.
@@ -140,6 +148,31 @@ class SuccinctFile:
         self.stats.npa_hops += remainder
         return row
 
+    def _lookup_sa_batch(self, rows: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`_lookup_sa`: SA values for many rows.
+
+        All rows advance in lockstep; a row drops out of the active set
+        as soon as it reaches a sampled row. At most ``alpha`` rounds
+        (value-based sampling guarantees a sampled row within ``alpha``
+        hops), each a numpy gather over the still-active rows.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        marks = self._sampled_row_marks
+        # Expand every row to its next `alpha` NPA successors at once
+        # (value-based sampling guarantees a sampled row within alpha
+        # hops), then pick each row's first sampled successor.
+        matrix = self._npa.expand_rows(rows, self._alpha)
+        sampled = marks.get_many(matrix.ravel()).reshape(matrix.shape)
+        steps = np.argmax(sampled, axis=0)
+        landed = matrix[steps, np.arange(len(rows))]
+        ranks = marks.rank1_many(landed)
+        values = self._sa_samples[ranks]
+        hops = int(steps.sum())
+        self.stats.npa_hops += hops
+        self.stats.npa_batched_hops += hops
+        self.stats.batch_kernel_calls += 1
+        return (values - steps) % self._n
+
     # ------------------------------------------------------------------
     # Public queries
     # ------------------------------------------------------------------
@@ -147,18 +180,40 @@ class SuccinctFile:
     def extract(self, offset: int, length: int) -> bytes:
         """Return ``length`` bytes of the original input starting at ``offset``.
 
-        Runs on the compressed representation: one sampled-ISA anchor
-        lookup plus one NPA hop per extracted byte.
+        Runs on the compressed representation. Long extracts use the
+        vectorized kernel: every ``alpha``-strided sampled-ISA anchor
+        covering the range is gathered at once and all anchors walk the
+        NPA in lockstep, so the Python-level loop runs ``alpha`` times
+        regardless of ``length`` instead of once per byte.
         """
-        if length < 0:
-            raise ValueError("length must be non-negative")
-        if not 0 <= offset <= self._input_size:
-            raise IndexError(f"offset {offset} out of range [0, {self._input_size}]")
-        length = min(length, self._input_size - offset)
+        length = self._check_extract(offset, length)
         self.stats.random_accesses += 1
         self.stats.sequential_bytes += length
         if length == 0:
             return b""
+        if length <= _SCALAR_EXTRACT_CUTOFF:
+            return self._extract_scalar_body(offset, length)
+        return self._extract_batched_body(offset, length)
+
+    def extract_scalar(self, offset: int, length: int) -> bytes:
+        """Reference scalar ``extract`` (one Python-level NPA hop per
+        byte). Kept for kernel-parity tests and as the micro-benchmark
+        baseline; byte-identical to :meth:`extract`."""
+        length = self._check_extract(offset, length)
+        self.stats.random_accesses += 1
+        self.stats.sequential_bytes += length
+        if length == 0:
+            return b""
+        return self._extract_scalar_body(offset, length)
+
+    def _check_extract(self, offset: int, length: int) -> int:
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        if not 0 <= offset <= self._input_size:
+            raise IndexError(f"offset {offset} out of range [0, {self._input_size}]")
+        return min(length, self._input_size - offset)
+
+    def _extract_scalar_body(self, offset: int, length: int) -> bytes:
         row = self._lookup_isa(offset)
         # Hot path: bind the NPA internals locally (one attribute
         # lookup per extracted byte otherwise dominates).
@@ -171,6 +226,95 @@ class SuccinctFile:
             row = npa_list[row]
         self.stats.npa_hops += length
         return bytes(out)
+
+    def _anchor_span(self, offset: int, length: int):
+        """Anchor range covering ``[offset, offset + length)`` and the
+        lockstep depth it needs: ``(first_anchor, last_anchor, head,
+        steps)`` where ``head`` is the offset of the first wanted byte
+        inside the first anchor's segment."""
+        alpha = self._alpha
+        first_anchor, head = divmod(offset, alpha)
+        last_anchor = (offset + length - 1) // alpha
+        steps = head + length if last_anchor == first_anchor else alpha
+        return first_anchor, last_anchor, head, steps
+
+    def _extract_batched_body(self, offset: int, length: int) -> bytes:
+        first_anchor, last_anchor, head, steps = self._anchor_span(offset, length)
+        rows = self._isa_samples[first_anchor : last_anchor + 1]
+        chars = self._npa.walk_collect(rows, steps)
+        hops = len(rows) * (steps - 1)
+        self.stats.npa_hops += hops
+        self.stats.npa_batched_hops += hops
+        self.stats.batch_kernel_calls += 1
+        # With more than one anchor ``steps == alpha``, so the flattened
+        # matrix is the contiguous text from the first anchor position.
+        return chars.ravel()[head : head + length].tobytes()
+
+    def extract_batch(self, requests) -> list:
+        """Extract many ``(offset, length)`` substrings in one lockstep
+        NPA walk.
+
+        All anchor rows of all requests advance together, so the
+        Python-level loop depth stays ``alpha`` no matter how many
+        substrings are decoded -- the batch analogue of amortized batch
+        decoding in compressed-graph kernels. Returns the substrings in
+        request order; byte-identical to per-request :meth:`extract`.
+        """
+        clean = []
+        for offset, length in requests:
+            clean.append((offset, self._check_extract(offset, length)))
+        self.stats.random_accesses += len(clean)
+        self.stats.sequential_bytes += sum(length for _, length in clean)
+        results: list = [b""] * len(clean)
+        segments = []
+        spans = []  # (result slot, anchor offset in the big row array, head, length)
+        cursor = 0
+        steps = 1
+        for index, (offset, length) in enumerate(clean):
+            if length == 0:
+                continue
+            first_anchor, last_anchor, head, need = self._anchor_span(offset, length)
+            segment = self._isa_samples[first_anchor : last_anchor + 1]
+            segments.append(segment)
+            spans.append((index, cursor, len(segment), head, length))
+            cursor += len(segment)
+            steps = max(steps, need)
+        if not spans:
+            return results
+        rows = np.concatenate(segments)
+        chars = self._npa.walk_collect(rows, steps)
+        hops = len(rows) * (steps - 1)
+        self.stats.npa_hops += hops
+        self.stats.npa_batched_hops += hops
+        self.stats.batch_kernel_calls += 1
+        for index, start, count, head, length in spans:
+            # Multi-anchor requests force steps == alpha, making each
+            # request's flattened block contiguous text; single-anchor
+            # requests only read their first row.
+            block = chars[start : start + count]
+            results[index] = block.ravel()[head : head + length].tobytes()
+        return results
+
+    def char_at_batch(self, offsets) -> np.ndarray:
+        """Byte values at many offsets (vectorized :meth:`char_at`).
+
+        Returns a ``uint8`` array aligned with ``offsets``.
+        """
+        offsets = np.asarray(offsets, dtype=np.int64)
+        if offsets.size == 0:
+            return np.empty(0, dtype=np.uint8)
+        if int(offsets.min()) < 0 or int(offsets.max()) >= self._input_size:
+            raise IndexError(
+                f"offset out of range [0, {self._input_size}) in batch"
+            )
+        self.stats.random_accesses += len(offsets)
+        anchors, remainders = np.divmod(offsets, self._alpha)
+        rows = self._npa.walk_varying(self._isa_samples[anchors], remainders)
+        hops = int(remainders.sum())
+        self.stats.npa_hops += hops
+        self.stats.npa_batched_hops += hops
+        self.stats.batch_kernel_calls += 1
+        return self._npa.chars_of_rows(rows)
 
     def char_at(self, offset: int) -> int:
         """Byte value at ``offset`` of the original input."""
@@ -194,13 +338,18 @@ class SuccinctFile:
         if remaining <= 0:
             return b""
         row = self._lookup_isa(offset)
+        # Same hot-path local binding as the scalar extract body: one
+        # attribute lookup per byte otherwise dominates.
+        npa_list = self._npa._npa_list
+        char_of_row = self._npa.char_of_row
         out = bytearray()
+        append = out.append
         for _ in range(remaining):
-            char = self._npa.char_of_row(row)
+            char = char_of_row(row)
             if char == terminator:
                 break
-            out.append(char)
-            row = self._npa[row]
+            append(char)
+            row = npa_list[row]
         self.stats.npa_hops += len(out)
         self.stats.sequential_bytes += len(out)
         return bytes(out)
@@ -225,7 +374,27 @@ class SuccinctFile:
         return high - low
 
     def search(self, pattern: bytes) -> np.ndarray:
-        """Offsets (ascending) where ``pattern`` occurs in the input."""
+        """Offsets (ascending) where ``pattern`` occurs in the input.
+
+        The whole matching row range ``[low, high)`` is resolved to SA
+        values in one batched lockstep walk instead of a per-row
+        ``_lookup_sa`` loop.
+        """
+        self.stats.searches += 1
+        low, high = self._pattern_row_range(bytes(pattern))
+        count = high - low
+        self.stats.random_accesses += count
+        if count <= 0:
+            return np.empty(0, dtype=np.int64)
+        if count <= _SCALAR_SEARCH_CUTOFF:
+            offsets = sorted(self._lookup_sa(row) for row in range(low, high))
+            return np.asarray(offsets, dtype=np.int64)
+        offsets = self._lookup_sa_batch(np.arange(low, high, dtype=np.int64))
+        return np.sort(offsets)
+
+    def search_scalar(self, pattern: bytes) -> np.ndarray:
+        """Reference scalar ``search`` (per-row ``_lookup_sa`` loop);
+        byte-identical results to :meth:`search`."""
         self.stats.searches += 1
         low, high = self._pattern_row_range(bytes(pattern))
         offsets = [self._lookup_sa(row) for row in range(low, high)]
