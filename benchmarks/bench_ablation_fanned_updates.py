@@ -7,7 +7,7 @@ most queries need only a small subset of shards, so broadcast wastes
 CPU on every other shard.
 """
 
-from conftest import COST_MODEL, EXTRA_PROPERTY_IDS
+from conftest import EXTRA_PROPERTY_IDS
 
 from repro.bench.datasets import build_dataset
 from repro.bench.reporting import format_table

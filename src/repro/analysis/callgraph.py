@@ -1,0 +1,72 @@
+"""A conservative name-based call graph over the scanned modules.
+
+Python's dynamism makes precise call resolution impossible statically,
+so the graph is deliberately over-approximate: a call ``x.f(...)`` or
+``f(...)`` is an edge to *every* scanned function named ``f``.  That is
+the right direction for the lock rules -- reachability is used to prove
+the *absence* of unguarded mutations, so false edges can only make the
+checker stricter, never blind.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Set, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.engine import AnalysisContext, FunctionRecord
+
+
+def called_names(node: ast.AST) -> Set[str]:
+    """Bare names of every call target syntactically inside ``node``."""
+    names: Set[str] = set()
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call):
+            func = child.func
+            if isinstance(func, ast.Name):
+                names.add(func.id)
+            elif isinstance(func, ast.Attribute):
+                names.add(func.attr)
+    return names
+
+
+@dataclass
+class CallGraph:
+    """Function-name index plus call edges between scanned functions."""
+
+    by_name: Dict[str, List["FunctionRecord"]] = field(default_factory=dict)
+    edges: Dict[str, Set[str]] = field(default_factory=dict)  # qualname -> called bare names
+
+    @classmethod
+    def build(cls, context: "AnalysisContext") -> "CallGraph":
+        graph = cls()
+        for record in context.each_function():
+            graph.by_name.setdefault(record.name, []).append(record)
+            key = f"{record.module.name}:{record.qualname}"
+            graph.edges[key] = called_names(record.node)
+        return graph
+
+    def key_of(self, record: "FunctionRecord") -> str:
+        return f"{record.module.name}:{record.qualname}"
+
+    def reachable_from_names(self, seed_names: Iterable[str]) -> List["FunctionRecord"]:
+        """Every scanned function reachable (transitively, name-based)
+        from a call to any of ``seed_names``."""
+        worklist: List[str] = list(dict.fromkeys(seed_names))
+        seen_names: Set[str] = set(worklist)
+        seen_records: Set[str] = set()
+        result: List["FunctionRecord"] = []
+        while worklist:
+            name = worklist.pop()
+            for record in self.by_name.get(name, []):
+                key = self.key_of(record)
+                if key in seen_records:
+                    continue
+                seen_records.add(key)
+                result.append(record)
+                for callee in self.edges.get(key, set()):
+                    if callee not in seen_names:
+                        seen_names.add(callee)
+                        worklist.append(callee)
+        return result

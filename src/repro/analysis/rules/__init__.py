@@ -1,0 +1,8 @@
+"""Built-in rule families.  Importing this package registers them."""
+
+from __future__ import annotations
+
+import repro.analysis.rules.locks  # noqa: F401
+import repro.analysis.rules.layout  # noqa: F401
+import repro.analysis.rules.hotpath  # noqa: F401
+import repro.analysis.rules.hygiene  # noqa: F401

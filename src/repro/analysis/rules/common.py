@@ -1,0 +1,156 @@
+"""Shared AST helpers for the rule families."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+LOCK_FACTORIES = frozenset({"Lock", "RLock"})
+
+#: Method-name suffix meaning "caller must already hold the owning
+#: lock" (checked at call sites by LOCK001 instead of at the mutation).
+LOCKED_HELPER_SUFFIX = "_locked"
+
+LOOP_NODES = (
+    ast.For,
+    ast.While,
+    ast.ListComp,
+    ast.SetComp,
+    ast.DictComp,
+    ast.GeneratorExp,
+)
+
+
+def is_lock_factory_call(node: ast.AST) -> bool:
+    """``threading.Lock()`` / ``threading.RLock()`` / bare ``Lock()``."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr in LOCK_FACTORIES
+    if isinstance(func, ast.Name):
+        return func.id in LOCK_FACTORIES
+    return False
+
+
+def lock_attrs_of_class(cls: ast.ClassDef) -> Set[str]:
+    """Attribute names assigned a lock anywhere in the class body."""
+    locks: Set[str] = set()
+    for node in ast.walk(cls):
+        if isinstance(node, ast.Assign) and is_lock_factory_call(node.value):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    locks.add(target.attr)
+    return locks
+
+
+def _unwrap_target(target: ast.expr) -> Optional[Tuple[str, ast.expr]]:
+    """``(attr_name, receiver_expr)`` for ``<recv>.attr`` or
+    ``<recv>.attr[...]`` targets; ``None`` for anything else."""
+    if isinstance(target, ast.Subscript):
+        target = target.value  # x.attr[k] = ... mutates x.attr
+    if isinstance(target, ast.Attribute):
+        return (target.attr, target.value)
+    return None
+
+
+def mutation_targets(node: ast.AST) -> Iterator[Tuple[str, ast.expr, ast.stmt]]:
+    """Yield ``(attr_name, receiver_expr, stmt)`` for every attribute
+    mutation (assign / aug-assign / ann-assign / delete) inside ``node``."""
+    for child in ast.walk(node):
+        targets: List[ast.expr] = []
+        if isinstance(child, ast.Assign):
+            targets = list(child.targets)
+        elif isinstance(child, (ast.AugAssign, ast.AnnAssign)):
+            targets = [child.target]
+        elif isinstance(child, ast.Delete):
+            targets = list(child.targets)
+        else:
+            continue
+        flat: List[ast.expr] = []
+        for target in targets:
+            if isinstance(target, (ast.Tuple, ast.List)):
+                flat.extend(target.elts)
+            else:
+                flat.append(target)
+        for target in flat:
+            unwrapped = _unwrap_target(target)
+            if unwrapped is not None:
+                yield (unwrapped[0], unwrapped[1], child)
+
+
+def with_acquired_lock_attrs(
+    node: ast.With, lock_attrs: Set[str]
+) -> Set[str]:
+    """Lock attribute names of ``self`` acquired by this ``with``."""
+    acquired: Set[str] = set()
+    for item in node.items:
+        expr = item.context_expr
+        if isinstance(expr, ast.Call):  # with self._lock.acquire_timeout(...)
+            expr = expr.func
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+            and expr.attr in lock_attrs
+        ):
+            acquired.add(expr.attr)
+    return acquired
+
+
+def nodes_under_self_lock(
+    func: ast.FunctionDef, lock_attrs: Set[str]
+) -> Set[int]:
+    """ids of every AST node inside a ``with self.<lock>:`` block."""
+    covered: Set[int] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.With) and with_acquired_lock_attrs(node, lock_attrs):
+            for stmt in node.body:
+                for inner in ast.walk(stmt):
+                    covered.add(id(inner))
+    return covered
+
+
+def call_name(node: ast.Call) -> Optional[str]:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+def loop_body_nodes(func: ast.FunctionDef) -> Iterator[ast.AST]:
+    """Every AST node that executes once per loop iteration (loop
+    bodies, while tests, comprehension elements) -- not loop iterables,
+    which run once."""
+    seen: Set[int] = set()
+
+    def emit(node: ast.AST) -> Iterator[ast.AST]:
+        for inner in ast.walk(node):
+            if id(inner) not in seen:
+                seen.add(id(inner))
+                yield inner
+
+    for node in ast.walk(func):
+        if isinstance(node, ast.For):
+            for stmt in list(node.body) + list(node.orelse):
+                yield from emit(stmt)
+        elif isinstance(node, ast.While):
+            yield from emit(node.test)
+            for stmt in list(node.body) + list(node.orelse):
+                yield from emit(stmt)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            yield from emit(node.elt)
+            for comp in node.generators:
+                for cond in comp.ifs:
+                    yield from emit(cond)
+        elif isinstance(node, ast.DictComp):
+            yield from emit(node.key)
+            yield from emit(node.value)
+            for comp in node.generators:
+                for cond in comp.ifs:
+                    yield from emit(cond)

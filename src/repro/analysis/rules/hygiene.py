@@ -1,0 +1,157 @@
+"""Public-API hygiene rules (API001/API002).
+
+API001 keeps the public surface of ``repro.core`` / ``repro.succinct``
+(and any module marked ``# zipg: public-api``) fully type-annotated so
+the mypy-strict gate stays meaningful.  API002 forbids silently
+swallowing the :mod:`repro.core.errors` hierarchy -- a bare
+``except ...: pass`` around ``NodeNotFound`` or ``GraphFormatError``
+turns data corruption into quiet wrong answers.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from repro.analysis.engine import (
+    AnalysisContext,
+    Finding,
+    FunctionRecord,
+    ModuleInfo,
+    rule,
+)
+
+#: The repro.core.errors hierarchy by name (the call site may import
+#: any subset, so the known names are always considered).
+ERROR_CLASS_NAMES = frozenset(
+    {
+        "ZipGError",
+        "GraphFormatError",
+        "NodeNotFound",
+        "EdgeRecordNotFound",
+        "TooManyProperties",
+        "Exception",
+        "BaseException",
+    }
+)
+
+
+def _is_staticmethod(node: ast.FunctionDef) -> bool:
+    return any(
+        isinstance(dec, ast.Name) and dec.id == "staticmethod"
+        for dec in node.decorator_list
+    )
+
+
+def _missing_annotations(record: FunctionRecord) -> List[str]:
+    node = record.node
+    missing: List[str] = []
+    positional = list(node.args.posonlyargs) + list(node.args.args)
+    skip_first = (
+        record.class_name is not None
+        and not _is_staticmethod(node)
+        and bool(positional)
+    )
+    if skip_first:
+        positional = positional[1:]
+    for arg in positional + list(node.args.kwonlyargs):
+        if arg.annotation is None:
+            missing.append(arg.arg)
+    for vararg in (node.args.vararg, node.args.kwarg):
+        if vararg is not None and vararg.annotation is None:
+            missing.append(vararg.arg)
+    if node.returns is None:
+        missing.append("return")
+    return missing
+
+
+def _public_class_names(module: ModuleInfo) -> Set[str]:
+    return {cls.name for cls in module.classes if not cls.name.startswith("_")}
+
+
+@rule(
+    "API001",
+    "public repro.core / repro.succinct functions must be fully "
+    "type-annotated (arguments and return)",
+)
+def check_public_annotations(context: AnalysisContext) -> Iterator[Finding]:
+    for module in context.modules:
+        if not module.is_public_api:
+            continue
+        public_classes = _public_class_names(module)
+        for record in module.functions:
+            if record.nested:
+                continue
+            name = record.name
+            if record.class_name is None:
+                if name.startswith("_"):
+                    continue
+            else:
+                if record.class_name not in public_classes:
+                    continue
+                if name.startswith("_") and name != "__init__":
+                    continue
+            missing = _missing_annotations(record)
+            if not missing:
+                continue
+            yield Finding(
+                "API001",
+                f"public function '{record.qualname}' is missing type "
+                f"annotations for: {', '.join(missing)}",
+                module.path,
+                record.node.lineno,
+            )
+
+
+def _exception_names(type_node: Optional[ast.expr]) -> List[str]:
+    if type_node is None:
+        return []
+    nodes: List[ast.expr] = (
+        list(type_node.elts) if isinstance(type_node, ast.Tuple) else [type_node]
+    )
+    names: List[str] = []
+    for node in nodes:
+        if isinstance(node, ast.Name):
+            names.append(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.append(node.attr)
+    return names
+
+
+def _body_is_only_pass(body: List[ast.stmt]) -> bool:
+    return all(isinstance(stmt, ast.Pass) for stmt in body)
+
+
+@rule(
+    "API002",
+    "repro.core.errors exceptions must not be silently swallowed "
+    "(no bare except, no 'except ZipGError: pass')",
+)
+def check_swallowed_errors(context: AnalysisContext) -> Iterator[Finding]:
+    for module in context.modules:
+        known = set(ERROR_CLASS_NAMES)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "repro.core.errors":
+                known.update(alias.asname or alias.name for alias in node.names)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield Finding(
+                    "API002",
+                    "bare 'except:' catches everything including "
+                    "KeyboardInterrupt -- name the exception",
+                    module.path,
+                    node.lineno,
+                )
+                continue
+            caught = [n for n in _exception_names(node.type) if n in known]
+            if caught and _body_is_only_pass(node.body):
+                yield Finding(
+                    "API002",
+                    f"'{', '.join(caught)}' silently swallowed "
+                    f"(handler body is only 'pass') -- handle it or "
+                    f"let it propagate",
+                    module.path,
+                    node.lineno,
+                )

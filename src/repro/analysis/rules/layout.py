@@ -1,0 +1,177 @@
+"""Byte-layout invariant rules (LAYOUT001/LAYOUT002).
+
+The ZipG node/edge file formats (paper section 3.3) reserve control
+bytes below 0x20 as record/field delimiters.  Those values are named
+once in :mod:`repro.core.delimiters`; a raw magic number anywhere else
+is a latent format skew.  Writer/parser pairs are declared with
+``# zipg: layout-writer[tag]`` / ``# zipg: layout-parser[tag]`` and
+cross-checked: a parser may only depend on constants its writer also
+uses, and neither side may bake in unnamed widths.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.analysis.engine import (
+    AnalysisContext,
+    Finding,
+    FunctionRecord,
+    ModuleInfo,
+    rule,
+)
+
+#: Reserved delimiter byte values that must never appear as raw
+#: integer literals outside repro.core.delimiters.
+RESERVED_DELIMITER_BYTES = frozenset({0x1B, 0x1C, 0x1D, 0x1E})
+
+#: Control bytes that are only suspicious when written as payload
+#: (elements of a bytes([...]) / bytearray([...]) literal) -- 0 and 1
+#: are ubiquitous as plain integers.
+CONTROL_PAYLOAD_BYTES = frozenset({0x00, 0x01})
+
+_BYTES_CONSTRUCTORS = frozenset({"bytes", "bytearray"})
+
+#: Small integers that never need naming inside layout functions
+#: (identity / emptiness / sign checks).
+_ALLOWED_BARE_INTS = frozenset({-1, 0, 1})
+
+
+@rule(
+    "LAYOUT001",
+    "reserved delimiter bytes must be referenced via "
+    "repro.core.delimiters, never as raw literals",
+)
+def check_raw_delimiter_bytes(context: AnalysisContext) -> Iterator[Finding]:
+    for module in context.modules:
+        if not module.is_core_layout or module.name.endswith(".delimiters"):
+            continue
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Constant)
+                and type(node.value) is int
+                and node.value in RESERVED_DELIMITER_BYTES
+            ):
+                yield Finding(
+                    "LAYOUT001",
+                    f"raw reserved delimiter byte {node.value:#04x} -- "
+                    f"use the named constant from repro.core.delimiters",
+                    module.path,
+                    node.lineno,
+                )
+            if isinstance(node, ast.Call) and (
+                (isinstance(node.func, ast.Name) and node.func.id in _BYTES_CONSTRUCTORS)
+            ):
+                for arg in node.args:
+                    if not isinstance(arg, (ast.List, ast.Tuple)):
+                        continue
+                    for element in arg.elts:
+                        if (
+                            isinstance(element, ast.Constant)
+                            and type(element.value) is int
+                            and element.value in CONTROL_PAYLOAD_BYTES
+                        ):
+                            yield Finding(
+                                "LAYOUT001",
+                                f"raw control byte {element.value:#04x} "
+                                f"written as payload -- use the named "
+                                f"constant from repro.core.delimiters",
+                                module.path,
+                                element.lineno,
+                            )
+
+
+def _marked_functions(
+    context: AnalysisContext, directive: str
+) -> Dict[str, List[Tuple[ModuleInfo, FunctionRecord]]]:
+    """tag -> [(module, record)] for every function carrying
+    ``# zipg: <directive>[tag]``."""
+    by_tag: Dict[str, List[Tuple[ModuleInfo, FunctionRecord]]] = {}
+    for module in context.modules:
+        for record in module.functions:
+            for tag in record.directive_args(directive):
+                by_tag.setdefault(tag, []).append((module, record))
+    return by_tag
+
+
+def _referenced_delimiter_names(
+    module: ModuleInfo, record: FunctionRecord
+) -> Set[str]:
+    imported = set(module.delimiter_imports())
+    names: Set[str] = set()
+    for node in ast.walk(record.node):
+        if isinstance(node, ast.Name) and node.id in imported:
+            names.add(node.id)
+    return names
+
+
+@rule(
+    "LAYOUT002",
+    "layout-writer / layout-parser pairs must agree on the delimiter "
+    "constants they use, and must not hard-code layout widths",
+)
+def check_writer_parser_agreement(context: AnalysisContext) -> Iterator[Finding]:
+    writers = _marked_functions(context, "layout-writer")
+    parsers = _marked_functions(context, "layout-parser")
+
+    for tag in sorted(set(writers) | set(parsers)):
+        tag_writers = writers.get(tag, [])
+        tag_parsers = parsers.get(tag, [])
+        if not tag_writers:
+            module, record = tag_parsers[0]
+            yield Finding(
+                "LAYOUT002",
+                f"layout-parser[{tag}] has no matching layout-writer[{tag}] "
+                f"in the scanned tree",
+                module.path,
+                record.node.lineno,
+            )
+            continue
+        if not tag_parsers:
+            module, record = tag_writers[0]
+            yield Finding(
+                "LAYOUT002",
+                f"layout-writer[{tag}] has no matching layout-parser[{tag}] "
+                f"in the scanned tree",
+                module.path,
+                record.node.lineno,
+            )
+            continue
+        written: Set[str] = set()
+        for module, record in tag_writers:
+            written.update(_referenced_delimiter_names(module, record))
+        for module, record in tag_parsers:
+            for name in sorted(_referenced_delimiter_names(module, record)):
+                # Asymmetric on purpose: writers may emit constants the
+                # parser skips over, but a parser depending on a
+                # constant the writer never emits is a format skew.
+                if name not in written:
+                    yield Finding(
+                        "LAYOUT002",
+                        f"parser '{record.qualname}' depends on delimiter "
+                        f"constant '{name}' that no layout-writer[{tag}] "
+                        f"references",
+                        module.path,
+                        record.node.lineno,
+                    )
+
+    # No unnamed widths inside any marked layout function (the body
+    # only: signature defaults like ``alpha=32`` are not layout).
+    for directive_tags in (writers, parsers):
+        for tag, pairs in directive_tags.items():
+            for module, record in pairs:
+                for node in (n for stmt in record.node.body for n in ast.walk(stmt)):
+                    if (
+                        isinstance(node, ast.Constant)
+                        and type(node.value) is int
+                        and node.value not in _ALLOWED_BARE_INTS
+                    ):
+                        yield Finding(
+                            "LAYOUT002",
+                            f"bare integer literal {node.value} inside "
+                            f"layout function '{record.qualname}' -- name "
+                            f"it in repro.core.delimiters",
+                            module.path,
+                            node.lineno,
+                        )

@@ -1,0 +1,154 @@
+"""Runtime lock-discipline harness.
+
+Complements the static LOCK rules with a dynamic check: wrap an
+object's lock in a :class:`TrackedLock` (which records the set of
+threads currently holding it) and swap the object's class for a
+subclass whose ``__setattr__`` verifies the discipline on every write
+to a guarded attribute.
+
+Two policies mirror the two sanctioned concurrency contracts in this
+repository:
+
+* ``"lock"`` -- every write to a guarded attribute must happen while
+  the current thread holds the lock (AccessStats.merge/add/reset).
+* ``"single-writer"`` -- unlocked writes are allowed from at most one
+  thread (the ShardExecutor ``stats_of=`` contract: items sharing a
+  stats object serialize into one task, so the unlocked hot-path
+  increments all come from a single worker thread).  Locked writes are
+  always allowed and do not claim ownership.
+
+Typical use in a test::
+
+    stats = AccessStats()
+    instrument(stats, guarded={"npa_hops"}, policy="single-writer")
+    ... run the workload ...
+    # a second thread writing stats.npa_hops without the lock raises
+    # LockDisciplineViolation at the racy write, not as a flaky count.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, FrozenSet, Iterable, Optional, Set, Type
+
+__all__ = ["LockDisciplineViolation", "TrackedLock", "instrument"]
+
+_POLICIES = ("lock", "single-writer")
+
+
+class LockDisciplineViolation(AssertionError):
+    """A guarded attribute was written in violation of the policy."""
+
+
+class TrackedLock:
+    """A ``threading.Lock`` work-alike that records its holders.
+
+    The holder set is kept under a private mutex; the acquisition order
+    is always inner-lock-then-mutex, so the tracker introduces no new
+    lock-order edges into the instrumented program.
+    """
+
+    def __init__(self) -> None:
+        self._inner = threading.Lock()
+        self._mutex = threading.Lock()
+        self._holders: Set[int] = set()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            with self._mutex:
+                self._holders.add(threading.get_ident())
+        return acquired
+
+    def release(self) -> None:
+        with self._mutex:
+            self._holders.discard(threading.get_ident())
+        self._inner.release()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def held_by_current(self) -> bool:
+        with self._mutex:
+            return threading.get_ident() in self._holders
+
+
+class _GuardState:
+    """Per-instrumented-object bookkeeping (kept off the instance so
+    ``__setattr__`` interception cannot recurse into it)."""
+
+    def __init__(
+        self, guarded: FrozenSet[str], lock: TrackedLock, policy: str
+    ) -> None:
+        self.guarded = guarded
+        self.lock = lock
+        self.policy = policy
+        self.owner_thread: Optional[int] = None
+        self.owner_mutex = threading.Lock()
+
+
+_STATES: Dict[int, _GuardState] = {}
+
+
+def _check_write(state: _GuardState, attr: str) -> None:
+    if state.lock.held_by_current():
+        return
+    if state.policy == "lock":
+        raise LockDisciplineViolation(
+            f"guarded attribute {attr!r} written without holding the lock"
+        )
+    ident = threading.get_ident()
+    with state.owner_mutex:
+        if state.owner_thread is None:
+            state.owner_thread = ident
+            return
+        if state.owner_thread != ident:
+            raise LockDisciplineViolation(
+                f"guarded attribute {attr!r} written unlocked from thread "
+                f"{ident} but thread {state.owner_thread} already writes it "
+                f"unlocked (single-writer contract broken)"
+            )
+
+
+def _instrumented_subclass(base: Type[Any]) -> Type[Any]:
+    def __setattr__(self: Any, attr: str, value: Any) -> None:
+        state = _STATES.get(id(self))
+        if state is not None and attr in state.guarded:
+            _check_write(state, attr)
+        base.__setattr__(self, attr, value)
+
+    return type(
+        f"Instrumented{base.__name__}", (base,), {"__setattr__": __setattr__}
+    )
+
+
+def instrument(
+    obj: Any,
+    guarded: Iterable[str],
+    lock_attr: str = "_lock",
+    policy: str = "lock",
+) -> TrackedLock:
+    """Instrument ``obj`` in place; returns the tracking lock.
+
+    Replaces ``obj.<lock_attr>`` with a :class:`TrackedLock` and swaps
+    ``obj.__class__`` for a subclass that enforces ``policy`` on every
+    write to an attribute named in ``guarded``.
+    """
+    if policy not in _POLICIES:
+        raise ValueError(f"unknown policy {policy!r}; expected one of {_POLICIES}")
+    if not hasattr(obj, lock_attr):
+        raise AttributeError(
+            f"{type(obj).__name__} has no lock attribute {lock_attr!r}"
+        )
+    tracked = TrackedLock()
+    state = _GuardState(frozenset(guarded), tracked, policy)
+    _STATES[id(obj)] = state
+    object.__setattr__(obj, lock_attr, tracked)
+    obj.__class__ = _instrumented_subclass(type(obj))
+    return tracked

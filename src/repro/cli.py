@@ -122,6 +122,17 @@ def _cmd_experiments(args) -> int:
     return 0
 
 
+def _cmd_check(args) -> int:
+    from repro.analysis.__main__ import main as analysis_main
+
+    forwarded = list(args.paths)
+    if args.json:
+        forwarded.append("--json")
+    if args.rules:
+        forwarded.extend(["--rules", args.rules])
+    return analysis_main(forwarded)
+
+
 def _cmd_query(args) -> int:
     graph = _load_graph_file(args.file)
     system = ZipGSystem.load(graph, num_shards=args.shards, alpha=args.alpha)
@@ -159,6 +170,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     experiments.add_argument("--datasets", nargs="*", choices=list(DATASETS))
     experiments.add_argument("--ops", type=int, default=150)
 
+    check = commands.add_parser(
+        "check", help="run the repo-specific static checker (repro.analysis)"
+    )
+    check.add_argument("paths", nargs="*", default=["src/repro"],
+                       help="files or directories to scan")
+    check.add_argument("--json", action="store_true",
+                       help="emit findings as JSON")
+    check.add_argument("--rules", help="comma-separated rule ids to run")
+
     query = commands.add_parser("query", help="compress a graph file and run ZipQL")
     query.add_argument("--file", required=True, help="graph file (N/E lines)")
     query.add_argument("--shards", type=int, default=2)
@@ -172,6 +192,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "footprint": _cmd_footprint,
         "workload": _cmd_workload,
         "experiments": _cmd_experiments,
+        "check": _cmd_check,
         "query": _cmd_query,
     }[args.command]
     return handler(args)

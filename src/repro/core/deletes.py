@@ -20,7 +20,7 @@ class DeletionIndex:
     compressed files.
     """
 
-    def __init__(self, num_nodes: int, num_edges: int):
+    def __init__(self, num_nodes: int, num_edges: int) -> None:
         self._nodes = BitVector(num_nodes)
         self._edges = BitVector(num_edges)
 

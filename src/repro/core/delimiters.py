@@ -31,6 +31,11 @@ EDGE_TYPE_SEPARATOR = 0x1B
 EDGE_FIELD_SEPARATOR = 0x1C
 END_OF_RECORD = 0x1D
 
+#: EdgeRecord metadata fields between the record header and the
+#: timestamp block: etype, count, twidth, dwidth, pwidth, base (§3.3,
+#: Figure 2).  The writer and parser must agree on this count.
+EDGE_METADATA_FIELDS = 6
+
 _POOL = list(range(0x02, 0x1A))  # 24 single-byte delimiters
 MAX_SINGLE_BYTE_PROPERTIES = len(_POOL)
 MAX_PROPERTIES = len(_POOL) * len(_POOL)
@@ -57,7 +62,7 @@ class DelimiterMap:
     serialization is searchable across every shard.
     """
 
-    def __init__(self, property_ids: Iterable[str]):
+    def __init__(self, property_ids: Iterable[str]) -> None:
         ordered = sorted(set(property_ids))
         if len(ordered) > MAX_PROPERTIES:
             raise TooManyProperties(

@@ -23,6 +23,8 @@ One record per (sourceID, EdgeType) pair::
 
 from __future__ import annotations
 
+# zipg: hot-path
+
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -30,6 +32,7 @@ import numpy as np
 
 from repro.core.delimiters import (
     EDGE_FIELD_SEPARATOR,
+    EDGE_METADATA_FIELDS,
     EDGE_RECORD_BEGIN,
     EDGE_TYPE_SEPARATOR,
     END_OF_RECORD,
@@ -169,6 +172,7 @@ class EdgeRecordFragment:
         end = self.edge_count if t_high is None else self._lower_bound(t_high)
         return (begin, end)
 
+    # zipg: scalar-ok  (binary search: O(log M) probes by design, §3.4)
     def _lower_bound(self, timestamp: int) -> int:
         low, high = 0, self.edge_count
         while low < high:
@@ -199,6 +203,32 @@ class EdgeRecordFragment:
             int(raw[k * width : (k + 1) * width]) for k in range(self.edge_count)
         ]
 
+    def all_properties(self) -> List[Dict[str, str]]:
+        """Property lists of every edge in time order.
+
+        One extract covers all the length fields and one
+        ``extract_batch`` covers all the payloads -- two lockstep NPA
+        walks for the whole record, versus one pair of walks per edge
+        when calling :meth:`properties_at` in a loop.
+        """
+        if self.edge_count == 0:
+            return []
+        raw = self.edge_file._file.extract(
+            self.plens_offset, self.edge_count * self.plen_width
+        )
+        width = self.plen_width
+        lengths = [
+            int(raw[k * width : (k + 1) * width]) for k in range(self.edge_count)
+        ]
+        offsets: List[int] = []
+        cursor = self.properties_offset
+        for length in lengths:
+            offsets.append(cursor)
+            cursor += length
+        payloads = self.edge_file._file.extract_batch(list(zip(offsets, lengths)))
+        parse = self.edge_file._delimiters.parse_sparse
+        return [parse(payload) for payload in payloads]
+
 
 class EdgeFile:
     """Compressed edge store for one shard.
@@ -222,7 +252,7 @@ class EdgeFile:
         base_edge_index: int = 0,
         stats: Optional[AccessStats] = None,
         width_policy: str = "per-record",
-    ):
+    ) -> None:
         if width_policy not in ("per-record", "global"):
             raise ValueError("width_policy must be 'per-record' or 'global'")
         self._delimiters = delimiters
@@ -250,6 +280,7 @@ class EdgeFile:
         self._file = SuccinctFile(bytes(buffer), alpha=alpha, stats=stats)
         self.stats = self._file.stats
 
+    # zipg: layout-writer[edge-record]
     def _serialize_record(
         self, source: int, edge_type: int, bucket: List[Edge], base: int
     ) -> bytes:
@@ -263,13 +294,16 @@ class EdgeFile:
             dwidth = max(1, max((len(str(d)) for d in destinations), default=1))
         pwidth = max(1, max((len(str(len(p))) for p in payloads), default=1))
 
+        metadata = (len(bucket), twidth, dwidth, pwidth, base)
+        assert len(metadata) + 1 == EDGE_METADATA_FIELDS  # etype rides ahead
+
         out = bytearray()
         out.append(EDGE_RECORD_BEGIN)
         out.extend(str(source).encode("ascii"))
         out.append(EDGE_TYPE_SEPARATOR)
         out.extend(str(edge_type).encode("ascii"))
         out.append(EDGE_FIELD_SEPARATOR)
-        for field in (len(bucket), twidth, dwidth, pwidth, base):
+        for field in metadata:
             out.extend(str(field).encode("ascii"))
             out.append(EDGE_FIELD_SEPARATOR)
         for timestamp in timestamps:
@@ -295,6 +329,7 @@ class EdgeFile:
     def num_edges(self) -> int:
         return self._num_edges
 
+    # zipg: layout-parser[edge-record]
     def _parse_record_at(self, offset: int) -> EdgeRecordFragment:
         """Parse the record header + metadata starting at ``offset``.
 
@@ -323,13 +358,14 @@ class EdgeFile:
             timestamps_offset=offset + position,
         )
 
+    # zipg: layout-parser[edge-record]
     @staticmethod
-    def _parse_header(probe: bytes):
+    def _parse_header(probe: bytes) -> Tuple[int, List[int], int]:
         type_sep = probe.index(EDGE_TYPE_SEPARATOR)
         source = int(probe[1:type_sep])
-        fields = []
+        fields: List[int] = []
         position = type_sep + 1
-        for _ in range(6):  # etype + 5 metadata fields
+        for _ in range(EDGE_METADATA_FIELDS):
             end = probe.index(EDGE_FIELD_SEPARATOR, position)
             fields.append(int(probe[position:end]))
             position = end + 1
@@ -379,7 +415,10 @@ class EdgeFile:
             records.append(self._parse_record_at(int(self._record_offsets[index])))
         return records
 
-    def find_edges_by_property(self, property_id: str, value: str):
+    # zipg: scalar-ok  (one verification probe per search hit)
+    def find_edges_by_property(
+        self, property_id: str, value: str
+    ) -> List[Tuple[EdgeRecordFragment, int]]:
         """Edges whose PropertyList has ``property_id == value``.
 
         The extension §3.3 flags ("ZipG currently does not support

@@ -41,7 +41,7 @@ class ShardExecutor:
     serial workload would not use.
     """
 
-    def __init__(self, max_workers: Optional[int] = None):
+    def __init__(self, max_workers: Optional[int] = None) -> None:
         if max_workers is None:
             max_workers = default_max_workers()
         if max_workers < 1:

@@ -48,7 +48,9 @@ class EdgeRecord:
     timestamp-ordered TimeOrder space spanning all live fragments.
     """
 
-    def __init__(self, node_id: int, edge_type: EdgeTypeArg, fragments: Sequence):
+    def __init__(
+        self, node_id: int, edge_type: EdgeTypeArg, fragments: Sequence
+    ) -> None:
         self.node_id = node_id
         self.edge_type = edge_type
         self.fragments = list(fragments)
@@ -151,7 +153,7 @@ class ZipG:
         alpha: int,
         logstore_threshold_bytes: int,
         max_workers: Optional[int] = None,
-    ):
+    ) -> None:
         self._delimiters = delimiters
         self._num_initial = len(shards)
         self._shards = list(shards)
@@ -378,7 +380,9 @@ class ZipG:
         ``time_order`` within ``record``."""
         return record.data_at(time_order, with_properties)
 
-    def find_edges(self, property_id: str, value: str):
+    def find_edges(
+        self, property_id: str, value: str
+    ) -> List[Tuple[int, int, EdgeData]]:
         """All live edges whose PropertyList has ``property_id == value``
         (the §3.3 edge-property-search extension; like ``get_node_ids``
         it touches every shard plus the LogStore).
@@ -531,7 +535,7 @@ class ZipG:
         reclaimed = len(self._shards) - len(new_shards)
         self._shards = new_shards
 
-        def remap(node_id: int, shard_ids: List[int], present: bool) -> List[int]:
+        def rewrite(shard_ids: List[int], present: bool) -> List[int]:
             rewritten: List[int] = []
             for shard_id in shard_ids:
                 if shard_id == ACTIVE_LOGSTORE:
@@ -544,18 +548,10 @@ class ZipG:
             return rewritten
 
         for table in self._pointer_tables:
-            for node_id in list(table._node_pointers):
-                table._node_pointers[node_id] = remap(
-                    node_id, table._node_pointers[node_id], node_id in merged_nodes
-                )
-                if not table._node_pointers[node_id]:
-                    del table._node_pointers[node_id]
-            for key in list(table._edge_pointers):
-                table._edge_pointers[key] = remap(
-                    key[0], table._edge_pointers[key], key in merged_edges
-                )
-                if not table._edge_pointers[key]:
-                    del table._edge_pointers[key]
+            table.remap(
+                lambda node_id, shards: rewrite(shards, node_id in merged_nodes),
+                lambda key, shards: rewrite(shards, key in merged_edges),
+            )
         return reclaimed
 
     # ------------------------------------------------------------------

@@ -26,7 +26,9 @@ class LogEdgeFragment:
     identically.
     """
 
-    def __init__(self, store: "LogStore", source: int, edge_type: int, edges: List[Edge]):
+    def __init__(
+        self, store: "LogStore", source: int, edge_type: int, edges: List[Edge]
+    ) -> None:
         self._store = store
         self.source = source
         self.edge_type = edge_type
@@ -92,7 +94,7 @@ class LogStore:
     deletes are physical -- this store is the mutable one.
     """
 
-    def __init__(self, stats: Optional[AccessStats] = None):
+    def __init__(self, stats: Optional[AccessStats] = None) -> None:
         self.stats = stats if stats is not None else AccessStats()
         self._nodes: Dict[int, PropertyList] = {}
         self._edges: Dict[Tuple[int, int], List[Edge]] = {}
@@ -218,7 +220,9 @@ class LogStore:
             if src == source and bucket
         ]
 
-    def find_edges_by_property(self, property_id: str, value: str):
+    def find_edges_by_property(
+        self, property_id: str, value: str
+    ) -> List[Tuple[int, int, EdgeData]]:
         """Live edges whose PropertyList matches; (source, edge_type,
         EdgeData) triples, mirroring the compressed shards' API."""
         self.stats.searches += 1

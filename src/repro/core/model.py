@@ -54,7 +54,7 @@ class GraphData:
     oracle in the test suite.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._nodes: Dict[int, PropertyList] = {}
         self._edges: Dict[Tuple[int, int], List[Edge]] = {}
         self._edge_count = 0

@@ -26,6 +26,8 @@ lexicographically larger delimiter and runs Succinct ``search`` (§3.4).
 
 from __future__ import annotations
 
+# zipg: hot-path
+
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -47,13 +49,14 @@ class NodeFile:
         stats: optional shared access meter.
     """
 
+    # zipg: layout-writer[node-record]
     def __init__(
         self,
         nodes: Dict[int, PropertyList],
         delimiters: DelimiterMap,
         alpha: int = 32,
         stats: Optional[AccessStats] = None,
-    ):
+    ) -> None:
         self._delimiters = delimiters
         serialized: Dict[int, tuple] = {
             node_id: delimiters.serialize_values(properties)
@@ -114,6 +117,7 @@ class NodeFile:
     # Queries
     # ------------------------------------------------------------------
 
+    # zipg: layout-parser[node-record]
     def get_property(self, node_id: int, property_id: str) -> Optional[str]:
         """Value of one property for ``node_id`` (None if unset)."""
         record = self._record_offset(node_id)
@@ -134,6 +138,7 @@ class NodeFile:
         )
         return self._file.extract(value_start, lengths[order]).decode("utf-8")
 
+    # zipg: layout-parser[node-record]
     def get_properties(
         self, node_id: int, property_ids: Optional[List[str]] = None
     ) -> PropertyList:

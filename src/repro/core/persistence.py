@@ -80,12 +80,7 @@ def save_store(store: ZipG, root: str) -> None:
     with open(os.path.join(root, "logstore.json"), "w") as handle:
         json.dump(log_payload, handle)
 
-    pointers = []
-    for table in store._pointer_tables:
-        pointers.append({
-            "nodes": {str(k): v for k, v in table._node_pointers.items()},
-            "edges": {f"{n}:{t}": v for (n, t), v in table._edge_pointers.items()},
-        })
+    pointers = [table.to_payload() for table in store._pointer_tables]
     with open(os.path.join(root, "pointers.json"), "w") as handle:
         json.dump(pointers, handle)
 
@@ -129,14 +124,7 @@ def load_store(root: str) -> ZipG:
 
     with open(os.path.join(root, "pointers.json")) as handle:
         pointer_payload = json.load(handle)
-    tables = []
-    for entry in pointer_payload:
-        table = UpdatePointerTable()
-        table._node_pointers = {int(k): list(v) for k, v in entry["nodes"].items()}
-        table._edge_pointers = {
-            tuple(int(part) for part in k.split(":")): list(v)
-            for k, v in entry["edges"].items()
-        }
-        tables.append(table)
-    store._pointer_tables = tables
+    store._pointer_tables = [
+        UpdatePointerTable.from_payload(entry) for entry in pointer_payload
+    ]
     return store

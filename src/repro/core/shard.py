@@ -8,6 +8,8 @@ only its deletion bitmaps mutate.
 
 from __future__ import annotations
 
+# zipg: hot-path
+
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.deletes import DeletionIndex
@@ -21,7 +23,9 @@ class ShardEdgeFragment:
     """An EdgeRecord fragment in a compressed shard, with the shard's
     edge deletion bitmap applied on access."""
 
-    def __init__(self, shard: "CompressedShard", fragment: EdgeRecordFragment):
+    def __init__(
+        self, shard: "CompressedShard", fragment: EdgeRecordFragment
+    ) -> None:
         self._shard = shard
         self._fragment = fragment
         self.source = fragment.source
@@ -89,7 +93,7 @@ class CompressedShard:
         delimiters: DelimiterMap,
         alpha: int = 32,
         stats: Optional[AccessStats] = None,
-    ):
+    ) -> None:
         from repro.core.nodefile import NodeFile  # local import: avoid cycle at module load
 
         self.shard_id = shard_id
@@ -156,7 +160,10 @@ class CompressedShard:
             for fragment in self.edge_file.records_of_type(edge_type)
         ]
 
-    def find_edges_by_property(self, property_id: str, value: str):
+    # zipg: scalar-ok  (one decode per verified search hit)
+    def find_edges_by_property(
+        self, property_id: str, value: str
+    ) -> List[Tuple[int, int, EdgeData]]:
         """Live edges whose PropertyList matches (edge-property search,
         the §3.3 extension). Returns (source, edge_type, EdgeData)."""
         results = []
@@ -249,6 +256,7 @@ class CompressedShard:
             # random accesses (the batched decode path).
             destinations = fragment.all_destinations()
             timestamps = fragment.all_timestamps()
+            properties = fragment.all_properties()
             live: List[Edge] = []
             for order in range(fragment.edge_count):
                 if self.deletions.edge_deleted(fragment.base_edge_index + order):
@@ -258,7 +266,7 @@ class CompressedShard:
                     destinations[order],
                     fragment.edge_type,
                     timestamps[order],
-                    fragment.properties_at(order),
+                    properties[order],
                 ))
             if live:
                 edges[(fragment.source, fragment.edge_type)] = live

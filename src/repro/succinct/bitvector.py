@@ -7,6 +7,8 @@ to mark sampled suffix-array rows and by ZipG's deletion bitmaps.
 
 from __future__ import annotations
 
+from typing import Iterable
+
 import numpy as np
 
 _BLOCK_BITS = 64
@@ -21,7 +23,7 @@ class BitVector:
     as a mutable bitmap (lazy deletes).
     """
 
-    def __init__(self, num_bits: int):
+    def __init__(self, num_bits: int) -> None:
         if num_bits < 0:
             raise ValueError("num_bits must be non-negative")
         self._num_bits = num_bits
@@ -46,7 +48,7 @@ class BitVector:
         return self._blocks.copy()
 
     @classmethod
-    def from_indices(cls, num_bits: int, indices) -> "BitVector":
+    def from_indices(cls, num_bits: int, indices: Iterable[int]) -> "BitVector":
         """Build a vector of ``num_bits`` bits with ``indices`` set."""
         vec = cls(num_bits)
         indices = np.asarray(indices, dtype=np.int64)

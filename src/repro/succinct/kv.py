@@ -35,7 +35,7 @@ class SuccinctKV:
         records: Dict[int, bytes],
         alpha: int = 32,
         stats: Optional[AccessStats] = None,
-    ):
+    ) -> None:
         keys = sorted(records)
         offsets: List[int] = []
         buffer = bytearray()

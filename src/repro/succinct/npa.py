@@ -40,7 +40,7 @@ class NextPointerArray:
         npa: np.ndarray,
         bucket_chars: np.ndarray,
         bucket_starts: np.ndarray,
-    ):
+    ) -> None:
         if len(bucket_chars) != len(bucket_starts):
             raise ValueError("bucket_chars and bucket_starts must align")
         self._npa = np.asarray(npa, dtype=np.int64)

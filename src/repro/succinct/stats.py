@@ -101,16 +101,22 @@ class AccessStats:
         )
 
     def merge(self, other: "AccessStats") -> None:
-        """Accumulate ``other`` into this instance (thread-safe)."""
+        """Accumulate ``other`` into this instance (thread-safe).
+
+        ``other`` is snapshotted under *its* lock first, so a concurrent
+        writer on ``other`` cannot produce a torn read; the two locks
+        are never held together, so no acquisition-order edge exists.
+        """
+        source = other.snapshot()
         with self._lock:
-            self.random_accesses += other.random_accesses
-            self.sequential_bytes += other.sequential_bytes
-            self.npa_hops += other.npa_hops
-            self.npa_batched_hops += other.npa_batched_hops
-            self.batch_kernel_calls += other.batch_kernel_calls
-            self.searches += other.searches
-            self.writes += other.writes
-            self.decompressed_bytes += other.decompressed_bytes
+            self.random_accesses += source.random_accesses
+            self.sequential_bytes += source.sequential_bytes
+            self.npa_hops += source.npa_hops
+            self.npa_batched_hops += source.npa_batched_hops
+            self.batch_kernel_calls += source.batch_kernel_calls
+            self.searches += source.searches
+            self.writes += source.writes
+            self.decompressed_bytes += source.decompressed_bytes
 
     def add(self, **deltas: int) -> None:
         """Atomically add named counter deltas (for cross-thread use)."""

@@ -20,7 +20,9 @@ space/latency knob: storage for the sampled arrays shrinks as
 
 from __future__ import annotations
 
-from typing import Optional
+# zipg: hot-path
+
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -56,7 +58,7 @@ class SuccinctFile:
     """
 
     def __init__(self, data: bytes, alpha: int = 32, stats: Optional[AccessStats] = None,
-                 sa_algorithm: str = "doubling"):
+                 sa_algorithm: str = "doubling") -> None:
         if alpha < 1:
             raise ValueError("alpha must be >= 1")
         if sa_algorithm not in ("doubling", "sais"):
@@ -126,6 +128,7 @@ class SuccinctFile:
     # Core lookups
     # ------------------------------------------------------------------
 
+    # zipg: scalar-ok  (the scalar primitive the batched kernels amortize)
     def _lookup_sa(self, row: int) -> int:
         """SA value of ``row`` via NPA walk to the nearest sampled row."""
         steps = 0
@@ -138,6 +141,7 @@ class SuccinctFile:
         value = int(self._sa_samples[rank])
         return (value - steps) % self._n
 
+    # zipg: scalar-ok  (at most alpha hops to the sampled anchor)
     def _lookup_isa(self, position: int) -> int:
         """Row whose suffix starts at text ``position``."""
         anchor, remainder = divmod(position, self._alpha)
@@ -213,6 +217,7 @@ class SuccinctFile:
             raise IndexError(f"offset {offset} out of range [0, {self._input_size}]")
         return min(length, self._input_size - offset)
 
+    # zipg: scalar-ok  (the reference body behind the scalar cutoff)
     def _extract_scalar_body(self, offset: int, length: int) -> bytes:
         row = self._lookup_isa(offset)
         # Hot path: bind the NPA internals locally (one attribute
@@ -250,7 +255,7 @@ class SuccinctFile:
         # matrix is the contiguous text from the first anchor position.
         return chars.ravel()[head : head + length].tobytes()
 
-    def extract_batch(self, requests) -> list:
+    def extract_batch(self, requests: Sequence[Tuple[int, int]]) -> List[bytes]:
         """Extract many ``(offset, length)`` substrings in one lockstep
         NPA walk.
 
@@ -295,7 +300,7 @@ class SuccinctFile:
             results[index] = block.ravel()[head : head + length].tobytes()
         return results
 
-    def char_at_batch(self, offsets) -> np.ndarray:
+    def char_at_batch(self, offsets: Sequence[int]) -> np.ndarray:
         """Byte values at many offsets (vectorized :meth:`char_at`).
 
         Returns a ``uint8`` array aligned with ``offsets``.
@@ -323,6 +328,7 @@ class SuccinctFile:
         self.stats.random_accesses += 1
         return self._npa.char_of_row(self._lookup_isa(offset))
 
+    # zipg: scalar-ok  (terminator position unknown: inherently sequential)
     def extract_until(self, offset: int, terminator: int, limit: Optional[int] = None) -> bytes:
         """Extract from ``offset`` up to (not including) ``terminator``.
 
@@ -387,11 +393,13 @@ class SuccinctFile:
         if count <= 0:
             return np.empty(0, dtype=np.int64)
         if count <= _SCALAR_SEARCH_CUTOFF:
-            offsets = sorted(self._lookup_sa(row) for row in range(low, high))
+            # Tiny result sets: kernel setup costs more than it saves.
+            offsets = sorted(self._lookup_sa(row) for row in range(low, high))  # zipg: ignore[HOT001]
             return np.asarray(offsets, dtype=np.int64)
         offsets = self._lookup_sa_batch(np.arange(low, high, dtype=np.int64))
         return np.sort(offsets)
 
+    # zipg: scalar-ok  (reference baseline for kernel-parity tests)
     def search_scalar(self, pattern: bytes) -> np.ndarray:
         """Reference scalar ``search`` (per-row ``_lookup_sa`` loop);
         byte-identical results to :meth:`search`."""

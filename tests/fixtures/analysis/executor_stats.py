@@ -1,0 +1,16 @@
+"""Fixture: LOCK003 violation (never imported, only analyzed)."""
+
+
+def count_shard(shard):
+    shard.stats.npa_hops += 1  # unlocked hot-path increment
+    return shard.total()
+
+
+def fan_out_bad(executor, shards):
+    return executor.map(count_shard, shards)  # LOCK003: no stats_of=
+
+
+def fan_out_good(executor, shards):
+    return executor.map(
+        count_shard, shards, stats_of=lambda shard: shard.stats
+    )

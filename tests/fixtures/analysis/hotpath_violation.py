@@ -1,0 +1,35 @@
+"""Fixture: HOT001/HOT002 violations (never imported, only analyzed)."""
+
+# zipg: hot-path
+
+
+def scalar_walk(file, offsets):
+    out = []
+    for offset in offsets:
+        out.append(file.extract_scalar(offset, 8))  # HOT001
+    return out
+
+
+def npa_chase(npa, row, steps):
+    for _ in range(steps):
+        row = npa[row]  # HOT001: per-element NPA indexing
+    return row
+
+
+def per_edge_decode(fragment):
+    return [
+        fragment.properties_at(order)  # HOT002: batched alternative exists
+        for order in range(fragment.edge_count)
+    ]
+
+
+def suppressed_walk(file, offsets):
+    out = []
+    for offset in offsets:
+        out.append(file.extract_scalar(offset, 8))  # zipg: ignore[HOT001]
+    return out
+
+
+# zipg: scalar-ok
+def sanctioned_walk(file, offsets):
+    return [file.extract_scalar(offset, 8) for offset in offsets]

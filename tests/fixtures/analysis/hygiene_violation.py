@@ -1,0 +1,25 @@
+"""Fixture: API001/API002 violations (never imported, only analyzed)."""
+
+# zipg: public-api
+
+
+def untyped_lookup(store, node_id):  # API001: no annotations
+    return store.get(node_id)
+
+
+def typed_lookup(store: object, node_id: int) -> object:
+    return store
+
+
+def swallow_everything(store):  # API001 too (unannotated)
+    try:
+        return store.flush()
+    except:  # API002: bare except
+        return None
+
+
+def swallow_zipg_error(store: object) -> None:
+    try:
+        store.flush()
+    except ZipGError:  # API002: silently swallowed
+        pass

@@ -1,0 +1,30 @@
+"""Fixture: LAYOUT001/LAYOUT002 violations (never imported, only analyzed)."""
+
+from repro.core.delimiters import END_OF_RECORD, EDGE_FIELD_SEPARATOR
+
+
+def terminate(buffer):
+    buffer.append(0x1D)  # LAYOUT001: raw END_OF_RECORD byte
+
+
+def sentinel_payload():
+    return bytes([0x00])  # LAYOUT001: raw control byte as payload
+
+
+# zipg: layout-writer[record]
+def write_record(out, values):
+    for value in values:
+        out.extend(str(value).zfill(4).encode("ascii"))  # LAYOUT002: bare 4
+    out.append(END_OF_RECORD)
+
+
+# zipg: layout-parser[record]
+def parse_record(raw):
+    # LAYOUT002: depends on EDGE_FIELD_SEPARATOR, which write_record
+    # never references.
+    return raw.split(bytes([EDGE_FIELD_SEPARATOR]))
+
+
+# zipg: layout-parser[orphan]
+def parse_orphan(raw):  # LAYOUT002: no layout-writer[orphan] anywhere
+    return raw

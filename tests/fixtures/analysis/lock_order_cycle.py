@@ -1,0 +1,35 @@
+"""Fixture: LOCK002 violations (never imported, only analyzed)."""
+
+import threading
+
+
+class SelfDeadlock:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def outer(self):
+        with self._lock:
+            with self._lock:  # LOCK002: non-reentrant self re-acquire
+                pass
+
+
+class Left:
+    def __init__(self):
+        self._left_lock = threading.Lock()
+
+    def cross(self, right):
+        with self._left_lock:
+            right.respond(self)  # acquires Right._right_lock while holding ours
+
+    def reenter(self):
+        with self._left_lock:
+            pass
+
+
+class Right:
+    def __init__(self):
+        self._right_lock = threading.Lock()
+
+    def respond(self, left):
+        with self._right_lock:  # LOCK002: completes Left -> Right -> Left
+            left.reenter()

@@ -1,0 +1,32 @@
+"""Fixture: LOCK001 violations (never imported, only analyzed)."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._total = 0
+        self._pending = 0
+
+    def add(self, amount):
+        with self._lock:
+            self._total += amount  # establishes _total as lock-guarded
+
+    def _flush_locked(self):
+        self._pending = 0  # guarded via the *_locked convention
+
+    def unguarded_add(self, amount):
+        self._total += amount  # LOCK001(a): guarded attr, no lock held
+
+    def flush(self):
+        with self._lock:
+            self._flush_locked()  # fine: lock held at the call site
+
+    def bad_flush(self):
+        self._flush_locked()  # LOCK001(c): *_locked call without the lock
+
+
+class Outsider:
+    def poke(self, counter):
+        counter._total = 0  # LOCK001(b): private guarded attr, foreign class

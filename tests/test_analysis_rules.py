@@ -1,0 +1,253 @@
+"""The repro.analysis static checker: rules, suppression, CLI."""
+
+import os
+
+import pytest
+
+import repro
+from repro.analysis import analyze_paths
+from repro.analysis.__main__ import main as analysis_main
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures", "analysis")
+SRC_REPRO = os.path.dirname(os.path.abspath(repro.__file__))
+
+
+def fixture(name):
+    return os.path.join(FIXTURES, name)
+
+
+def line_of(path, needle):
+    """1-based line number of the first line containing ``needle``."""
+    with open(path) as handle:
+        for number, line in enumerate(handle, 1):
+            if needle in line:
+                return number
+    raise AssertionError(f"{needle!r} not found in {path}")
+
+
+def findings_for(name, rule_ids=None):
+    findings, _ = analyze_paths([fixture(name)], rule_ids)
+    return findings
+
+
+def hits(findings):
+    return {(f.rule_id, f.line) for f in findings}
+
+
+# ----------------------------------------------------------------------
+# Lock discipline
+# ----------------------------------------------------------------------
+
+
+class TestLockRules:
+    def test_unguarded_mutation_flagged(self):
+        path = fixture("lock_violation.py")
+        found = hits(findings_for("lock_violation.py", ["LOCK001"]))
+        assert ("LOCK001", line_of(path, "LOCK001(a)")) in found
+
+    def test_cross_class_private_mutation_flagged(self):
+        path = fixture("lock_violation.py")
+        found = hits(findings_for("lock_violation.py", ["LOCK001"]))
+        assert ("LOCK001", line_of(path, "LOCK001(b)")) in found
+
+    def test_locked_helper_call_without_lock_flagged(self):
+        path = fixture("lock_violation.py")
+        found = hits(findings_for("lock_violation.py", ["LOCK001"]))
+        assert ("LOCK001", line_of(path, "LOCK001(c)")) in found
+
+    def test_guarded_mutation_under_lock_not_flagged(self):
+        path = fixture("lock_violation.py")
+        found = hits(findings_for("lock_violation.py", ["LOCK001"]))
+        assert ("LOCK001", line_of(path, "establishes _total")) not in found
+        assert ("LOCK001", line_of(path, "fine: lock held")) not in found
+
+    def test_self_deadlock_detected(self):
+        path = fixture("lock_order_cycle.py")
+        found = findings_for("lock_order_cycle.py", ["LOCK002"])
+        lines = {f.line for f in found}
+        assert line_of(path, "non-reentrant self re-acquire") - 1 in lines
+
+    def test_cross_class_cycle_detected(self):
+        found = findings_for("lock_order_cycle.py", ["LOCK002"])
+        messages = " ".join(f.message for f in found)
+        assert "acquisition-order cycle" in messages
+        assert "Right._right_lock" in messages
+
+    def test_executor_map_without_stats_of_flagged(self):
+        path = fixture("executor_stats.py")
+        found = hits(findings_for("executor_stats.py", ["LOCK003"]))
+        assert ("LOCK003", line_of(path, "LOCK003: no stats_of=")) in found
+
+    def test_executor_map_with_stats_of_not_flagged(self):
+        found = findings_for("executor_stats.py", ["LOCK003"])
+        assert len(found) == 1  # only the bad fan-out
+
+
+# ----------------------------------------------------------------------
+# Byte-layout invariants
+# ----------------------------------------------------------------------
+
+
+class TestLayoutRules:
+    def test_raw_reserved_byte_flagged(self):
+        path = fixture("layout_violation.py")
+        found = hits(findings_for("layout_violation.py", ["LAYOUT001"]))
+        assert ("LAYOUT001", line_of(path, "raw END_OF_RECORD byte")) in found
+
+    def test_raw_control_payload_flagged(self):
+        path = fixture("layout_violation.py")
+        found = hits(findings_for("layout_violation.py", ["LAYOUT001"]))
+        assert ("LAYOUT001", line_of(path, "raw control byte as payload")) in found
+
+    def test_named_constant_not_flagged(self):
+        path = fixture("layout_violation.py")
+        found = hits(findings_for("layout_violation.py", ["LAYOUT001"]))
+        named = line_of(path, "bytes([EDGE_FIELD_SEPARATOR])")
+        assert ("LAYOUT001", named) not in found
+
+    def test_bare_width_in_layout_function_flagged(self):
+        path = fixture("layout_violation.py")
+        found = findings_for("layout_violation.py", ["LAYOUT002"])
+        lines = {f.line for f in found}
+        assert line_of(path, "LAYOUT002: bare 4") in lines
+
+    def test_parser_constant_skew_flagged(self):
+        found = findings_for("layout_violation.py", ["LAYOUT002"])
+        messages = " ".join(f.message for f in found)
+        assert "EDGE_FIELD_SEPARATOR" in messages
+
+    def test_orphan_parser_flagged(self):
+        found = findings_for("layout_violation.py", ["LAYOUT002"])
+        messages = " ".join(f.message for f in found)
+        assert "layout-parser[orphan]" in messages
+
+
+# ----------------------------------------------------------------------
+# Hot-path lint
+# ----------------------------------------------------------------------
+
+
+class TestHotPathRules:
+    def test_scalar_kernel_in_loop_flagged(self):
+        path = fixture("hotpath_violation.py")
+        found = hits(findings_for("hotpath_violation.py", ["HOT001"]))
+        assert ("HOT001", line_of(path, "# HOT001") ) in found
+
+    def test_npa_indexing_in_loop_flagged(self):
+        path = fixture("hotpath_violation.py")
+        found = hits(findings_for("hotpath_violation.py", ["HOT001"]))
+        assert ("HOT001", line_of(path, "per-element NPA indexing")) in found
+
+    def test_per_record_accessor_flagged_with_alternative(self):
+        found = findings_for("hotpath_violation.py", ["HOT002"])
+        assert len(found) == 1
+        assert "all_properties" in found[0].message
+
+    def test_inline_ignore_suppresses(self):
+        path = fixture("hotpath_violation.py")
+        found = hits(findings_for("hotpath_violation.py", ["HOT001"]))
+        assert ("HOT001", line_of(path, "zipg: ignore[HOT001]")) not in found
+
+    def test_scalar_ok_directive_suppresses_function(self):
+        path = fixture("hotpath_violation.py")
+        found = hits(findings_for("hotpath_violation.py", ["HOT001"]))
+        sanctioned = line_of(path, "def sanctioned_walk")
+        assert not any(line > sanctioned for _, line in found)
+
+    def test_not_flagged_without_hot_path_marker(self, tmp_path):
+        source = fixture("hotpath_violation.py")
+        with open(source) as handle:
+            body = handle.read().replace("# zipg: hot-path", "")
+        cold = tmp_path / "cold_module.py"
+        cold.write_text(body)
+        findings, _ = analyze_paths([str(cold)], ["HOT001", "HOT002"])
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# API hygiene
+# ----------------------------------------------------------------------
+
+
+class TestHygieneRules:
+    def test_missing_annotations_flagged(self):
+        found = findings_for("hygiene_violation.py", ["API001"])
+        assert any("untyped_lookup" in f.message for f in found)
+        assert any("node_id" in f.message for f in found)
+
+    def test_annotated_function_not_flagged(self):
+        found = findings_for("hygiene_violation.py", ["API001"])
+        assert not any("'typed_lookup'" in f.message for f in found)
+
+    def test_bare_except_flagged(self):
+        found = findings_for("hygiene_violation.py", ["API002"])
+        assert any("bare 'except:'" in f.message for f in found)
+
+    def test_swallowed_error_flagged(self):
+        found = findings_for("hygiene_violation.py", ["API002"])
+        assert any("ZipGError" in f.message for f in found)
+
+
+# ----------------------------------------------------------------------
+# Engine behaviour + CLI
+# ----------------------------------------------------------------------
+
+
+class TestEngine:
+    def test_unknown_rule_id_rejected(self):
+        with pytest.raises(ValueError):
+            analyze_paths([fixture("lock_violation.py")], ["NOPE999"])
+
+    def test_findings_sorted(self):
+        findings, _ = analyze_paths([FIXTURES])
+        keys = [(f.path, f.line, f.rule_id) for f in findings]
+        assert keys == sorted(keys)
+
+    def test_to_json_shape(self):
+        findings, _ = analyze_paths([fixture("lock_violation.py")])
+        payload = findings[0].to_json()
+        assert set(payload) == {"rule", "message", "path", "line", "severity"}
+
+
+class TestCli:
+    def test_shipped_tree_is_clean(self):
+        assert analysis_main([SRC_REPRO]) == 0
+
+    def test_fixtures_fail(self, capsys):
+        assert analysis_main([FIXTURES]) == 1
+        out = capsys.readouterr().out
+        assert "LOCK001" in out and "error(s)" in out
+
+    def test_each_fixture_fails_alone(self):
+        for name in sorted(os.listdir(FIXTURES)):
+            if name.endswith(".py"):
+                assert analysis_main([fixture(name)]) == 1, name
+
+    def test_json_output(self, capsys):
+        import json
+
+        assert analysis_main([FIXTURES, "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert isinstance(payload, list) and payload
+        assert {"rule", "path", "line"} <= set(payload[0])
+
+    def test_list_rules(self, capsys):
+        assert analysis_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in (
+            "LOCK001", "LOCK002", "LOCK003",
+            "LAYOUT001", "LAYOUT002",
+            "HOT001", "HOT002",
+            "API001", "API002",
+        ):
+            assert rule_id in out
+
+    def test_missing_path_exits_2(self, capsys):
+        assert analysis_main(["does/not/exist"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_repro_check_subcommand(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(["check", FIXTURES]) == 1
+        assert "LOCK001" in capsys.readouterr().out

@@ -1,0 +1,147 @@
+"""Runtime lock-discipline harness: TrackedLock + instrument()."""
+
+import threading
+
+import pytest
+
+from repro.analysis.runtime import (
+    LockDisciplineViolation,
+    TrackedLock,
+    instrument,
+)
+from repro.succinct.stats import AccessStats
+
+
+class Box:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = 0
+        self.label = "box"
+
+
+class TestTrackedLock:
+    def test_held_by_current_tracks_ownership(self):
+        lock = TrackedLock()
+        assert not lock.held_by_current()
+        with lock:
+            assert lock.held_by_current()
+        assert not lock.held_by_current()
+
+    def test_other_thread_not_counted_as_holder(self):
+        lock = TrackedLock()
+        entered = threading.Event()
+        release = threading.Event()
+
+        def hold():
+            with lock:
+                entered.set()
+                release.wait(timeout=5.0)
+
+        worker = threading.Thread(target=hold)
+        worker.start()
+        try:
+            assert entered.wait(timeout=5.0)
+            assert not lock.held_by_current()
+        finally:
+            release.set()
+            worker.join(timeout=5.0)
+
+
+class TestInstrumentLockPolicy:
+    def test_unlocked_write_raises(self):
+        box = Box()
+        instrument(box, guarded=("value",))
+        with pytest.raises(LockDisciplineViolation):
+            box.value = 1
+
+    def test_locked_write_allowed(self):
+        box = Box()
+        instrument(box, guarded=("value",))
+        with box._lock:
+            box.value = 1
+        assert box.value == 1
+
+    def test_unguarded_attr_unaffected(self):
+        box = Box()
+        instrument(box, guarded=("value",))
+        box.label = "renamed"  # not in the guarded set
+        assert box.label == "renamed"
+
+    def test_catches_racy_access_stats_increment(self):
+        stats = AccessStats()
+        instrument(stats, guarded=("npa_hops",))
+        errors = []
+
+        def racy():
+            try:
+                stats.npa_hops += 1  # the exact bug LOCK003 guards against
+            except LockDisciplineViolation as exc:
+                errors.append(exc)
+
+        worker = threading.Thread(target=racy)
+        worker.start()
+        worker.join(timeout=5.0)
+        assert len(errors) == 1
+
+        with stats._lock:
+            stats.npa_hops += 1
+        assert stats.npa_hops == 1
+
+
+class TestInstrumentSingleWriterPolicy:
+    def test_first_unlocked_writer_claims_ownership(self):
+        box = Box()
+        instrument(box, guarded=("value",), policy="single-writer")
+        box.value = 1
+        box.value = 2  # same thread: still fine
+        assert box.value == 2
+
+    def test_second_thread_unlocked_write_raises(self):
+        box = Box()
+        instrument(box, guarded=("value",), policy="single-writer")
+        box.value = 1  # this thread becomes the owner
+        errors = []
+
+        def foreign_write():
+            try:
+                box.value = 99
+            except LockDisciplineViolation as exc:
+                errors.append(exc)
+
+        worker = threading.Thread(target=foreign_write)
+        worker.start()
+        worker.join(timeout=5.0)
+        assert len(errors) == 1
+        assert box.value == 1
+
+    def test_locked_write_from_any_thread_allowed(self):
+        box = Box()
+        instrument(box, guarded=("value",), policy="single-writer")
+        box.value = 1
+        done = []
+
+        def locked_write():
+            with box._lock:
+                box.value = 7
+            done.append(True)
+
+        worker = threading.Thread(target=locked_write)
+        worker.start()
+        worker.join(timeout=5.0)
+        assert done and box.value == 7
+
+
+class TestInstrumentApi:
+    def test_returns_tracked_lock_replacing_original(self):
+        box = Box()
+        tracked = instrument(box, guarded=("value",))
+        assert isinstance(tracked, TrackedLock)
+        assert box._lock is tracked
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            instrument(Box(), guarded=("value",), policy="chaos")
+
+    def test_missing_lock_attr_rejected(self):
+        with pytest.raises(AttributeError):
+            instrument(Box(), guarded=("value",), lock_attr="_no_such_lock")

@@ -8,7 +8,7 @@ from repro.cluster import (
     ShardUnavailable,
     ZipGCluster,
 )
-from repro.core import GraphData, ZipG
+from repro.core import ZipG
 from repro.workloads.graphs import social_graph
 
 

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.bench.systems import build_system
-from repro.core import GraphData
 from repro.workloads import (
     GraphSearchWorkload,
     LINKBENCH_MIX,
