@@ -6,8 +6,11 @@ primitives every ZipG query bottoms out in: compression, ``extract``,
 ``search``, and the NodeFile/EdgeFile operations built on them.
 """
 
+import time
+
 import numpy as np
 import pytest
+from conftest import record_bench
 
 from repro.core.delimiters import DelimiterMap
 from repro.core.nodefile import NodeFile
@@ -123,6 +126,53 @@ def test_micro_count(benchmark, compressed, corpus):
     pattern = corpus[9_000:9_008]
     count = benchmark(lambda: compressed.count(pattern))
     assert count >= 1
+
+
+def test_micro_kernel_speedup_artifact(compressed, corpus):
+    """Self-timed (so it runs under ``--benchmark-disable`` in CI):
+    records the batched-vs-scalar kernel speedups as the gate's
+    machine-independent ratios. Both sides run on the same machine in
+    the same process, so the ratio cancels absolute speed."""
+
+    def best(fn, repeats=3):
+        floor = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            floor = min(floor, time.perf_counter() - start)
+        return floor
+
+    offsets = np.random.default_rng(1).integers(
+        0, len(corpus) - 1024, 8
+    ).tolist()
+    extract_batched = best(lambda: [compressed.extract(o, 1024) for o in offsets])
+    extract_scalar = best(lambda: [compressed.extract_scalar(o, 1024) for o in offsets])
+    pattern = corpus[5_000:5_002]
+    search_batched = best(lambda: compressed.search(pattern))
+    search_scalar = best(lambda: compressed.search_scalar(pattern))
+
+    extract_speedup = extract_scalar / extract_batched
+    search_speedup = search_scalar / search_batched
+    record_bench(
+        "micro_succinct",
+        result={
+            "workload": "micro_succinct",
+            "extract_speedup_batched_over_scalar": extract_speedup,
+            "search_speedup_batched_over_scalar": search_speedup,
+            "extract_batched_seconds": extract_batched,
+            "search_batched_seconds": search_batched,
+        },
+        gate={
+            "micro.extract_speedup_batched_over_scalar":
+                (extract_speedup, "higher_better"),
+            "micro.search_speedup_batched_over_scalar":
+                (search_speedup, "higher_better"),
+        },
+    )
+    # The vectorized kernels must beat the per-byte/per-row Python
+    # loops outright; the gate pins the (much larger) typical margin.
+    assert extract_speedup > 1.0
+    assert search_speedup > 1.0
 
 
 def test_micro_nodefile_property_lookup(benchmark):

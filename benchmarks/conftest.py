@@ -18,6 +18,7 @@ from functools import lru_cache
 
 import pytest
 
+from repro.bench import artifacts
 from repro.bench.datasets import DATASETS, build_dataset, memory_budget_bytes
 from repro.bench.memory_model import CostModel
 from repro.bench.systems import build_system
@@ -69,3 +70,24 @@ def graph_search_workload(dataset_name: str, seed: int = 0, use_joins: bool = Fa
 @pytest.fixture(scope="session")
 def cost_model():
     return COST_MODEL
+
+
+def record_bench(figure, result=None, gate=None):
+    """Accumulate a result and/or gate ratios into the figure's
+    ``BENCH_<figure>.json`` artifact (written at session end).
+
+    ``gate`` maps metric name to ``(value, kind)`` where ``kind`` is
+    ``"higher_better"`` or ``"lower_better"`` -- ratios only, never
+    absolute wall times (the CI gate runs on arbitrary hardware).
+    """
+    rec = artifacts.recorder(figure)
+    if result is not None:
+        rec.add_result(result)
+    for name, (value, kind) in (gate or {}).items():
+        rec.add_gate_metric(name, value, kind)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Flush every ``BENCH_*.json`` accumulated during the session."""
+    for path in artifacts.write_all():
+        print(f"\nwrote bench artifact {path}")

@@ -11,11 +11,11 @@ where each directive is a bare word (``hot-path``, ``scalar-ok``,
 
 Placement rules (enforced by :mod:`repro.analysis.engine`):
 
-* module directives (``hot-path``, ``public-api``) must be a
-  standalone comment line anywhere in the file;
-* function directives (``scalar-ok``, ``layout-writer``,
-  ``layout-parser``, function-wide ``ignore``) go on the ``def`` line
-  or in the comment block immediately above it;
+* module directives (``hot-path``, ``public-api``, ``query-api``)
+  must be a standalone comment line anywhere in the file;
+* function directives (``scalar-ok``, ``span-free``,
+  ``layout-writer``, ``layout-parser``, function-wide ``ignore``) go
+  on the ``def`` line or in the comment block immediately above it;
 * line directives (``ignore``) go at the end of the offending line.
 """
 
@@ -29,10 +29,10 @@ _MARKER_RE = re.compile(r"#\s*zipg:\s*(?P<body>.+?)\s*$")
 _DIRECTIVE_RE = re.compile(r"(?P<name>[A-Za-z][A-Za-z0-9_-]*)(?:\[(?P<args>[^\]]*)\])?")
 
 #: Directives that apply to the whole module.
-MODULE_DIRECTIVES = frozenset({"hot-path", "public-api"})
+MODULE_DIRECTIVES = frozenset({"hot-path", "public-api", "query-api"})
 #: Directives that attach to the enclosing/following function.
 FUNCTION_DIRECTIVES = frozenset(
-    {"scalar-ok", "layout-writer", "layout-parser", "ignore"}
+    {"scalar-ok", "layout-writer", "layout-parser", "ignore", "span-free"}
 )
 
 

@@ -6,3 +6,4 @@ import repro.analysis.rules.locks  # noqa: F401
 import repro.analysis.rules.layout  # noqa: F401
 import repro.analysis.rules.hotpath  # noqa: F401
 import repro.analysis.rules.hygiene  # noqa: F401
+import repro.analysis.rules.obs  # noqa: F401

@@ -1,0 +1,75 @@
+"""``python -m repro.bench``: the quick instrumented benchmark.
+
+Runs the TAO mixed workload against a ZipG store with tracing enabled
+and emits a ``BENCH_quick_tao.json`` artifact carrying p50/p95/p99
+modeled latencies plus the per-layer (succinct / logstore / pointer)
+time and operation breakdown. Pass ``--json`` to also print the full
+metrics snapshot to stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import obs
+from repro.bench.artifacts import recorder, write_all
+from repro.bench.datasets import build_dataset, memory_budget_bytes
+from repro.bench.harness import run_mixed_workload
+from repro.bench.memory_model import CostModel
+from repro.bench.systems import build_system
+from repro.workloads import TAOWorkload
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("--dataset", default="orkut")
+    parser.add_argument("--operations", type=int, default=400)
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--alpha", type=int, default=32)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--sample-rate", type=float, default=1.0,
+                        help="trace sampling rate in (0, 1]")
+    parser.add_argument("--json", action="store_true",
+                        help="print the full obs snapshot to stdout")
+    args = parser.parse_args(argv)
+
+    graph = build_dataset(args.dataset)
+    system = build_system(
+        "zipg", graph, num_shards=args.shards, alpha=args.alpha
+    )
+    workload = TAOWorkload(graph, seed=args.seed)
+    budget = memory_budget_bytes(args.dataset, graph)
+
+    obs.reset()
+    obs.enable_tracing(args.sample_rate)
+    try:
+        result = run_mixed_workload(
+            system,
+            workload.operations(args.operations),
+            CostModel(),
+            budget,
+            workload_name="tao",
+        )
+    finally:
+        obs.disable_tracing()
+
+    print(result.row())
+    for layer, values in sorted(result.layers.items()):
+        fields = ", ".join(f"{k}={v:.1f}" for k, v in sorted(values.items()))
+        print(f"  layer {layer:<12} {fields}")
+
+    rec = recorder("quick_tao")
+    rec.add_result(result)
+    for path in write_all():
+        print(f"wrote {path}")
+
+    if args.json:
+        print(obs.json_snapshot(obs.get_registry(), obs.get_tracer(), indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,98 @@
+"""Machine-readable benchmark artifacts (``BENCH_*.json``).
+
+Benchmarks record their headline numbers here; at process exit (or on
+demand) each figure's accumulated records are written to
+``$ZIPG_BENCH_OUT`` (default ``bench_out/``) as ``BENCH_<figure>.json``.
+CI uploads the files and :mod:`repro.bench.gate` compares the ``gate``
+metrics against the checked-in ``benchmarks/baseline.json``.
+
+Artifact schema::
+
+    {
+      "figure": "fig6_tao",
+      "results": [<ThroughputResult.to_payload() or free-form dict>, ...],
+      "gate": {"<metric>": {"value": 12.3, "kind": "higher_better"}, ...}
+    }
+
+``gate`` metrics must be machine-independent ratios (speedups,
+modeled-throughput ratios), never absolute wall times -- the regression
+check runs on arbitrary CI hardware.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional
+
+#: Environment variable naming the artifact output directory.
+OUTPUT_ENV = "ZIPG_BENCH_OUT"
+DEFAULT_OUTPUT_DIR = "bench_out"
+
+VALID_KINDS = ("higher_better", "lower_better")
+
+
+def output_dir() -> Path:
+    return Path(os.environ.get(OUTPUT_ENV, DEFAULT_OUTPUT_DIR))
+
+
+class BenchRecorder:
+    """Accumulates one figure's results and gate metrics."""
+
+    def __init__(self, figure: str) -> None:
+        self.figure = figure
+        self.results: List[Dict] = []
+        self.gate: Dict[str, Dict[str, object]] = {}
+
+    def add_result(self, result) -> None:
+        """Record a result (a :class:`ThroughputResult` or a dict)."""
+        payload = result.to_payload() if hasattr(result, "to_payload") else dict(result)
+        self.results.append(payload)
+
+    def add_gate_metric(
+        self, name: str, value: float, kind: str = "higher_better"
+    ) -> None:
+        """Record a ratio metric the CI gate will compare to baseline."""
+        if kind not in VALID_KINDS:
+            raise ValueError(f"kind must be one of {VALID_KINDS}, got {kind!r}")
+        self.gate[name] = {"value": float(value), "kind": kind}
+
+    def payload(self) -> Dict[str, object]:
+        return {
+            "figure": self.figure,
+            "results": list(self.results),
+            "gate": dict(self.gate),
+        }
+
+    def write(self, directory: Optional[Path] = None) -> Path:
+        """Write ``BENCH_<figure>.json`` and return its path."""
+        directory = directory if directory is not None else output_dir()
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"BENCH_{self.figure}.json"
+        path.write_text(json.dumps(self.payload(), indent=2, sort_keys=True) + "\n")
+        return path
+
+
+_RECORDERS: Dict[str, BenchRecorder] = {}
+
+
+def recorder(figure: str) -> BenchRecorder:
+    """The process-wide recorder for a figure (created on first use)."""
+    if figure not in _RECORDERS:
+        _RECORDERS[figure] = BenchRecorder(figure)
+    return _RECORDERS[figure]
+
+
+def write_all(directory: Optional[Path] = None) -> List[Path]:
+    """Flush every recorder that accumulated anything."""
+    return [
+        rec.write(directory)
+        for rec in _RECORDERS.values()
+        if rec.results or rec.gate
+    ]
+
+
+def reset() -> None:
+    """Drop all accumulated recorders (tests)."""
+    _RECORDERS.clear()

@@ -1,0 +1,95 @@
+"""CI performance-regression gate over ``BENCH_*.json`` artifacts.
+
+Usage::
+
+    python -m repro.bench.gate --baseline benchmarks/baseline.json \
+        --bench-dir bench_out [--tolerance 2.0]
+
+The baseline pins *ratio* metrics only (modeled throughput ratios,
+batched-vs-scalar speedups) so the check is independent of absolute
+machine speed. A ``higher_better`` metric fails when it drops below
+``baseline / tolerance``; a ``lower_better`` metric fails when it rises
+above ``baseline * tolerance``. A baseline metric missing from the
+current artifacts is a failure too -- a silently-dropped benchmark must
+not read as a pass.
+
+Exit status: 0 when every metric passes, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+DEFAULT_TOLERANCE = 2.0
+
+
+def load_current_metrics(bench_dir: Path) -> Dict[str, Dict[str, object]]:
+    """Merge the ``gate`` sections of every ``BENCH_*.json`` in the dir."""
+    merged: Dict[str, Dict[str, object]] = {}
+    for path in sorted(bench_dir.glob("BENCH_*.json")):
+        payload = json.loads(path.read_text())
+        for name, entry in payload.get("gate", {}).items():
+            merged[name] = entry
+    return merged
+
+
+def check(
+    baseline: Dict[str, Dict[str, object]],
+    current: Dict[str, Dict[str, object]],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> Tuple[List[str], List[str]]:
+    """Compare current gate metrics to the baseline.
+
+    Returns ``(passes, failures)`` -- human-readable lines for each
+    baseline metric.
+    """
+    passes: List[str] = []
+    failures: List[str] = []
+    for name, entry in sorted(baseline.items()):
+        base_value = float(entry["value"])
+        kind = entry.get("kind", "higher_better")
+        if name not in current:
+            failures.append(f"{name}: missing from current bench artifacts")
+            continue
+        value = float(current[name]["value"])
+        if kind == "lower_better":
+            ok = value <= base_value * tolerance
+            bound = f"<= {base_value * tolerance:.3f}"
+        else:
+            ok = value >= base_value / tolerance
+            bound = f">= {base_value / tolerance:.3f}"
+        line = (f"{name}: {value:.3f} (baseline {base_value:.3f}, "
+                f"needs {bound}, {kind})")
+        (passes if ok else failures).append(line)
+    return passes, failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.gate", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("--baseline", type=Path,
+                        default=Path("benchmarks/baseline.json"))
+    parser.add_argument("--bench-dir", type=Path, default=Path("bench_out"))
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE)
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(args.baseline.read_text())["metrics"]
+    current = load_current_metrics(args.bench_dir)
+    passes, failures = check(baseline, current, args.tolerance)
+
+    for line in passes:
+        print(f"PASS {line}")
+    for line in failures:
+        print(f"FAIL {line}")
+    print(f"\n{len(passes)} passed, {len(failures)} failed "
+          f"(tolerance {args.tolerance}x, {len(current)} current metrics)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

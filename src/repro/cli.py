@@ -133,6 +133,47 @@ def _cmd_check(args) -> int:
     return analysis_main(forwarded)
 
 
+def _cmd_stats(args) -> int:
+    """Run a traced workload on ZipG and dump the observability state."""
+    from repro import obs
+
+    graph = build_dataset(args.dataset)
+    system = build_system(
+        "zipg", graph, num_shards=args.shards, extra_property_ids=_EXTRA_IDS
+    )
+    workload = _make_workload(args.workload, graph, args.seed)
+    budget = memory_budget_bytes(args.dataset, graph)
+
+    obs.reset()
+    obs.enable_tracing(args.sample_rate)
+    try:
+        run_mixed_workload(
+            system, workload.operations(args.ops), CostModel(), budget,
+            workload_name=args.workload,
+        )
+    finally:
+        obs.disable_tracing()
+
+    if args.format == "prometheus":
+        print(obs.prometheus_text(obs.get_registry()), end="")
+    elif args.format == "json":
+        print(obs.json_snapshot(obs.get_registry(), obs.get_tracer(), indent=2))
+    else:
+        tracer = obs.get_tracer()
+        print(f"{args.workload} x {args.ops} ops on {args.dataset} "
+              f"(sample rate {args.sample_rate}):")
+        print(f"{'layer':<14}{'spans':>10}{'time ms':>12}")
+        for layer, values in sorted(tracer.layer_breakdown().items()):
+            print(f"{layer:<14}{values['spans']:>10.0f}"
+                  f"{values['time_us'] / 1e3:>12.2f}")
+        print(f"\n{'span':<32}{'count':>8}{'p50 us':>10}{'p95 us':>10}"
+              f"{'p99 us':>10}")
+        for name, summary in sorted(tracer.span_summary().items()):
+            print(f"{name:<32}{summary['count']:>8.0f}{summary['p50']:>10.1f}"
+                  f"{summary['p95']:>10.1f}{summary['p99']:>10.1f}")
+    return 0
+
+
 def _cmd_query(args) -> int:
     graph = _load_graph_file(args.file)
     system = ZipGSystem.load(graph, num_shards=args.shards, alpha=args.alpha)
@@ -179,6 +220,20 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="emit findings as JSON")
     check.add_argument("--rules", help="comma-separated rule ids to run")
 
+    stats = commands.add_parser(
+        "stats", help="run a traced workload and dump metrics/spans"
+    )
+    stats.add_argument("--dataset", default="orkut", choices=list(DATASETS))
+    stats.add_argument("--workload", default="tao",
+                       choices=["tao", "linkbench", "graph-search"])
+    stats.add_argument("--ops", type=int, default=200)
+    stats.add_argument("--seed", type=int, default=0)
+    stats.add_argument("--shards", type=int, default=4)
+    stats.add_argument("--sample-rate", type=float, default=1.0,
+                       help="trace sampling rate in (0, 1]")
+    stats.add_argument("--format", default="summary",
+                       choices=["summary", "prometheus", "json"])
+
     query = commands.add_parser("query", help="compress a graph file and run ZipQL")
     query.add_argument("--file", required=True, help="graph file (N/E lines)")
     query.add_argument("--shards", type=int, default=2)
@@ -193,6 +248,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "workload": _cmd_workload,
         "experiments": _cmd_experiments,
         "check": _cmd_check,
+        "stats": _cmd_stats,
         "query": _cmd_query,
     }[args.command]
     return handler(args)

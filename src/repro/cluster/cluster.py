@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Set
 
+from repro import obs
 from repro.baselines.kvgraph import KVGraphStore
 from repro.bench.memory_model import CostModel, hit_fraction
 from repro.bench.systems import ZipGSystem
@@ -105,19 +106,23 @@ class ZipGCluster(ZipGSystem):
                       budget_total: int) -> float:
         """Execute one operation; returns its latency in ns (CPU/storage
         on the slowest path + network round trips)."""
-        before = self._snapshot()
-        total_before = self.store.aggregate_stats().snapshot()
-        operation.run(self)
-        touched = self._attribute(before, cost_model, budget_total)
-        delta = self.store.aggregate_stats().delta_since(total_before)
-        footprint = self.store.storage_footprint_bytes()
-        storage_ns = cost_model.query_latency_ns(delta, footprint, budget_total)
-        # Function shipping: client -> entry aggregator (1 RTT), plus
-        # one parallel fan-out RTT if any other server was involved.
-        round_trips = 1 + (1 if len(touched) > 1 else 0)
-        for server in touched:
-            self.servers[server].messages += 1
-        return storage_ns + round_trips * cost_model.network_hop_ns
+        with obs.span("cluster.run_operation", layer="cluster",
+                      op=type(operation).__name__):
+            before = self._snapshot()
+            total_before = self.store.aggregate_stats().snapshot()
+            operation.run(self)
+            touched = self._attribute(before, cost_model, budget_total)
+            delta = self.store.aggregate_stats().delta_since(total_before)
+            footprint = self.store.storage_footprint_bytes()
+            storage_ns = cost_model.query_latency_ns(
+                delta, footprint, budget_total
+            )
+            # Function shipping: client -> entry aggregator (1 RTT), plus
+            # one parallel fan-out RTT if any other server was involved.
+            round_trips = 1 + (1 if len(touched) > 1 else 0)
+            for server in touched:
+                self.servers[server].messages += 1
+            return storage_ns + round_trips * cost_model.network_hop_ns
 
 
 class TitanCluster(KVGraphStore):

@@ -30,6 +30,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.delimiters import (
     EDGE_FIELD_SEPARATOR,
     EDGE_METADATA_FIELDS,
@@ -371,6 +372,7 @@ class EdgeFile:
             position = end + 1
         return source, fields, position
 
+    @obs.traced("edgefile.find_record", layer="edgefile")
     def find_record(self, source: int, edge_type: int) -> Optional[EdgeRecordFragment]:
         """The EdgeRecord for (source, edge_type), or None.
 
@@ -390,6 +392,7 @@ class EdgeFile:
             return None
         return self._parse_record_at(int(offsets[0]))
 
+    @obs.traced("edgefile.find_records", layer="edgefile")
     def find_records(self, source: int) -> List[EdgeRecordFragment]:
         """All EdgeRecords for ``source`` (wildcard edge type)."""
         pattern = (
@@ -400,6 +403,7 @@ class EdgeFile:
         offsets = self._file.search(pattern)
         return [self._parse_record_at(int(offset)) for offset in offsets]
 
+    @obs.traced("edgefile.records_of_type", layer="edgefile")
     def records_of_type(self, edge_type: int) -> List[EdgeRecordFragment]:
         """All EdgeRecords of ``edge_type`` regardless of source (used
         by regular path queries: ``get_edge_record(*, edgeType)``)."""
@@ -416,6 +420,7 @@ class EdgeFile:
         return records
 
     # zipg: scalar-ok  (one verification probe per search hit)
+    @obs.traced("edgefile.find_edges_by_property", layer="edgefile")
     def find_edges_by_property(
         self, property_id: str, value: str
     ) -> List[Tuple[EdgeRecordFragment, int]]:

@@ -11,14 +11,22 @@ Thread-safety contract: hot-path ``stats.counter += n`` increments on
 items whose shards *share* one stats object must never run on two
 threads at once. :meth:`ShardExecutor.map` enforces this by grouping
 items that share a stats instance into a single serial task.
+
+Observability: each submitted group runs inside a *copy* of the
+caller's :mod:`contextvars` context, so spans opened by work items
+attach to the query's current :class:`repro.obs.tracing.Span` instead
+of starting orphan traces on the pool threads.
 """
 
 from __future__ import annotations
 
+import contextvars
 import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, List, Optional, Sequence
+
+from repro import obs
 
 _DEFAULT_WORKER_CAP = 8
 
@@ -88,10 +96,17 @@ class ShardExecutor:
             groups[key].append((index, item))
 
         def run_group(group):
-            return [(index, fn(item)) for index, item in group]
+            with obs.span("executor.worker", layer="executor", items=len(group)):
+                return [(index, fn(item)) for index, item in group]
 
         pool = self._ensure_pool()
-        futures = [pool.submit(run_group, groups[key]) for key in order]
+        # One context copy per group: a contextvars.Context may only be
+        # entered by one thread at a time, and the copy carries the
+        # caller's current span into the worker.
+        futures = [
+            pool.submit(contextvars.copy_context().run, run_group, groups[key])
+            for key in order
+        ]
         results: List = [None] * len(items)
         for future in futures:
             for index, result in future.result():

@@ -17,9 +17,13 @@ crosses the size threshold.
 
 from __future__ import annotations
 
+# zipg: query-api
+
 import bisect
+import weakref
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro import obs
 from repro.core.delimiters import DelimiterMap
 from repro.core.errors import NodeNotFound
 from repro.core.executor import ShardExecutor
@@ -37,6 +41,23 @@ _KNUTH = 2654435761
 def _hash_partition(node_id: int, num_shards: int) -> int:
     """Hash-partitioning of NodeIDs onto shards (§4.1)."""
     return ((node_id * _KNUTH) & 0xFFFFFFFF) % num_shards
+
+
+def _publish_store_metrics(store: "ZipG") -> None:
+    """Expose the store's access counters through the shared metrics
+    registry (weakly -- the collector unregisters itself once the store
+    is collected, so building many stores does not leak)."""
+    ref = weakref.ref(store)
+
+    def _collect() -> Optional[Dict[str, float]]:
+        live = ref()
+        if live is None:
+            return None
+        metrics = live.aggregate_stats().to_metrics(prefix="zipg_access_")
+        metrics["zipg_pointer_hops_total"] = float(live._pointer_hops)
+        return metrics
+
+    obs.get_registry().register_collector(_collect)
 
 
 class EdgeRecord:
@@ -163,6 +184,10 @@ class ZipG:
         self._threshold = logstore_threshold_bytes
         self.executor = ShardExecutor(max_workers)
         self.freeze_count = 0
+        # Pointer hops actually followed by queries on this store (the
+        # §3.5 fragmentation cost the per-layer breakdown attributes).
+        self._pointer_hops = 0
+        _publish_store_metrics(self)
 
     # ------------------------------------------------------------------
     # Construction
@@ -252,8 +277,11 @@ class ZipG:
 
     def _node_locations_newest_first(self, node_id: int) -> List:
         """Stores that may hold property data for ``node_id``."""
+        with obs.span("pointer.node_chase", layer="pointer"):
+            shard_ids = self._table(node_id).node_shards(node_id)
+        self._pointer_hops += len(shard_ids)
         locations: List = [self._shards[self.route(node_id)]]
-        for shard_id in self._table(node_id).node_shards(node_id):
+        for shard_id in shard_ids:
             locations.append(
                 self._logstore if shard_id == ACTIVE_LOGSTORE else self._shards[shard_id]
             )
@@ -263,10 +291,12 @@ class ZipG:
     def _edge_locations(self, node_id: int, edge_type: EdgeTypeArg) -> List:
         """Stores that may hold edge fragments for (node, type)."""
         table = self._table(node_id)
-        if edge_type == WILDCARD:
-            shard_ids = table.all_edge_shards(node_id)
-        else:
-            shard_ids = table.edge_shards(node_id, int(edge_type))
+        with obs.span("pointer.edge_chase", layer="pointer"):
+            if edge_type == WILDCARD:
+                shard_ids = table.all_edge_shards(node_id)
+            else:
+                shard_ids = table.edge_shards(node_id, int(edge_type))
+        self._pointer_hops += len(shard_ids)
         locations: List = [self._shards[self.route(node_id)]]
         for shard_id in shard_ids:
             locations.append(
@@ -278,6 +308,7 @@ class ZipG:
     # Node queries (Table 1)
     # ------------------------------------------------------------------
 
+    @obs.traced("graph_store.get_node_property", layer="graph_store")
     def get_node_property(
         self, node_id: int, property_ids: Union[str, Sequence[str]] = WILDCARD
     ) -> PropertyList:
@@ -294,6 +325,7 @@ class ZipG:
                 return location.get_properties(node_id, wanted)
         raise NodeNotFound(node_id)
 
+    @obs.traced("graph_store.has_node", layer="graph_store")
     def has_node(self, node_id: int) -> bool:
         """Whether a live version of ``node_id`` exists anywhere."""
         return any(
@@ -301,6 +333,7 @@ class ZipG:
             for location in self._node_locations_newest_first(node_id)
         )
 
+    @obs.traced("graph_store.get_node_ids", layer="graph_store")
     def get_node_ids(self, property_list: PropertyList) -> List[int]:
         """NodeIDs whose properties match every pair in ``property_list``.
 
@@ -318,6 +351,7 @@ class ZipG:
             result.update(shard_hits)
         return sorted(result)
 
+    @obs.traced("graph_store.get_neighbor_ids", layer="graph_store")
     def get_neighbor_ids(
         self,
         node_id: int,
@@ -350,6 +384,7 @@ class ZipG:
     # Edge queries (Table 1)
     # ------------------------------------------------------------------
 
+    @obs.traced("graph_store.get_edge_record", layer="graph_store")
     def get_edge_record(self, node_id: int, edge_type: EdgeTypeArg = WILDCARD) -> EdgeRecord:
         """The merged EdgeRecord for (node, type) -- or for all types
         when ``edge_type`` is the wildcard."""
@@ -363,6 +398,7 @@ class ZipG:
                     fragments.append(fragment)
         return EdgeRecord(node_id, edge_type, fragments)
 
+    @obs.traced("graph_store.get_edge_range", layer="graph_store")
     def get_edge_range(
         self,
         record: EdgeRecord,
@@ -373,6 +409,7 @@ class ZipG:
         (wildcards via ``None``)."""
         return record.time_range(t_low, t_high)
 
+    @obs.traced("graph_store.get_edge_data", layer="graph_store")
     def get_edge_data(
         self, record: EdgeRecord, time_order: int, with_properties: bool = True
     ) -> EdgeData:
@@ -380,6 +417,7 @@ class ZipG:
         ``time_order`` within ``record``."""
         return record.data_at(time_order, with_properties)
 
+    @obs.traced("graph_store.find_edges", layer="graph_store")
     def find_edges(
         self, property_id: str, value: str
     ) -> List[Tuple[int, int, EdgeData]]:
@@ -404,12 +442,14 @@ class ZipG:
     # Updates (Table 1)
     # ------------------------------------------------------------------
 
+    @obs.traced("graph_store.append_node", layer="graph_store")
     def append_node(self, node_id: int, properties: PropertyList) -> None:
         """Append a (new version of a) node with its PropertyList."""
         self._logstore.append_node(node_id, properties)
         self._table(node_id).add_node_pointer(node_id, ACTIVE_LOGSTORE)
         self._maybe_freeze()
 
+    @obs.traced("graph_store.append_edge", layer="graph_store")
     def append_edge(
         self,
         source: int,
@@ -425,6 +465,7 @@ class ZipG:
         self._table(source).add_edge_pointer(source, edge_type, ACTIVE_LOGSTORE)
         self._maybe_freeze()
 
+    @obs.traced("graph_store.delete_node", layer="graph_store")
     def delete_node(self, node_id: int) -> bool:
         """Lazily delete every live version of ``node_id``."""
         deleted = False
@@ -432,6 +473,7 @@ class ZipG:
             deleted = location.delete_node(node_id) or deleted
         return deleted
 
+    @obs.traced("graph_store.delete_edge", layer="graph_store")
     def delete_edge(self, source: int, edge_type: int, destination: int) -> int:
         """Lazily delete all (source, edge_type, destination) edges.
 
@@ -449,11 +491,13 @@ class ZipG:
             )
         return deleted
 
+    @obs.traced("graph_store.update_node", layer="graph_store")
     def update_node(self, node_id: int, properties: PropertyList) -> None:
         """Update = delete followed by append (§2.2)."""
         self.delete_node(node_id)
         self.append_node(node_id, properties)
 
+    @obs.traced("graph_store.update_edge", layer="graph_store")
     def update_edge(
         self,
         source: int,
@@ -587,3 +631,44 @@ class ZipG:
         for shard in self._shards:
             shard.stats.reset()
         self._logstore.stats.reset()
+
+    def snapshot_metrics(self) -> Dict[str, Dict]:
+        """Machine-readable metrics snapshot for the bench harness.
+
+        All values are monotone counters, so two snapshots bracketing a
+        workload can be diffed field-by-field. ``time_us`` fields are
+        zero unless tracing was enabled for the interval (span wall time
+        is only measured when spans record).
+        """
+        access = self.aggregate_stats()
+        layer_times = obs.get_tracer().layer_breakdown()
+
+        def _time_us(*layers: str) -> float:
+            return sum(layer_times.get(layer, {}).get("time_us", 0.0)
+                       for layer in layers)
+
+        logstore_stats = self._logstore.stats.snapshot()
+        return {
+            "access": access.to_metrics(),
+            "layers": {
+                "succinct": {
+                    "ops": float(access.total_touches
+                                 - logstore_stats.total_touches),
+                    "npa_hops": float(access.npa_hops),
+                    "time_us": _time_us(
+                        "succinct", "shard", "nodefile", "edgefile"
+                    ),
+                },
+                "logstore": {
+                    "ops": float(logstore_stats.total_touches),
+                    "time_us": _time_us("logstore"),
+                },
+                "pointer": {
+                    "ops": float(self._pointer_hops),
+                    "time_us": _time_us("pointer"),
+                },
+                "graph_store": {
+                    "time_us": _time_us("graph_store", "executor", "other"),
+                },
+            },
+        }

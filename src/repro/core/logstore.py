@@ -14,6 +14,7 @@ from __future__ import annotations
 import bisect
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro import obs
 from repro.core.model import Edge, EdgeData, PropertyList
 from repro.succinct.stats import AccessStats
 
@@ -179,6 +180,7 @@ class LogStore:
     def node_live(self, node_id: int) -> bool:
         return node_id in self._nodes and node_id not in self._node_tombstones
 
+    @obs.traced("logstore.get_properties", layer="logstore")
     def get_properties(
         self, node_id: int, property_ids: Optional[List[str]] = None
     ) -> PropertyList:
@@ -192,6 +194,7 @@ class LogStore:
         self.stats.random_accesses += 1
         return self._nodes[node_id].get(property_id)
 
+    @obs.traced("logstore.find_live_nodes", layer="logstore")
     def find_live_nodes(self, properties: PropertyList) -> List[int]:
         """NodeIDs matching all pairs, via the inverted index."""
         self.stats.searches += 1
@@ -220,6 +223,7 @@ class LogStore:
             if src == source and bucket
         ]
 
+    @obs.traced("logstore.find_edges_by_property", layer="logstore")
     def find_edges_by_property(
         self, property_id: str, value: str
     ) -> List[Tuple[int, int, EdgeData]]:

@@ -32,6 +32,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.core.delimiters import END_OF_RECORD, DelimiterMap
 from repro.core.errors import NodeNotFound
 from repro.core.model import PropertyList
@@ -139,6 +140,7 @@ class NodeFile:
         return self._file.extract(value_start, lengths[order]).decode("utf-8")
 
     # zipg: layout-parser[node-record]
+    @obs.traced("nodefile.get_properties", layer="nodefile")
     def get_properties(
         self, node_id: int, property_ids: Optional[List[str]] = None
     ) -> PropertyList:
@@ -190,6 +192,7 @@ class NodeFile:
             position += length
         return result
 
+    @obs.traced("nodefile.find_nodes", layer="nodefile")
     def find_nodes(self, properties: PropertyList) -> List[int]:
         """NodeIDs whose PropertyList matches every (pid, value) pair.
 
@@ -213,6 +216,7 @@ class NodeFile:
                 return []
         return sorted(result)
 
+    @obs.traced("nodefile.find_nodes_by_prefix", layer="nodefile")
     def find_nodes_by_prefix(self, property_id: str, prefix: str) -> List[int]:
         """NodeIDs whose ``property_id`` value *starts with* ``prefix``.
 

@@ -20,6 +20,14 @@ from __future__ import annotations
 import threading
 from typing import Callable, Dict, List, Set, Tuple
 
+from repro import obs
+
+#: Process-wide pointer-table lookup meter: one increment per
+#: ``node_shards`` / ``edge_shards`` / ``all_edge_shards`` resolution.
+_POINTER_LOOKUPS = obs.counter(
+    "zipg_pointer_lookups_total", help="update-pointer table resolutions"
+)
+
 ACTIVE_LOGSTORE = -1
 """Pseudo shard id for the active LogStore; promoted to a concrete
 shard id when the LogStore is frozen."""
@@ -185,16 +193,19 @@ class UpdatePointerTable:
 
     def node_shards(self, node_id: int) -> List[int]:
         """Shards (in append order) with newer property data for the node."""
+        _POINTER_LOOKUPS.inc()
         with self._lock:
             return list(self._node_pointers.get(node_id, []))
 
     def edge_shards(self, node_id: int, edge_type: int) -> List[int]:
         """Shards (in append order) with newer edges of this type."""
+        _POINTER_LOOKUPS.inc()
         with self._lock:
             return list(self._edge_pointers.get((node_id, edge_type), []))
 
     def all_edge_shards(self, node_id: int) -> List[int]:
         """Union of edge-pointer targets across every edge type."""
+        _POINTER_LOOKUPS.inc()
         shards: List[int] = []
         seen: Set[int] = set()
         with self._lock:

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro import obs
 from repro.core.deletes import DeletionIndex
 from repro.core.delimiters import DelimiterMap
 from repro.core.edgefile import EdgeFile, EdgeRecordFragment
@@ -124,11 +125,12 @@ class CompressedShard:
 
     def find_live_nodes(self, properties: PropertyList) -> List[int]:
         """Search, filtered through the node deletion bitmap."""
-        return [
-            node_id
-            for node_id in self.node_file.find_nodes(properties)
-            if not self.deletions.node_deleted(self.node_file.node_index(node_id))
-        ]
+        with obs.span("shard.find_live_nodes", layer="shard", shard=self.shard_id):
+            return [
+                node_id
+                for node_id in self.node_file.find_nodes(properties)
+                if not self.deletions.node_deleted(self.node_file.node_index(node_id))
+            ]
 
     def delete_node(self, node_id: int) -> bool:
         """Lazily delete; returns whether the node was live here."""
@@ -166,16 +168,20 @@ class CompressedShard:
     ) -> List[Tuple[int, int, EdgeData]]:
         """Live edges whose PropertyList matches (edge-property search,
         the §3.3 extension). Returns (source, edge_type, EdgeData)."""
-        results = []
-        for fragment, time_order in self.edge_file.find_edges_by_property(
-            property_id, value
+        with obs.span(
+            "shard.find_edges_by_property", layer="shard", shard=self.shard_id
         ):
-            if self.deletions.edge_deleted(fragment.base_edge_index + time_order):
-                continue
-            results.append(
-                (fragment.source, fragment.edge_type, fragment.edge_data_at(time_order))
-            )
-        return results
+            results = []
+            for fragment, time_order in self.edge_file.find_edges_by_property(
+                property_id, value
+            ):
+                if self.deletions.edge_deleted(fragment.base_edge_index + time_order):
+                    continue
+                results.append(
+                    (fragment.source, fragment.edge_type,
+                     fragment.edge_data_at(time_order))
+                )
+            return results
 
     def delete_edges(self, source: int, edge_type: int, destination: int) -> int:
         """Mark all live (source, edge_type, destination) edges deleted."""

@@ -1,0 +1,85 @@
+"""Exporters: Prometheus text exposition and JSON snapshots.
+
+The Prometheus format follows the text exposition rules closely enough
+that real scrapers (and the tiny round-trip parser in the tests) can
+consume it: one ``# TYPE`` line per family, label sets sorted, and
+histograms emitted as cumulative ``_bucket{le=...}`` series plus
+``_sum`` / ``_count``. Collector-published counters (the AccessStats
+totals) are emitted as plain counter families.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(pairs: Tuple[Tuple[str, str], ...],
+                   extra: Optional[Tuple[Tuple[str, str], ...]] = None) -> str:
+    items = list(pairs) + list(extra or ())
+    if not items:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label_value(str(v))}"' for k, v in sorted(items))
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format."""
+    families: Dict[str, List[object]] = {}
+    kinds: Dict[str, str] = {}
+    for metric in registry.metrics():
+        name = metric.name  # type: ignore[attr-defined]
+        families.setdefault(name, []).append(metric)
+        kinds[name] = metric.kind  # type: ignore[attr-defined]
+
+    lines: List[str] = []
+    for name in sorted(families):
+        lines.append(f"# TYPE {name} {kinds[name]}")
+        for metric in families[name]:
+            if isinstance(metric, (Counter, Gauge)):
+                labels = _render_labels(metric.labels)
+                lines.append(f"{name}{labels} {_format_value(metric.value)}")
+            elif isinstance(metric, Histogram):
+                for bound, cumulative in metric.bucket_counts():
+                    labels = _render_labels(
+                        metric.labels, (("le", _format_value(bound)),)
+                    )
+                    lines.append(f"{name}_bucket{labels} {cumulative}")
+                labels = _render_labels(metric.labels)
+                lines.append(f"{name}_sum{labels} {_format_value(metric.sum)}")
+                lines.append(f"{name}_count{labels} {metric.count}")
+
+    collected = registry.collected_counters()
+    for name in sorted(collected):
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name} {_format_value(collected[name])}")
+    return "\n".join(lines) + "\n"
+
+
+def json_snapshot(registry: MetricsRegistry, tracer: Optional[object] = None,
+                  indent: Optional[int] = None) -> str:
+    """The registry (plus, optionally, a tracer's recent traces and
+    layer breakdown) as a JSON document."""
+    payload: Dict[str, object] = registry.snapshot()
+    if tracer is not None:
+        payload["layers"] = tracer.layer_breakdown()  # type: ignore[attr-defined]
+        payload["spans"] = tracer.span_summary()  # type: ignore[attr-defined]
+        payload["recent_traces"] = [
+            trace.to_dict() for trace in list(tracer.traces)  # type: ignore[attr-defined]
+        ]
+    return json.dumps(payload, indent=indent, sort_keys=True)

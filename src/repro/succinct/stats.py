@@ -124,6 +124,21 @@ class AccessStats:
             for name, amount in deltas.items():
                 setattr(self, name, getattr(self, name) + amount)
 
+    def to_metrics(self, prefix: str = "") -> "dict[str, float]":
+        """The counters as a flat ``{name: value}`` mapping, snapshotted
+        under the lock -- the shape metric-registry collectors emit."""
+        source = self.snapshot()
+        return {
+            f"{prefix}random_accesses_total": float(source.random_accesses),
+            f"{prefix}sequential_bytes_total": float(source.sequential_bytes),
+            f"{prefix}npa_hops_total": float(source.npa_hops),
+            f"{prefix}npa_batched_hops_total": float(source.npa_batched_hops),
+            f"{prefix}batch_kernel_calls_total": float(source.batch_kernel_calls),
+            f"{prefix}searches_total": float(source.searches),
+            f"{prefix}writes_total": float(source.writes),
+            f"{prefix}decompressed_bytes_total": float(source.decompressed_bytes),
+        }
+
     @property
     def scalar_npa_hops(self) -> int:
         """NPA hops issued one at a time outside any batched kernel."""

@@ -26,6 +26,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.succinct.bitvector import BitVector
 from repro.succinct.npa import NextPointerArray
 from repro.succinct.stats import AccessStats
@@ -181,6 +182,7 @@ class SuccinctFile:
     # Public queries
     # ------------------------------------------------------------------
 
+    @obs.traced("succinct.extract", layer="succinct")
     def extract(self, offset: int, length: int) -> bytes:
         """Return ``length`` bytes of the original input starting at ``offset``.
 
@@ -255,6 +257,7 @@ class SuccinctFile:
         # matrix is the contiguous text from the first anchor position.
         return chars.ravel()[head : head + length].tobytes()
 
+    @obs.traced("succinct.extract_batch", layer="succinct")
     def extract_batch(self, requests: Sequence[Tuple[int, int]]) -> List[bytes]:
         """Extract many ``(offset, length)`` substrings in one lockstep
         NPA walk.
@@ -373,12 +376,14 @@ class SuccinctFile:
             low, high = self._npa.refine_backward(char, low, high)
         return (low, high)
 
+    @obs.traced("succinct.count", layer="succinct")
     def count(self, pattern: bytes) -> int:
         """Number of occurrences of ``pattern`` in the input."""
         self.stats.searches += 1
         low, high = self._pattern_row_range(bytes(pattern))
         return high - low
 
+    @obs.traced("succinct.search", layer="succinct")
     def search(self, pattern: bytes) -> np.ndarray:
         """Offsets (ascending) where ``pattern`` occurs in the input.
 

@@ -1,0 +1,28 @@
+"""Shared test configuration: Hypothesis profiles.
+
+The property suites pin ``max_examples`` inline, and an inline
+``@settings(...)`` always overrides a registered profile -- so example
+counts scale through :func:`hypothesis_examples` instead, which reads
+the profile name from ``$HYPOTHESIS_PROFILE``:
+
+* ``default`` -- the fast PR-gate counts;
+* ``nightly`` -- 10x examples, run by the scheduled CI job.
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import settings
+
+_PROFILE = os.environ.get("HYPOTHESIS_PROFILE", "default")
+_SCALE = {"default": 1, "nightly": 10}
+
+settings.register_profile("default", deadline=None)
+settings.register_profile("nightly", deadline=None)
+settings.load_profile(_PROFILE)
+
+
+def hypothesis_examples(base: int) -> int:
+    """``base`` scaled by the active profile's example multiplier."""
+    return base * _SCALE.get(_PROFILE, 1)

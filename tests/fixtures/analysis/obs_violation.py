@@ -1,0 +1,31 @@
+"""Fixture: OBS001 violations (never imported, only analyzed)."""
+
+# zipg: query-api
+
+from repro import obs
+
+
+class BareStore:
+    def get_neighbor_ids(self, node_id):  # OBS001(a): no span
+        return [node_id]
+
+    def find_edges(self, property_id, value):  # OBS001(b): fan-out, no span
+        return self.executor.map(lambda shard: shard.find(value), self._shards)
+
+    @obs.traced("store.get_node_ids", layer="graph_store")
+    def get_node_ids(self, properties):  # ok: traced decorator
+        return self.executor.map(lambda shard: shard.search(properties), self._shards)
+
+    def update_node(self, node_id, properties):  # ok: with-span body
+        with obs.span("store.update_node", layer="graph_store"):
+            self._log.append((node_id, properties))
+
+    # zipg: span-free
+    def has_node(self, node_id):  # ok: opted out
+        return node_id in self._ids
+
+    def _get_internal(self, node_id):  # ok: private helper
+        return self._ids[node_id]
+
+    def route(self, node_id):  # ok: not a query-surface name
+        return node_id % 4

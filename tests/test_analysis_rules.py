@@ -189,6 +189,47 @@ class TestHygieneRules:
 
 
 # ----------------------------------------------------------------------
+# Observability coverage
+# ----------------------------------------------------------------------
+
+
+class TestObsRule:
+    def test_unwrapped_query_method_flagged(self):
+        path = fixture("obs_violation.py")
+        found = hits(findings_for("obs_violation.py", ["OBS001"]))
+        assert ("OBS001", line_of(path, "OBS001(a)")) in found
+
+    def test_executor_map_outside_span_flagged(self):
+        path = fixture("obs_violation.py")
+        found = findings_for("obs_violation.py", ["OBS001"])
+        map_line = line_of(path, "self.executor.map(lambda shard: shard.find")
+        assert any(
+            f.line == map_line and "executor.map" in f.message for f in found
+        )
+
+    def test_traced_and_with_span_methods_not_flagged(self):
+        found = findings_for("obs_violation.py", ["OBS001"])
+        for name in ("get_node_ids", "update_node", "has_node",
+                     "_get_internal", "route"):
+            assert not any(name in f.message for f in found), name
+
+    def test_not_flagged_without_query_api_marker(self, tmp_path):
+        with open(fixture("obs_violation.py")) as handle:
+            body = handle.read().replace("# zipg: query-api", "")
+        cold = tmp_path / "unmarked_module.py"
+        cold.write_text(body)
+        findings, _ = analyze_paths([str(cold)], ["OBS001"])
+        assert findings == []
+
+    def test_graph_store_is_covered(self):
+        src_path = os.path.join(SRC_REPRO, "core", "graph_store.py")
+        findings, context = analyze_paths([src_path], ["OBS001"])
+        assert findings == []
+        module = context.modules[0]
+        assert module.markers.module_has("query-api")
+
+
+# ----------------------------------------------------------------------
 # Engine behaviour + CLI
 # ----------------------------------------------------------------------
 
@@ -239,6 +280,7 @@ class TestCli:
             "LAYOUT001", "LAYOUT002",
             "HOT001", "HOT002",
             "API001", "API002",
+            "OBS001",
         ):
             assert rule_id in out
 

@@ -8,6 +8,7 @@ pointers and deletion bitmaps.
 """
 
 import pytest
+from conftest import hypothesis_examples
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -61,7 +62,7 @@ class Mirror:
         )
 
 
-@settings(max_examples=25, deadline=None)
+@settings(max_examples=hypothesis_examples(25), deadline=None)
 @given(graph=graph_strategy(), data=st.data())
 def test_zipg_agrees_with_oracle_under_updates(graph, data):
     store = ZipG.compress(

@@ -7,6 +7,7 @@ evaluation -- for both delimiter regimes (1- and 2-byte).
 
 import string
 
+from conftest import hypothesis_examples
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -36,13 +37,13 @@ def node_map_strategy(draw, id_pool):
     return nodes
 
 
-@settings(max_examples=40, deadline=None)
+@settings(max_examples=hypothesis_examples(40), deadline=None)
 @given(nodes=node_map_strategy(small_ids), alpha=st.integers(min_value=1, max_value=8))
 def test_nodefile_roundtrip_single_byte(nodes, alpha):
     _check_nodefile(nodes, SMALL_POOL, alpha)
 
 
-@settings(max_examples=25, deadline=None)
+@settings(max_examples=hypothesis_examples(25), deadline=None)
 @given(nodes=node_map_strategy(big_ids), alpha=st.integers(min_value=1, max_value=8))
 def test_nodefile_roundtrip_two_byte(nodes, alpha):
     _check_nodefile(nodes, BIG_POOL, alpha)
@@ -92,7 +93,7 @@ def edge_map_strategy(draw):
     return edges
 
 
-@settings(max_examples=40, deadline=None)
+@settings(max_examples=hypothesis_examples(40), deadline=None)
 @given(edges=edge_map_strategy(), alpha=st.integers(min_value=2, max_value=16))
 def test_edgefile_roundtrip(edges, alpha):
     dmap = DelimiterMap(["age", "city", "name", "zip"])
@@ -110,7 +111,7 @@ def test_edgefile_roundtrip(edges, alpha):
             assert record.properties_at(order) == edge.properties
 
 
-@settings(max_examples=30, deadline=None)
+@settings(max_examples=hypothesis_examples(30), deadline=None)
 @given(edges=edge_map_strategy(), data=st.data())
 def test_edgefile_time_range_matches_bisect(edges, data):
     import bisect
@@ -127,7 +128,7 @@ def test_edgefile_time_range_matches_bisect(edges, data):
         assert end == bisect.bisect_left(timestamps, t_high)
 
 
-@settings(max_examples=30, deadline=None)
+@settings(max_examples=hypothesis_examples(30), deadline=None)
 @given(edges=edge_map_strategy())
 def test_edgefile_width_policies_agree(edges):
     """Per-record and global width policies store identical content."""

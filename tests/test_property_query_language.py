@@ -4,6 +4,7 @@ Random graphs and randomly generated queries from the supported grammar
 must produce the same rows as a direct evaluation over GraphData.
 """
 
+from conftest import hypothesis_examples
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -48,7 +49,7 @@ def oracle_edge_match(graph, source_props, label, target_props):
     return sorted(set(rows))
 
 
-@settings(max_examples=20, deadline=None)
+@settings(max_examples=hypothesis_examples(20), deadline=None)
 @given(graph=graph_strategy(), data=st.data())
 def test_zipql_matches_oracle(graph, data):
     system = ZipGSystem.load(graph, num_shards=2, alpha=4)

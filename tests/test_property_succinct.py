@@ -6,6 +6,7 @@ them inherits correctness.
 """
 
 import numpy as np
+from conftest import hypothesis_examples
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -20,14 +21,14 @@ nonempty_text = st.binary(min_size=1, max_size=120).map(
 )
 
 
-@settings(max_examples=60, deadline=None)
+@settings(max_examples=hypothesis_examples(60), deadline=None)
 @given(text=text_strategy, alpha=st.integers(min_value=1, max_value=16))
 def test_extract_equals_slice(text, alpha):
     sf = SuccinctFile(text, alpha=alpha)
     assert sf.decompress() == text
 
 
-@settings(max_examples=60, deadline=None)
+@settings(max_examples=hypothesis_examples(60), deadline=None)
 @given(
     text=nonempty_text,
     alpha=st.integers(min_value=1, max_value=16),
@@ -40,7 +41,7 @@ def test_extract_arbitrary_window(text, alpha, data):
     assert sf.extract(offset, length) == text[offset : offset + length]
 
 
-@settings(max_examples=60, deadline=None)
+@settings(max_examples=hypothesis_examples(60), deadline=None)
 @given(text=nonempty_text, alpha=st.integers(min_value=1, max_value=16), data=st.data())
 def test_search_equals_naive(text, alpha, data):
     sf = SuccinctFile(text, alpha=alpha)
@@ -62,7 +63,7 @@ def test_search_equals_naive(text, alpha, data):
     assert sf.count(pattern) == len(expected)
 
 
-@settings(max_examples=60, deadline=None)
+@settings(max_examples=hypothesis_examples(60), deadline=None)
 @given(text=nonempty_text)
 def test_suffix_array_sorts_suffixes(text):
     sa = build_suffix_array(text)
@@ -71,7 +72,7 @@ def test_suffix_array_sorts_suffixes(text):
     assert sorted(sa.tolist()) == list(range(len(text)))
 
 
-@settings(max_examples=60, deadline=None)
+@settings(max_examples=hypothesis_examples(60), deadline=None)
 @given(text=nonempty_text)
 def test_isa_inverts_sa(text):
     sa = build_suffix_array(text)
@@ -79,7 +80,7 @@ def test_isa_inverts_sa(text):
     assert (sa[isa] == np.arange(len(text))).all()
 
 
-@settings(max_examples=60, deadline=None)
+@settings(max_examples=hypothesis_examples(60), deadline=None)
 @given(
     size=st.integers(min_value=1, max_value=300),
     data=st.data(),

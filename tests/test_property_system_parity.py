@@ -6,6 +6,7 @@ random update sequence against ZipG, Neo4j(-Tuned) and Titan(-C) and
 checks the full query surface for agreement.
 """
 
+from conftest import hypothesis_examples
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -39,7 +40,7 @@ def graph_and_ops(draw):
     return graph, ops
 
 
-@settings(max_examples=20, deadline=None)
+@settings(max_examples=hypothesis_examples(20), deadline=None)
 @given(data=graph_and_ops())
 def test_all_systems_agree(data):
     graph, ops = data
