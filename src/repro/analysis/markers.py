@@ -29,7 +29,9 @@ _MARKER_RE = re.compile(r"#\s*zipg:\s*(?P<body>.+?)\s*$")
 _DIRECTIVE_RE = re.compile(r"(?P<name>[A-Za-z][A-Za-z0-9_-]*)(?:\[(?P<args>[^\]]*)\])?")
 
 #: Directives that apply to the whole module.
-MODULE_DIRECTIVES = frozenset({"hot-path", "public-api", "query-api"})
+MODULE_DIRECTIVES = frozenset(
+    {"hot-path", "public-api", "query-api", "robust-path"}
+)
 #: Directives that attach to the enclosing/following function.
 FUNCTION_DIRECTIVES = frozenset(
     {"scalar-ok", "layout-writer", "layout-parser", "ignore", "span-free"}

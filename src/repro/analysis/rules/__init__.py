@@ -7,3 +7,4 @@ import repro.analysis.rules.layout  # noqa: F401
 import repro.analysis.rules.hotpath  # noqa: F401
 import repro.analysis.rules.hygiene  # noqa: F401
 import repro.analysis.rules.obs  # noqa: F401
+import repro.analysis.rules.robustness  # noqa: F401

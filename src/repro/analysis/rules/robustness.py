@@ -1,0 +1,98 @@
+"""Robustness-path error-handling rule (ROBUST001).
+
+The crash-safety guarantees of the durability layer hold only if
+failures are never silently discarded: a swallowed ``OSError`` in
+:mod:`repro.core.persistence` turns a half-written snapshot into a
+"successful" save, and a swallowed exception in the chaos or
+replication layers hides exactly the faults those layers exist to
+surface.  In robustness-critical modules -- ``repro.core.persistence``,
+``repro.core.wal``, everything under ``repro.chaos`` and
+``repro.cluster``, plus any module marked ``# zipg: robust-path`` --
+ROBUST001 flags:
+
+* bare ``except:`` handlers (they also swallow ``SimulatedCrash``,
+  breaking the kill -9 process model); and
+* handlers of *any* exception type whose body does nothing at all
+  (only ``pass`` / ``continue`` / ``...``) -- the error must be
+  re-raised, recorded, converted, or the handler line must carry an
+  explicit ``# zipg: ignore[ROBUST001]`` stating the swallow is
+  deliberate (e.g. advisory cleanup).
+
+Stricter than API002 on purpose: API002 only guards the
+``repro.core.errors`` hierarchy, while on the robustness path even a
+silently-dropped ``OSError`` or ``KeyError`` is a durability bug.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.analysis.engine import AnalysisContext, Finding, ModuleInfo, rule
+
+#: Dotted-module prefixes that are always on the robustness path.
+ROBUST_MODULE_PREFIXES = ("repro.chaos", "repro.cluster")
+#: Individual modules that are always on the robustness path.
+ROBUST_MODULES = frozenset({"repro.core.persistence", "repro.core.wal"})
+
+
+def is_robust_path(module: ModuleInfo) -> bool:
+    """Whether ROBUST001 applies to ``module``."""
+    if module.markers.module_has("robust-path"):
+        return True
+    if module.name in ROBUST_MODULES:
+        return True
+    return module.name.startswith(
+        tuple(prefix + "." for prefix in ROBUST_MODULE_PREFIXES)
+    ) or module.name in ROBUST_MODULE_PREFIXES
+
+
+def _is_noop(stmt: ast.stmt) -> bool:
+    if isinstance(stmt, (ast.Pass, ast.Continue)):
+        return True
+    return (
+        isinstance(stmt, ast.Expr)
+        and isinstance(stmt.value, ast.Constant)
+        and stmt.value.value is Ellipsis
+    )
+
+
+def _swallowing_body(body: List[ast.stmt]) -> bool:
+    return bool(body) and all(_is_noop(stmt) for stmt in body)
+
+
+@rule(
+    "ROBUST001",
+    "robustness-path modules must not use bare except or silently "
+    "swallow exceptions (opt out per line with '# zipg: "
+    "ignore[ROBUST001]')",
+)
+def check_robust_error_handling(context: AnalysisContext) -> Iterator[Finding]:
+    for module in context.modules:
+        if not is_robust_path(module):
+            continue
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield Finding(
+                    "ROBUST001",
+                    "bare 'except:' on the robustness path -- it also "
+                    "swallows SimulatedCrash, defeating the crash "
+                    "model; name the exception",
+                    module.path,
+                    node.lineno,
+                )
+                continue
+            if _swallowing_body(node.body):
+                # Anchor the finding on the no-op statement so a
+                # deliberate swallow is acknowledged where it happens.
+                yield Finding(
+                    "ROBUST001",
+                    "exception silently swallowed on the robustness "
+                    "path (handler body does nothing) -- re-raise, "
+                    "record, or convert it, or acknowledge with "
+                    "'# zipg: ignore[ROBUST001]'",
+                    module.path,
+                    node.body[0].lineno,
+                )

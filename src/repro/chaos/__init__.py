@@ -1,0 +1,121 @@
+"""``repro.chaos``: deterministic fault injection (see ISSUE §robustness).
+
+Production modules call the free functions here at named *sites*; with
+no injector installed every call is a cheap no-op, so the query and
+persistence hot paths pay a single ``is None`` check.  Tests install a
+seeded :class:`ChaosInjector` to turn specific sites into exceptions,
+latency spikes, torn writes, or simulated process crashes::
+
+    from repro import chaos
+
+    with chaos.injected(chaos.ChaosInjector(seed=7, rules=[
+        chaos.FaultRule(site=chaos.SITE_REPLICA_CALL,
+                        match={"server": 1}, fault="error"),
+    ])):
+        cluster.get_node_ids({"city": "Ithaca"})   # server 1 now fails
+
+Site names are dotted and stable (constants below); rules match them
+with ``fnmatch`` patterns, so ``"save.*"`` covers every crash point in
+:func:`repro.core.persistence.save_store`.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import IO, Iterator, Optional
+
+from repro.chaos.injector import (
+    ChaosInjector,
+    FaultInjected,
+    FaultRule,
+    SimulatedCrash,
+)
+
+__all__ = [
+    "ChaosInjector",
+    "FaultInjected",
+    "FaultRule",
+    "SimulatedCrash",
+    "SITE_EXECUTOR_CALL",
+    "SITE_REPLICA_CALL",
+    "SITE_SAVE_WRITE",
+    "SITE_WAL_WRITE",
+    "active",
+    "crash_point",
+    "injected",
+    "install",
+    "kick",
+    "uninstall",
+    "write_bytes",
+]
+
+#: Executor work-item invocation (tags: ``index``, ``attempt``).
+SITE_EXECUTOR_CALL = "executor.shard_call"
+#: Replicated-cluster per-replica call (tags: ``shard``, ``server``).
+SITE_REPLICA_CALL = "replication.replica_call"
+#: Snapshot data-file write (tags: ``file``).
+SITE_SAVE_WRITE = "save.write"
+#: WAL record write (tags: ``lsn``).
+SITE_WAL_WRITE = "wal.write"
+
+_LOCK = threading.Lock()
+_INJECTOR: Optional[ChaosInjector] = None
+
+
+def install(injector: ChaosInjector) -> ChaosInjector:
+    """Make ``injector`` the process-wide active injector."""
+    global _INJECTOR
+    with _LOCK:
+        _INJECTOR = injector
+    return injector
+
+
+def uninstall() -> None:
+    """Remove the active injector (all sites become no-ops again)."""
+    global _INJECTOR
+    with _LOCK:
+        _INJECTOR = None
+
+
+def active() -> Optional[ChaosInjector]:
+    """The currently installed injector, if any."""
+    return _INJECTOR
+
+
+@contextmanager
+def injected(injector: ChaosInjector) -> Iterator[ChaosInjector]:
+    """Install ``injector`` for the duration of the ``with`` block."""
+    install(injector)
+    try:
+        yield injector
+    finally:
+        uninstall()
+
+
+# ----------------------------------------------------------------------
+# Site hooks (no-ops unless an injector is installed)
+# ----------------------------------------------------------------------
+
+
+def kick(site: str, **tags: object) -> None:
+    """Maybe inject latency / an exception / a crash at ``site``."""
+    injector = _INJECTOR
+    if injector is not None:
+        injector.kick(site, **tags)
+
+
+def crash_point(site: str, **tags: object) -> None:
+    """Maybe die (raise :class:`SimulatedCrash`) at ``site``."""
+    injector = _INJECTOR
+    if injector is not None:
+        injector.crash_point(site, **tags)
+
+
+def write_bytes(site: str, handle: IO[bytes], data: bytes, **tags: object) -> None:
+    """Write ``data`` to ``handle``, subject to torn-write faults."""
+    injector = _INJECTOR
+    if injector is not None:
+        injector.write_bytes(site, handle, data, **tags)
+    else:
+        handle.write(data)

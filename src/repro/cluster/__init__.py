@@ -20,13 +20,20 @@ from repro.cluster.cluster import (
     ZipGCluster,
     run_distributed_workload,
 )
-from repro.cluster.replication import ReplicatedZipGCluster, ShardUnavailable
+from repro.cluster.replication import (
+    PartialResult,
+    ReplicatedZipGCluster,
+    ShardError,
+    ShardUnavailable,
+)
 
 __all__ = [
     "DistributedResult",
     "FunctionShippingAggregator",
+    "PartialResult",
     "ReplicatedZipGCluster",
     "Server",
+    "ShardError",
     "ShardUnavailable",
     "ShippingLevel",
     "ShippingTrace",

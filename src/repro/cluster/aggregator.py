@@ -104,7 +104,7 @@ class FunctionShippingAggregator:
             try:
                 properties = store.get_node_property(destination, list(property_list))
             except NodeNotFound:
-                continue
+                continue  # neighbor deleted mid-query  # zipg: ignore[ROBUST001]
             if all(properties.get(k) == v for k, v in property_list.items()):
                 matches.append(destination)
         return matches, trace
@@ -158,7 +158,7 @@ class FunctionShippingAggregator:
             try:
                 properties = store.get_node_property(candidate, list(property_list))
             except NodeNotFound:
-                continue
+                continue  # candidate deleted mid-query  # zipg: ignore[ROBUST001]
             if all(properties.get(k) == v for k, v in property_list.items()):
                 matches.append(candidate)
         return matches, trace

@@ -10,18 +10,70 @@ Reads rotate round-robin over a shard's *live* replicas; failing a
 server re-routes its shards' reads to the surviving replicas, and a
 shard whose replicas are all down makes queries raise
 :class:`ShardUnavailable`.
+
+Degraded-query semantics on top of that placement:
+
+* :meth:`ReplicatedZipGCluster.call_on_shard` tries a shard's live
+  replicas in rotation order; a replica call that raises fails over to
+  the next live replica (``zipg_replica_failovers_total``) and only
+  raises :class:`~repro.core.errors.ReplicaCallError` -- carrying every
+  ``(server, exception)`` attempt -- once *all* live replicas failed.
+* The broadcast queries (``get_node_ids`` / ``find_edges``) accept
+  ``partial_results=True``: instead of raising on the first exhausted
+  shard they return a :class:`PartialResult` with the merged value from
+  the shards that answered plus one structured :class:`ShardError` per
+  shard that did not.
+* Replica calls pass through the ``replication.replica_call`` chaos
+  site, so :mod:`repro.chaos` can fail chosen servers deterministically.
+
+Rotation and down-server state are guarded by one lock: cluster
+queries fan out on the store's thread pool, so ``fail_server`` can race
+``server_of_shard`` from a worker thread.
 """
+# zipg: query-api
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
-from repro.cluster.cluster import Server, ZipGCluster
+from repro import chaos, obs
+from repro.cluster.cluster import ZipGCluster
+from repro.core.errors import ReplicaCallError
 from repro.core.graph_store import ZipG
+from repro.core.model import PropertyList
 
 
 class ShardUnavailable(RuntimeError):
     """Every replica of a required shard is down."""
+
+
+#: Pseudo shard id used to tag replica-call chaos sites and errors for
+#: the (unreplicated, §3.5) LogStore server.
+LOGSTORE_UNIT = -1
+
+
+@dataclass
+class ShardError:
+    """One shard's structured failure inside a degraded query."""
+
+    shard_id: int
+    error: BaseException
+    servers_tried: List[int] = field(default_factory=list)
+
+
+@dataclass
+class PartialResult:
+    """Outcome of a ``partial_results=True`` broadcast query."""
+
+    value: object
+    errors: List[ShardError]
+    attempted: int
+
+    @property
+    def complete(self) -> bool:
+        return not self.errors
 
 
 class ReplicatedZipGCluster(ZipGCluster):
@@ -32,13 +84,24 @@ class ReplicatedZipGCluster(ZipGCluster):
         num_servers: cluster size.
         replication_factor: replicas per shard (the paper's app-chosen
             knob). Must not exceed ``num_servers``.
+        retries: extra per-shard attempts the broadcast fan-out makes
+            on top of replica failover (passed to ``executor.map``).
+        backoff_s: base exponential backoff between those retries.
+        deadline_s: cooperative per-shard-call deadline.
     """
 
-    def __init__(self, store: ZipG, num_servers: int, replication_factor: int = 2):
+    def __init__(self, store: ZipG, num_servers: int,
+                 replication_factor: int = 2, retries: int = 0,
+                 backoff_s: float = 0.0,
+                 deadline_s: Optional[float] = None):
         super().__init__(store, num_servers)
         if not 1 <= replication_factor <= num_servers:
             raise ValueError("replication_factor must be in [1, num_servers]")
         self.replication_factor = replication_factor
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.deadline_s = deadline_s
+        self._state_lock = threading.Lock()
         self._down: Set[int] = set()
         self._rotation: Dict[int, int] = {}
 
@@ -55,16 +118,28 @@ class ReplicatedZipGCluster(ZipGCluster):
         ]
 
     def live_replicas(self, shard_id: int) -> List[int]:
-        return [s for s in self.replica_servers(shard_id) if s not in self._down]
+        with self._state_lock:
+            down = set(self._down)
+        return [s for s in self.replica_servers(shard_id) if s not in down]
 
     def server_of_shard(self, shard_id: int) -> int:
         """Round-robin read routing over the shard's live replicas."""
-        live = self.live_replicas(shard_id)
+        live, turn = self._route(shard_id)
         if not live:
             raise ShardUnavailable(f"no live replica for shard {shard_id}")
-        turn = self._rotation.get(shard_id, 0)
-        self._rotation[shard_id] = turn + 1
         return live[turn % len(live)]
+
+    def _route(self, shard_id: int) -> Tuple[List[int], int]:
+        """Atomically snapshot the live replicas and claim a rotation
+        turn for one read of ``shard_id``."""
+        with self._state_lock:
+            live = [
+                s for s in self.replica_servers(shard_id)
+                if s not in self._down
+            ]
+            turn = self._rotation.get(shard_id, 0)
+            self._rotation[shard_id] = turn + 1
+        return live, turn
 
     # ------------------------------------------------------------------
     # Failures
@@ -74,14 +149,17 @@ class ReplicatedZipGCluster(ZipGCluster):
         """Mark a server down; its shards fail over to surviving replicas."""
         if not 0 <= server_id < self.num_servers:
             raise IndexError(f"server {server_id} out of range")
-        self._down.add(server_id)
+        with self._state_lock:
+            self._down.add(server_id)
 
     def recover_server(self, server_id: int) -> None:
-        self._down.discard(server_id)
+        with self._state_lock:
+            self._down.discard(server_id)
 
     @property
     def down_servers(self) -> Set[int]:
-        return set(self._down)
+        with self._state_lock:
+            return set(self._down)
 
     def is_available(self) -> bool:
         """True if every shard still has at least one live replica."""
@@ -91,3 +169,150 @@ class ReplicatedZipGCluster(ZipGCluster):
         """Replication multiplies the stored bytes (no storage-efficient
         erasure coding -- the paper leaves that as future work)."""
         return super().storage_footprint_bytes() * self.replication_factor
+
+    # ------------------------------------------------------------------
+    # Resilient shard calls
+    # ------------------------------------------------------------------
+
+    def call_on_shard(self, shard_id: int, fn: Callable[[int], object]) -> object:
+        """Run ``fn(server)`` against ``shard_id``, failing over across
+        its live replicas.
+
+        Replicas are tried once each, starting at this read's rotation
+        slot. A replica whose call raises is skipped in favor of the
+        next one (``zipg_replica_failovers_total``); once every live
+        replica failed, :class:`ReplicaCallError` carries the full
+        ``(server, exception)`` attempt list. No live replica at all is
+        :class:`ShardUnavailable` -- the shard's data is simply gone.
+        """
+        live, turn = self._route(shard_id)
+        if not live:
+            raise ShardUnavailable(f"no live replica for shard {shard_id}")
+        attempts: List[Tuple[int, BaseException]] = []
+        for offset in range(len(live)):
+            server = live[(turn + offset) % len(live)]
+            try:
+                chaos.kick(chaos.SITE_REPLICA_CALL,
+                           shard=shard_id, server=server)
+                return fn(server)
+            except Exception as exc:
+                attempts.append((server, exc))
+                if offset < len(live) - 1:
+                    obs.counter(
+                        "zipg_replica_failovers_total",
+                        help="replica calls retried on the next live replica",
+                    ).inc()
+        raise ReplicaCallError(shard_id, attempts)
+
+    def _call_on_logstore(self, fn: Callable[[int], object]) -> object:
+        """The LogStore lives unreplicated on one server (§3.5): its
+        server being down makes the call fail outright."""
+        server = self.logstore_server
+        if server in self.down_servers:
+            raise ShardUnavailable(
+                f"logstore server {server} is down (logstore is unreplicated)"
+            )
+        chaos.kick(chaos.SITE_REPLICA_CALL, shard=LOGSTORE_UNIT, server=server)
+        return fn(server)
+
+    def _broadcast(self, title: str, unit_fn: Callable, merge: Callable,
+                   partial_results: bool):
+        """Fan one search out over the LogStore + every shard with
+        replica failover, collecting per-unit outcomes.
+
+        ``unit_fn(unit)`` runs the search on one unit (``None`` is the
+        LogStore); ``merge(values)`` combines the successful hits."""
+        units: List = [None] + list(self.store.shards)
+
+        def run(unit):
+            if unit is None:
+                return self._call_on_logstore(lambda server: unit_fn(unit))
+            return self.call_on_shard(
+                unit.shard_id, lambda server: unit_fn(unit)
+            )
+
+        with obs.span("replication.broadcast", layer="cluster", query=title):
+            outcomes = self.store.executor.map(
+                run,
+                units,
+                stats_of=lambda unit: (
+                    self.store.logstore.stats if unit is None else unit.stats
+                ),
+                retries=self.retries,
+                backoff_s=self.backoff_s,
+                deadline_s=self.deadline_s,
+                partial=True,
+            )
+        errors: List[ShardError] = []
+        values: List = []
+        for outcome, unit in zip(outcomes, units):
+            if outcome.ok:
+                values.append(outcome.value)
+                continue
+            shard_id = LOGSTORE_UNIT if unit is None else unit.shard_id
+            error = outcome.error
+            tried = (
+                [server for server, _ in error.attempts]
+                if isinstance(error, ReplicaCallError)
+                else []
+            )
+            errors.append(ShardError(shard_id, error, tried))
+        if errors:
+            obs.counter(
+                "zipg_degraded_queries_total",
+                help="broadcast queries answered from a subset of shards",
+                labels={"query": title},
+            ).inc()
+        if not partial_results:
+            for shard_error in errors:
+                raise shard_error.error
+            return merge(values)
+        return PartialResult(merge(values), errors, attempted=len(units))
+
+    # ------------------------------------------------------------------
+    # Degradable broadcast queries
+    # ------------------------------------------------------------------
+
+    @obs.traced("replication.get_node_ids", layer="cluster")
+    def get_node_ids(self, property_list: PropertyList,
+                     partial_results: bool = False):
+        """All-shard node search with replica failover; see
+        :meth:`_broadcast` for the ``partial_results`` contract."""
+        def unit_fn(unit):
+            location = self.store.logstore if unit is None else unit
+            return location.find_live_nodes(property_list)
+
+        def merge(values):
+            result: set = set()
+            for hits in values:
+                result.update(hits)
+            return sorted(result)
+
+        return self._broadcast("get_node_ids", unit_fn, merge, partial_results)
+
+    @obs.traced("replication.find_edges", layer="cluster")
+    def find_edges(self, property_id: str, value: str,
+                   partial_results: bool = False):
+        """All-shard edge-property search with replica failover."""
+        def unit_fn(unit):
+            location = self.store.logstore if unit is None else unit
+            return location.find_edges_by_property(property_id, value)
+
+        def merge(values):
+            results = [hit for hits in values for hit in hits]
+            results.sort(key=lambda hit: (hit[0], hit[1],
+                                          hit[2].timestamp,
+                                          hit[2].destination))
+            return results
+
+        return self._broadcast("find_edges", unit_fn, merge, partial_results)
+
+    @obs.traced("replication.get_node_property", layer="cluster")
+    def get_node_property(self, node_id: int, property_ids="*") -> PropertyList:
+        """Node-property read routed through the owning shard's live
+        replicas (failover instead of failing on the first dead one)."""
+        shard_id = self.store.route(node_id)
+        return self.call_on_shard(
+            shard_id,
+            lambda server: self.store.get_node_property(node_id, property_ids),
+        )

@@ -16,13 +16,23 @@
 """
 
 from repro.core.errors import (
+    DeadlineExceeded,
     EdgeRecordNotFound,
     GraphFormatError,
+    ManifestCorruptError,
+    ManifestMissingError,
     NodeNotFound,
+    RecoveryError,
+    ReplicaCallError,
+    ShardCallError,
+    SnapshotCorruptError,
+    StoreVersionConflictError,
+    UnsupportedVersionError,
     ZipGError,
 )
-from repro.core.executor import ShardExecutor
+from repro.core.executor import ShardExecutor, ShardResult
 from repro.core.graph_store import ZipG
+from repro.core.wal import WalConfig, WalRecord, WriteAheadLog
 from repro.core.model import (
     WILDCARD,
     Edge,
@@ -32,15 +42,28 @@ from repro.core.model import (
 )
 
 __all__ = [
+    "DeadlineExceeded",
     "Edge",
     "EdgeData",
     "EdgeRecordNotFound",
     "GraphData",
     "GraphFormatError",
+    "ManifestCorruptError",
+    "ManifestMissingError",
     "NodeNotFound",
     "PropertyList",
+    "RecoveryError",
+    "ReplicaCallError",
+    "ShardCallError",
     "ShardExecutor",
+    "ShardResult",
+    "SnapshotCorruptError",
+    "StoreVersionConflictError",
+    "UnsupportedVersionError",
     "WILDCARD",
+    "WalConfig",
+    "WalRecord",
+    "WriteAheadLog",
     "ZipG",
     "ZipGError",
 ]

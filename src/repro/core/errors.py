@@ -1,5 +1,9 @@
 """Exception hierarchy for the ZipG store."""
 
+from __future__ import annotations
+
+from typing import List, Tuple
+
 
 class ZipGError(Exception):
     """Base class for all ZipG errors."""
@@ -21,3 +25,79 @@ class EdgeRecordNotFound(ZipGError, KeyError):
 class TooManyProperties(GraphFormatError):
     """The graph declares more distinct PropertyIDs than the delimiter
     space supports (625 with two-byte delimiters, §3.3 footnote 4)."""
+
+
+# ----------------------------------------------------------------------
+# Durability / recovery (§4.1 persistence + WAL)
+# ----------------------------------------------------------------------
+
+
+class RecoveryError(ZipGError):
+    """A persisted store layout cannot be recovered as-is.
+
+    Raised by :mod:`repro.core.persistence` when the on-disk state is
+    torn, incomplete, or version-incompatible.  Subclasses identify the
+    exact failure so operators (and tests) can distinguish "retry after
+    fixing the path" from "the snapshot is gone"."""
+
+
+class ManifestMissingError(RecoveryError):
+    """No committed manifest exists under the store root."""
+
+
+class ManifestCorruptError(RecoveryError):
+    """The manifest exists but cannot be parsed or fails validation."""
+
+
+class SnapshotCorruptError(RecoveryError):
+    """A data file referenced by the manifest is missing, truncated,
+    or fails its checksum (a torn or partial snapshot)."""
+
+
+class UnsupportedVersionError(RecoveryError, ValueError):
+    """The manifest's format version is not loadable by this build.
+
+    Also a :class:`ValueError` for backward compatibility with callers
+    that predate the typed recovery hierarchy."""
+
+
+class StoreVersionConflictError(RecoveryError):
+    """Refusing to overwrite a store root whose manifest was written by
+    a *newer* format version -- saving would produce a mixed-version
+    directory that neither build could recover."""
+
+
+# ----------------------------------------------------------------------
+# Fan-out / replication failure paths
+# ----------------------------------------------------------------------
+
+
+class ShardCallError(ZipGError):
+    """A per-shard work item raised while fanning out a query."""
+
+
+class DeadlineExceeded(ShardCallError):
+    """A shard call exceeded its per-call deadline.
+
+    Deadlines are enforced cooperatively: the call runs to completion
+    but its result is discarded and the call is treated as failed
+    (retryable) once the elapsed wall time passes the deadline."""
+
+
+class ReplicaCallError(ZipGError):
+    """Every live replica of a shard failed the attempted call.
+
+    Carries the per-replica failure trail so degraded-query modes can
+    surface structured errors instead of a bare traceback."""
+
+    def __init__(self, shard_id: int, attempts: List[Tuple[int, BaseException]]) -> None:
+        self.shard_id = shard_id
+        #: ``(server_id, exception)`` pairs in the order tried.
+        self.attempts = list(attempts)
+        tried = ", ".join(
+            f"server {server}: {type(exc).__name__}" for server, exc in self.attempts
+        )
+        super().__init__(
+            f"all {len(self.attempts)} live replica call(s) for shard "
+            f"{shard_id} failed ({tried})"
+        )

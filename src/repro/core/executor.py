@@ -12,10 +12,21 @@ items whose shards *share* one stats object must never run on two
 threads at once. :meth:`ShardExecutor.map` enforces this by grouping
 items that share a stats instance into a single serial task.
 
+Failure semantics: each work item may be retried (``retries`` +
+exponential ``backoff_s``), bounded by a cooperative per-call
+``deadline_s`` (the call runs to completion but an over-deadline
+result is discarded as :class:`~repro.core.errors.DeadlineExceeded`
+and retried), and ``partial=True`` returns structured per-item
+:class:`ShardResult`\\ s instead of raising on the first failure --
+the degraded-query building block the replicated cluster uses.  Every
+invocation passes through the ``executor.shard_call`` chaos site, so
+all of these paths are fault-injectable.
+
 Observability: each submitted group runs inside a *copy* of the
 caller's :mod:`contextvars` context, so spans opened by work items
 attach to the query's current :class:`repro.obs.tracing.Span` instead
-of starting orphan traces on the pool threads.
+of starting orphan traces on the pool threads.  Retries, failures,
+and deadline misses publish ``zipg_executor_*`` counters.
 """
 
 from __future__ import annotations
@@ -23,17 +34,34 @@ from __future__ import annotations
 import contextvars
 import os
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
-from repro import obs
+from repro import chaos, obs
+from repro.core.errors import DeadlineExceeded
 
 _DEFAULT_WORKER_CAP = 8
+#: Exponential backoff is capped so a high retry count cannot stall a
+#: query for minutes.
+_BACKOFF_CAP_S = 2.0
 
 
 def default_max_workers() -> int:
     """Default pool width: one thread per core, capped."""
     return max(1, min(_DEFAULT_WORKER_CAP, os.cpu_count() or 1))
+
+
+@dataclass
+class ShardResult:
+    """Outcome of one fanned-out work item (``partial=True`` mode)."""
+
+    index: int
+    ok: bool
+    value: object = None
+    error: Optional[BaseException] = None
+    attempts: int = 1
 
 
 class ShardExecutor:
@@ -67,23 +95,85 @@ class ShardExecutor:
                 )
             return self._pool
 
+    def _run_one(
+        self,
+        fn: Callable,
+        item: object,
+        index: int,
+        retries: int,
+        backoff_s: float,
+        deadline_s: Optional[float],
+    ) -> ShardResult:
+        """One work item through the retry/deadline state machine.
+
+        Never raises an :class:`Exception` (failures come back as a
+        ``ShardResult``); :class:`~repro.chaos.SimulatedCrash` and
+        other ``BaseException``\\ s still propagate -- retry logic must
+        not survive a process kill."""
+        attempt = 0
+        while True:
+            start = time.monotonic()
+            try:
+                chaos.kick(chaos.SITE_EXECUTOR_CALL, index=index, attempt=attempt)
+                value = fn(item)
+                elapsed = time.monotonic() - start
+                if deadline_s is not None and elapsed > deadline_s:
+                    obs.counter(
+                        "zipg_executor_deadline_exceeded_total",
+                        help="shard calls whose result missed the deadline",
+                    ).inc()
+                    raise DeadlineExceeded(
+                        f"shard call took {elapsed:.4f}s, deadline {deadline_s}s"
+                    )
+                return ShardResult(index, True, value, None, attempt + 1)
+            except Exception as exc:
+                if attempt >= retries:
+                    obs.counter(
+                        "zipg_executor_failures_total",
+                        help="shard calls failed after exhausting retries",
+                    ).inc()
+                    return ShardResult(index, False, None, exc, attempt + 1)
+                obs.counter("zipg_executor_retries_total",
+                            help="shard call retries").inc()
+                if backoff_s > 0:
+                    time.sleep(min(backoff_s * (2 ** attempt), _BACKOFF_CAP_S))
+                attempt += 1
+
     def map(
         self,
         fn: Callable,
         items: Sequence,
         stats_of: Optional[Callable] = None,
+        *,
+        retries: int = 0,
+        backoff_s: float = 0.0,
+        deadline_s: Optional[float] = None,
+        partial: bool = False,
     ) -> List:
         """``[fn(item) for item in items]``, fanned across the pool.
 
-        Results come back in input order; an exception in any work item
-        propagates to the caller. ``stats_of(item)`` names the
+        Results come back in input order. ``stats_of(item)`` names the
         :class:`AccessStats` instance the item mutates -- items sharing
         one instance are chained into a single serial task so unlocked
         ``+=`` increments never race.
+
+        Failure handling: each item is attempted ``1 + retries`` times
+        with exponential backoff; a cooperative per-call ``deadline_s``
+        converts slow calls into retryable failures. By default the
+        first exhausted failure propagates to the caller; with
+        ``partial=True`` the return value is a list of
+        :class:`ShardResult` (one per item, input order) carrying
+        either the value or the structured error.
         """
         items = list(items)
+
+        def run_item(pair) -> ShardResult:
+            index, item = pair
+            return self._run_one(fn, item, index, retries, backoff_s, deadline_s)
+
         if self.max_workers == 1 or len(items) <= 1:
-            return [fn(item) for item in items]
+            outcomes = [run_item(pair) for pair in enumerate(items)]
+            return self._collect(outcomes, partial)
 
         groups: dict = {}
         order: List = []
@@ -97,7 +187,7 @@ class ShardExecutor:
 
         def run_group(group):
             with obs.span("executor.worker", layer="executor", items=len(group)):
-                return [(index, fn(item)) for index, item in group]
+                return [run_item(pair) for pair in group]
 
         pool = self._ensure_pool()
         # One context copy per group: a contextvars.Context may only be
@@ -107,11 +197,20 @@ class ShardExecutor:
             pool.submit(contextvars.copy_context().run, run_group, groups[key])
             for key in order
         ]
-        results: List = [None] * len(items)
+        outcomes: List[Optional[ShardResult]] = [None] * len(items)
         for future in futures:
-            for index, result in future.result():
-                results[index] = result
-        return results
+            for outcome in future.result():
+                outcomes[outcome.index] = outcome
+        return self._collect([o for o in outcomes if o is not None], partial)
+
+    @staticmethod
+    def _collect(outcomes: List[ShardResult], partial: bool) -> List:
+        if partial:
+            return outcomes
+        for outcome in outcomes:
+            if not outcome.ok and outcome.error is not None:
+                raise outcome.error
+        return [outcome.value for outcome in outcomes]
 
     def close(self) -> None:
         """Shut the pool down (idempotent; the executor can be reused,

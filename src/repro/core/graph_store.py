@@ -184,6 +184,10 @@ class ZipG:
         self._threshold = logstore_threshold_bytes
         self.executor = ShardExecutor(max_workers)
         self.freeze_count = 0
+        # Optional write-ahead log (repro.core.wal): attached by the
+        # persistence layer; every mutation is logged before it is
+        # applied so a crash loses at most the in-flight record.
+        self._wal: Optional[object] = None
         # Pointer hops actually followed by queries on this store (the
         # §3.5 fragmentation cost the per-layer breakdown attributes).
         self._pointer_hops = 0
@@ -442,12 +446,32 @@ class ZipG:
     # Updates (Table 1)
     # ------------------------------------------------------------------
 
+    def attach_wal(self, wal: object) -> None:
+        """Attach a :class:`repro.core.wal.WriteAheadLog`: from now on
+        every mutation is durably logged before it is applied."""
+        self._wal = wal
+
+    def detach_wal(self) -> None:
+        self._wal = None
+
+    @property
+    def wal(self) -> Optional[object]:
+        return self._wal
+
+    def _wal_log(self, op: str, args: List) -> None:
+        if self._wal is not None:
+            self._wal.append_record(op, args)  # type: ignore[attr-defined]
+
     @obs.traced("graph_store.append_node", layer="graph_store")
     def append_node(self, node_id: int, properties: PropertyList) -> None:
         """Append a (new version of a) node with its PropertyList."""
+        self._wal_log("node", [node_id, dict(properties)])
+        self._apply_append_node(node_id, properties)
+        self._maybe_freeze()
+
+    def _apply_append_node(self, node_id: int, properties: PropertyList) -> None:
         self._logstore.append_node(node_id, properties)
         self._table(node_id).add_node_pointer(node_id, ACTIVE_LOGSTORE)
-        self._maybe_freeze()
 
     @obs.traced("graph_store.append_edge", layer="graph_store")
     def append_edge(
@@ -459,15 +483,31 @@ class ZipG:
         properties: Optional[PropertyList] = None,
     ) -> None:
         """Append one edge to the (source, edge_type) EdgeRecord."""
+        properties = dict(properties or {})
+        self._wal_log("edge", [source, edge_type, destination, timestamp, properties])
+        self._apply_append_edge(source, edge_type, destination, timestamp, properties)
+        self._maybe_freeze()
+
+    def _apply_append_edge(
+        self,
+        source: int,
+        edge_type: int,
+        destination: int,
+        timestamp: int,
+        properties: PropertyList,
+    ) -> None:
         self._logstore.append_edge(
-            Edge(source, destination, edge_type, timestamp, dict(properties or {}))
+            Edge(source, destination, edge_type, timestamp, dict(properties))
         )
         self._table(source).add_edge_pointer(source, edge_type, ACTIVE_LOGSTORE)
-        self._maybe_freeze()
 
     @obs.traced("graph_store.delete_node", layer="graph_store")
     def delete_node(self, node_id: int) -> bool:
         """Lazily delete every live version of ``node_id``."""
+        self._wal_log("del_node", [node_id])
+        return self._apply_delete_node(node_id)
+
+    def _apply_delete_node(self, node_id: int) -> bool:
         deleted = False
         for location in self._node_locations_newest_first(node_id):
             deleted = location.delete_node(node_id) or deleted
@@ -482,6 +522,10 @@ class ZipG:
         pruned so queries stop routing to a store that holds nothing
         (and ``node_fragment_count`` stops overcounting).
         """
+        self._wal_log("del_edge", [source, edge_type, destination])
+        return self._apply_delete_edge(source, edge_type, destination)
+
+    def _apply_delete_edge(self, source: int, edge_type: int, destination: int) -> int:
         deleted = 0
         for location in self._edge_locations(source, edge_type):
             deleted += location.delete_edges(source, edge_type, destination)
@@ -490,6 +534,33 @@ class ZipG:
                 source, edge_type, ACTIVE_LOGSTORE
             )
         return deleted
+
+    def apply_wal_record(self, op: str, args: List) -> None:
+        """Apply one replayed WAL record (recovery path).
+
+        Replay bypasses WAL logging and the freeze threshold: freezes
+        replay *only* where a ``freeze`` record appears, which is where
+        they actually happened (auto-freezes logged one too)."""
+        if op == "node":
+            node_id, properties = args
+            self._apply_append_node(int(node_id), dict(properties))
+        elif op == "edge":
+            source, edge_type, destination, timestamp, properties = args
+            self._apply_append_edge(int(source), int(edge_type), int(destination),
+                                    int(timestamp), dict(properties))
+        elif op == "del_node":
+            self._apply_delete_node(int(args[0]))
+        elif op == "del_edge":
+            source, edge_type, destination = args
+            self._apply_delete_edge(int(source), int(edge_type), int(destination))
+        elif op == "freeze":
+            self._apply_freeze()
+        elif op == "compact":
+            self._apply_compact()
+        else:
+            from repro.core.errors import RecoveryError
+
+            raise RecoveryError(f"unknown WAL record op {op!r}")
 
     @obs.traced("graph_store.update_node", layer="graph_store")
     def update_node(self, node_id: int, properties: PropertyList) -> None:
@@ -527,6 +598,10 @@ class ZipG:
         tombstoned nodes); they are dropped rather than left dangling at
         the fresh, empty LogStore.
         """
+        self._wal_log("freeze", [])
+        return self._apply_freeze()
+
+    def _apply_freeze(self) -> Optional[CompressedShard]:
         nodes, edges = self._logstore.live_contents()
         new_shard: Optional[CompressedShard] = None
         if nodes or edges:
@@ -558,6 +633,10 @@ class ZipG:
         are rewritten so each node needs at most one frozen-shard hop
         afterwards. Returns the number of shards reclaimed.
         """
+        self._wal_log("compact", [])
+        return self._apply_compact()
+
+    def _apply_compact(self) -> int:
         frozen = self._shards[self._num_initial :]
         if not frozen:
             return 0

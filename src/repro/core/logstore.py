@@ -272,6 +272,52 @@ class LogStore:
         return nodes, edges
 
     # ------------------------------------------------------------------
+    # Persistence payloads (used by repro.core.persistence)
+    # ------------------------------------------------------------------
+
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-serializable snapshot of the full LogStore contents
+        (including tombstones, which must survive a save/load cycle)."""
+        return {
+            "nodes": {str(k): v for k, v in self._nodes.items()},
+            "edges": {
+                f"{src}:{etype}": [
+                    [e.source, e.destination, e.edge_type, e.timestamp, e.properties]
+                    for e in bucket
+                ]
+                for (src, etype), bucket in self._edges.items()
+            },
+            "node_tombstones": sorted(self._node_tombstones),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "LogStore":
+        """Rebuild a LogStore from :meth:`to_payload` output.
+
+        Contents are replayed through the write API so the inverted
+        index and freeze-threshold size accounting come out exactly as
+        they were pre-save (tombstoned payload excluded)."""
+        log = cls()
+        nodes = payload["nodes"]
+        assert isinstance(nodes, dict)
+        for node_id, properties in nodes.items():
+            log.append_node(int(node_id), dict(properties))
+        edges = payload["edges"]
+        assert isinstance(edges, dict)
+        for rows in edges.values():
+            for row in rows:
+                source, destination, edge_type, timestamp, properties = row
+                log.append_edge(
+                    Edge(source, destination, edge_type, timestamp, dict(properties))
+                )
+        tombstones = payload["node_tombstones"]
+        assert isinstance(tombstones, list)
+        for node_id in tombstones:
+            log.delete_node(int(node_id))
+        log.stats.reset()
+        return log
+
+    # ------------------------------------------------------------------
     # Sizes
     # ------------------------------------------------------------------
 

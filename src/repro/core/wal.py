@@ -1,0 +1,241 @@
+"""Write-ahead log for LogStore mutations (§4.1 durability).
+
+The paper persists NodeFiles/EdgeFiles as flat files; everything
+between two snapshots lives only in the in-memory LogStore.  This WAL
+closes that window: every store mutation appends one self-checksummed
+record *before* it is applied, and :func:`repro.core.persistence.
+load_store` replays the tail on recovery -- the LSM/WAL recovery
+discipline (O'Neil et al.) applied to ZipG's single-LogStore design.
+
+On-disk format -- one text line per record::
+
+    <crc32:08x> <json [lsn, op, args]>\\n
+
+The CRC covers the JSON payload, so a torn tail (crash mid-write) is
+detected and dropped at replay instead of corrupting the store: replay
+applies the longest valid record prefix and ignores the rest.  Record
+ops mirror the ZipG mutation surface: ``node``, ``edge``, ``del_node``,
+``del_edge``, plus ``freeze`` and ``compact`` so structural events
+replay at the exact point they originally happened (replay never
+re-triggers threshold freezes on its own).
+
+Durability policy (:class:`WalConfig.fsync_policy`):
+
+* ``"always"`` -- flush + fsync every record (lose at most the record
+  being written when the process dies);
+* ``"batch"``  -- fsync every ``batch_size`` records (bounded loss,
+  amortized fsync cost);
+* ``"never"``  -- leave flushing to the OS (fastest; loss window is
+  the OS page cache).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass
+from typing import IO, List, Optional, Tuple
+
+from repro import chaos, obs
+
+FSYNC_POLICIES = ("always", "batch", "never")
+
+#: Crash points exercised by the chaos suite: between a record landing
+#: in the file and it being fsync'd, and right after the fsync.
+CRASH_POINT_PRE_FSYNC = "wal.pre_fsync"
+CRASH_POINT_POST_FSYNC = "wal.post_fsync"
+
+WAL_FILENAME = "wal.log"
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One decoded WAL record."""
+
+    lsn: int
+    op: str
+    args: List[object]
+
+
+@dataclass(frozen=True)
+class WalConfig:
+    """Durability knobs for a :class:`WriteAheadLog`."""
+
+    fsync_policy: str = "always"
+    batch_size: int = 32
+
+    def __post_init__(self) -> None:
+        if self.fsync_policy not in FSYNC_POLICIES:
+            raise ValueError(
+                f"fsync_policy must be one of {FSYNC_POLICIES}, "
+                f"got {self.fsync_policy!r}"
+            )
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+
+
+def _encode(record: WalRecord) -> bytes:
+    payload = json.dumps([record.lsn, record.op, record.args],
+                         separators=(",", ":"))
+    crc = zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF
+    return f"{crc:08x} {payload}\n".encode("utf-8")
+
+
+def _decode_line(line: bytes) -> Optional[WalRecord]:
+    """Parse one line; ``None`` if torn/corrupt (bad shape, CRC, JSON)."""
+    if not line.endswith(b"\n"):
+        return None
+    body = line[:-1]
+    if len(body) < 10 or body[8:9] != b" ":
+        return None
+    try:
+        crc = int(body[:8], 16)
+    except ValueError:
+        return None
+    payload = body[9:]
+    if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+        return None
+    try:
+        decoded = json.loads(payload.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        return None
+    if (not isinstance(decoded, list) or len(decoded) != 3
+            or not isinstance(decoded[0], int) or not isinstance(decoded[1], str)
+            or not isinstance(decoded[2], list)):
+        return None
+    return WalRecord(decoded[0], decoded[1], decoded[2])
+
+
+def read_records(path: str) -> Tuple[List[WalRecord], bool]:
+    """The longest valid record prefix of the WAL at ``path``.
+
+    Returns ``(records, torn_tail)`` where ``torn_tail`` reports that
+    trailing bytes were dropped (a crash tore the last write).  A
+    missing file is an empty, un-torn log."""
+    if not os.path.exists(path):
+        return [], False
+    records: List[WalRecord] = []
+    torn = False
+    with open(path, "rb") as handle:
+        for line in handle:
+            record = _decode_line(line)
+            if record is None:
+                torn = True
+                break
+            records.append(record)
+    if torn:
+        obs.counter(
+            "zipg_wal_torn_tail_total",
+            help="WAL recoveries that dropped a torn trailing record",
+        ).inc()
+    return records, torn
+
+
+def repair_torn_tail(path: str) -> bool:
+    """Truncate torn trailing bytes so future appends start on a clean
+    record boundary (otherwise the next record would be glued onto the
+    torn prefix and both would be lost).  Returns whether bytes were
+    dropped.  Must be called before re-arming a recovered WAL for
+    appends; pure readers replay the valid prefix either way."""
+    if not os.path.exists(path):
+        return False
+    size = os.path.getsize(path)
+    valid = 0
+    with open(path, "rb") as handle:
+        for line in handle:
+            if _decode_line(line) is None:
+                break
+            valid += len(line)
+    if valid == size:
+        return False
+    with open(path, "r+b") as handle:
+        handle.truncate(valid)
+        handle.flush()
+        os.fsync(handle.fileno())
+    obs.counter(
+        "zipg_wal_tail_repairs_total",
+        help="torn WAL tails truncated before re-arming the log",
+    ).inc()
+    return True
+
+
+class WriteAheadLog:
+    """Appender for one store root's WAL file.
+
+    LSNs are monotone across rotations; the snapshot manifest records
+    the last LSN it covers, so replay after a crash between snapshot
+    commit and WAL rotation skips already-snapshotted records instead
+    of double-applying them."""
+
+    def __init__(self, path: str, config: Optional[WalConfig] = None,
+                 next_lsn: int = 1) -> None:
+        self.path = path
+        self.config = config or WalConfig()
+        self._next_lsn = next_lsn
+        self._unsynced = 0
+        self._handle: Optional[IO[bytes]] = None
+
+    @property
+    def last_lsn(self) -> int:
+        """LSN of the most recently appended record (0 if none ever)."""
+        return self._next_lsn - 1
+
+    def _ensure_open(self) -> IO[bytes]:
+        if self._handle is None:
+            self._handle = open(self.path, "ab")
+        return self._handle
+
+    def append_record(self, op: str, args: List[object]) -> int:
+        """Durably append one record; returns its LSN.
+
+        The record is written (torn-write injectable), then fsync'd per
+        policy, with chaos crash points on both sides of the fsync so
+        tests can kill the process model at either instant."""
+        lsn = self._next_lsn
+        record = WalRecord(lsn, op, list(args))
+        handle = self._ensure_open()
+        chaos.write_bytes(chaos.SITE_WAL_WRITE, handle, _encode(record), lsn=lsn)
+        handle.flush()
+        self._next_lsn = lsn + 1
+        obs.counter("zipg_wal_appends_total",
+                    help="records appended to the write-ahead log").inc()
+        chaos.crash_point(CRASH_POINT_PRE_FSYNC, lsn=lsn)
+        self._unsynced += 1
+        if self.config.fsync_policy == "always":
+            self._fsync()
+        elif (self.config.fsync_policy == "batch"
+              and self._unsynced >= self.config.batch_size):
+            self._fsync()
+        chaos.crash_point(CRASH_POINT_POST_FSYNC, lsn=lsn)
+        return lsn
+
+    def _fsync(self) -> None:
+        if self._handle is not None:
+            os.fsync(self._handle.fileno())
+        self._unsynced = 0
+        obs.counter("zipg_wal_fsyncs_total",
+                    help="fsync calls issued by the write-ahead log").inc()
+
+    def sync(self) -> None:
+        """Force outstanding records to disk regardless of policy."""
+        if self._handle is not None:
+            self._handle.flush()
+        if self._unsynced:
+            self._fsync()
+
+    def rotate(self) -> None:
+        """Truncate the log after a committed snapshot superseded it.
+
+        LSNs keep counting up -- the manifest's ``wal_last_lsn`` is the
+        replay cutoff, so truncation is safe at any time after commit."""
+        self.close()
+        with open(self.path, "wb") as handle:
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+            self._handle.close()
+            self._handle = None

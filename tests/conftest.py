@@ -26,3 +26,18 @@ settings.load_profile(_PROFILE)
 def hypothesis_examples(base: int) -> int:
     """``base`` scaled by the active profile's example multiplier."""
     return base * _SCALE.get(_PROFILE, 1)
+
+
+#: Default seeds for deterministic fault-injection tests; CI's chaos
+#: job runs one seed per matrix leg via ``$ZIPG_CHAOS_SEED``.
+CHAOS_SEEDS = (101, 211, 307)
+
+
+def chaos_seeds() -> list:
+    """Seeds the fault-injection suites parametrize over: the single
+    pinned ``$ZIPG_CHAOS_SEED`` when set (CI chaos matrix), else all
+    of :data:`CHAOS_SEEDS`."""
+    pinned = os.environ.get("ZIPG_CHAOS_SEED")
+    if pinned is not None:
+        return [int(pinned)]
+    return list(CHAOS_SEEDS)

@@ -1,0 +1,40 @@
+"""Fixture: ROBUST001 violations (never imported, only analyzed)."""
+# zipg: robust-path
+
+
+def bare_handler(path):
+    try:
+        return open(path, "rb").read()
+    except:  # ROBUST001: bare except on the robustness path
+        return b""
+
+
+def swallowed_oserror(handle):
+    try:
+        handle.flush()
+    except OSError:
+        pass  # ROBUST001: silently swallowed
+
+
+def swallowed_in_loop(paths):
+    out = []
+    for path in paths:
+        try:
+            out.append(open(path, "rb").read())
+        except OSError:
+            continue  # ROBUST001: silently skipped
+    return out
+
+
+def acknowledged_swallow(handle):
+    try:
+        handle.close()
+    except OSError:
+        pass  # zipg: ignore[ROBUST001]
+
+
+def handled_ok(handle):
+    try:
+        handle.flush()
+    except OSError as exc:
+        raise RuntimeError("flush failed") from exc

@@ -230,6 +230,58 @@ class TestObsRule:
 
 
 # ----------------------------------------------------------------------
+# Robustness-path error handling
+# ----------------------------------------------------------------------
+
+
+class TestRobustnessRule:
+    def test_bare_except_flagged(self):
+        path = fixture("robust_violations.py")
+        found = hits(findings_for("robust_violations.py", ["ROBUST001"]))
+        assert ("ROBUST001", line_of(path, "ROBUST001: bare except")) in found
+
+    def test_swallowed_pass_flagged(self):
+        path = fixture("robust_violations.py")
+        found = hits(findings_for("robust_violations.py", ["ROBUST001"]))
+        assert ("ROBUST001",
+                line_of(path, "ROBUST001: silently swallowed")) in found
+
+    def test_swallowed_continue_flagged(self):
+        path = fixture("robust_violations.py")
+        found = hits(findings_for("robust_violations.py", ["ROBUST001"]))
+        assert ("ROBUST001",
+                line_of(path, "ROBUST001: silently skipped")) in found
+
+    def test_acknowledged_swallow_suppressed(self):
+        path = fixture("robust_violations.py")
+        found = findings_for("robust_violations.py", ["ROBUST001"])
+        ignored = line_of(path, "zipg: ignore[ROBUST001]")
+        assert not any(f.line == ignored for f in found)
+
+    def test_handled_reraise_not_flagged(self):
+        found = findings_for("robust_violations.py", ["ROBUST001"])
+        assert len(found) == 3
+
+    def test_not_flagged_without_robust_marker(self, tmp_path):
+        with open(fixture("robust_violations.py")) as handle:
+            body = handle.read().replace("# zipg: robust-path", "")
+        cold = tmp_path / "unmarked_module.py"
+        cold.write_text(body)
+        findings, _ = analyze_paths([str(cold)], ["ROBUST001"])
+        assert findings == []
+
+    def test_durability_modules_always_in_scope(self):
+        from repro.analysis.rules.robustness import is_robust_path
+
+        for rel in (("core", "persistence.py"), ("core", "wal.py"),
+                    ("chaos", "injector.py"), ("cluster", "replication.py")):
+            src_path = os.path.join(SRC_REPRO, *rel)
+            findings, context = analyze_paths([src_path], ["ROBUST001"])
+            assert findings == [], rel
+            assert is_robust_path(context.modules[0]), rel
+
+
+# ----------------------------------------------------------------------
 # Engine behaviour + CLI
 # ----------------------------------------------------------------------
 
@@ -281,6 +333,7 @@ class TestCli:
             "HOT001", "HOT002",
             "API001", "API002",
             "OBS001",
+            "ROBUST001",
         ):
             assert rule_id in out
 

@@ -1,0 +1,166 @@
+"""Property-based crash safety: a stateful machine mutating a
+WAL-armed store, crashing at random injected points, and checking that
+recovery always matches the oracle of applied operations."""
+
+import shutil
+import tempfile
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from conftest import chaos_seeds, hypothesis_examples
+from repro import chaos
+from repro.chaos import ChaosInjector, FaultRule, SimulatedCrash
+from repro.core import GraphData, ZipG
+from repro.core.persistence import SAVE_CRASH_POINTS, attach_wal, load_store, save_store
+from repro.core.wal import CRASH_POINT_POST_FSYNC, CRASH_POINT_PRE_FSYNC
+
+NODE_IDS = st.integers(min_value=0, max_value=15)
+TIMESTAMPS = st.integers(min_value=0, max_value=10_000)
+CRASH_SITES = list(SAVE_CRASH_POINTS) + [
+    CRASH_POINT_PRE_FSYNC,
+    CRASH_POINT_POST_FSYNC,
+    chaos.SITE_SAVE_WRITE,
+    chaos.SITE_WAL_WRITE,
+]
+
+
+def fresh_store():
+    graph = GraphData()
+    for i in range(4):
+        graph.add_node(i, {"name": f"seed{i}", "city": "Ithaca"})
+    graph.add_edge(0, 1, 0, 10)
+    graph.add_edge(1, 2, 0, 20)
+    return ZipG.compress(graph, num_shards=2, alpha=4,
+                         logstore_threshold_bytes=1 << 20)
+
+
+class CrashSafetyMachine(RuleBasedStateMachine):
+    """Mutations go to a live WAL-armed store; a ``crash_during_*``
+    rule kills the process model mid-operation, after which we model
+    the restart: reload from disk and keep going.  The invariant
+    compares the store against an oracle updated only when an
+    operation *returned* (crashed WAL appends may or may not have
+    become durable -- both outcomes are accepted and resynced)."""
+
+    def __init__(self):
+        super().__init__()
+        self.root = tempfile.mkdtemp(prefix="zipg-crash-")
+        self.store = fresh_store()
+        save_store(self.store, self.root)
+        attach_wal(self.store, self.root)
+
+    def teardown(self):
+        chaos.uninstall()
+        shutil.rmtree(self.root, ignore_errors=True)
+
+    # -- plain operations (always succeed, oracle applies) ------------
+
+    @initialize()
+    def start(self):
+        pass
+
+    @rule(node=NODE_IDS, ts=TIMESTAMPS, other=NODE_IDS)
+    def append_edge(self, node, ts, other):
+        self.store.append_edge(node, 0, other, timestamp=ts)
+
+    @rule(node=NODE_IDS)
+    def append_node(self, node):
+        self.store.append_node(node, {"name": f"v{node}", "city": "Ithaca"})
+
+    @rule(node=NODE_IDS, other=NODE_IDS)
+    def delete_edge(self, node, other):
+        self.store.delete_edge(node, 0, other)
+
+    @rule()
+    def snapshot(self):
+        save_store(self.store, self.root)
+
+    # -- crashing operations -------------------------------------------
+
+    @rule(site=st.sampled_from(CRASH_SITES), node=NODE_IDS, ts=TIMESTAMPS)
+    def crash_during_append(self, site, node, ts):
+        fault = "torn_write" if site.endswith("write") else "crash"
+        injector = ChaosInjector(seed=node, rules=[
+            FaultRule(site=site, fault=fault, times=1),
+        ])
+        with chaos.injected(injector):
+            try:
+                self.store.append_edge(node, 0, (node + 1) % 16, timestamp=ts)
+            except SimulatedCrash:
+                self.restart()
+
+    @rule(site=st.sampled_from(CRASH_SITES), seed=st.integers(0, 99))
+    def crash_during_save(self, site, seed):
+        fault = "torn_write" if site.endswith("write") else "crash"
+        injector = ChaosInjector(seed=seed, rules=[
+            FaultRule(site=site, fault=fault, times=1),
+        ])
+        with chaos.injected(injector):
+            try:
+                save_store(self.store, self.root)
+            except SimulatedCrash:
+                self.restart()
+
+    def restart(self):
+        """The process died: everything in memory is gone.  Recovery
+        must never raise, and its answers replace the live store."""
+        self.store = load_store(self.root)
+
+    # -- the safety property -------------------------------------------
+
+    @invariant()
+    def reload_matches_live_store(self):
+        """At every quiescent point, what is on disk must reproduce
+        the live store exactly (the WAL makes every completed mutation
+        durable)."""
+        recovered = load_store(self.root, attach_wal=False)
+        for node in range(16):
+            assert recovered.has_node(node) == self.store.has_node(node)
+            if self.store.has_node(node):
+                assert recovered.get_node_property(node) == \
+                    self.store.get_node_property(node)
+            left = self.store.get_edge_record(node, 0)
+            right = recovered.get_edge_record(node, 0)
+            assert right.edge_count == left.edge_count
+            assert right.destinations() == left.destinations()
+        assert recovered.get_node_ids({"city": "Ithaca"}) == \
+            self.store.get_node_ids({"city": "Ithaca"})
+
+
+CrashSafetyMachine.TestCase.settings = settings(
+    max_examples=hypothesis_examples(10),
+    stateful_step_count=12,
+    deadline=None,
+)
+
+TestCrashSafety = CrashSafetyMachine.TestCase
+
+
+@pytest.mark.parametrize("seed", chaos_seeds())
+def test_quick_crash_loop(seed):
+    """A deterministic, non-Hypothesis companion: one crash at every
+    site for each CI chaos seed (fast enough for the PR gate)."""
+    for site in CRASH_SITES:
+        root = tempfile.mkdtemp(prefix="zipg-loop-")
+        try:
+            store = fresh_store()
+            save_store(store, root)
+            attach_wal(store, root)
+            fault = "torn_write" if site.endswith("write") else "crash"
+            injector = ChaosInjector(seed=seed, rules=[
+                FaultRule(site=site, fault=fault, times=1),
+            ])
+            with chaos.injected(injector):
+                try:
+                    store.append_edge(0, 0, 5, timestamp=77)
+                    save_store(store, root)
+                except SimulatedCrash:
+                    pass  # the kill; recovery below must still work
+            recovered = load_store(root)
+            assert recovered.get_edge_record(0, 0).edge_count in (1, 2)
+        finally:
+            chaos.uninstall()
+            shutil.rmtree(root, ignore_errors=True)
