@@ -1,0 +1,114 @@
+"""Ablation: hot-set cache off vs on at two memory budgets.
+
+Replays a TAO-style read mix (node-property gets + adjacency reads)
+over a Zipf-skewed key distribution -- the access pattern ZipG's
+interactive workloads exhibit (§5.1) -- three ways: cache off, cache on
+at 10% of the compressed footprint, and cache on at a starvation budget
+(~2%). Gates pin *ratios only* (mean and p95 speedups, the hit ratio),
+never absolute wall times; the cache-off path runs through the exact
+pre-cache code, so the off numbers double as the no-regression control.
+"""
+
+import time
+
+import numpy as np
+
+from conftest import record_bench
+
+from repro.bench.datasets import build_dataset
+from repro.bench.reporting import format_table
+from repro.core import ZipG
+
+OPS = 600
+ZIPF_A = 2.0
+FULL_BUDGET_FRACTION = 0.10
+STARVED_BUDGET_FRACTION = 0.02
+
+
+def _zipf_mix(graph, ops, seed):
+    """A deterministic Zipf-skewed (node, op-kind) read sequence.
+
+    Ranks beyond the node count are *clipped* to the coldest node, not
+    wrapped -- wrapping would smear the heavy tail uniformly over every
+    node and destroy the skew the cache is supposed to exploit.
+    """
+    nodes = sorted(graph.node_ids())
+    rng = np.random.default_rng(seed)
+    ranks = np.minimum(rng.zipf(ZIPF_A, size=ops), len(nodes)) - 1
+    kinds = rng.integers(0, 2, size=ops)
+    return [(nodes[int(rank)], int(kind)) for rank, kind in zip(ranks, kinds)]
+
+
+def _run_mix(store, mix):
+    """Per-op wall latencies (ns) for one replay of the mix."""
+    latencies = np.empty(len(mix), dtype=np.int64)
+    for index, (node, kind) in enumerate(mix):
+        start = time.perf_counter_ns()
+        if kind == 0:
+            store.get_node_property(node)
+        else:
+            store.get_neighbor_ids(node)
+        latencies[index] = time.perf_counter_ns() - start
+    return latencies
+
+
+def test_ablation_cache_budgets(benchmark):
+    def run():
+        graph = build_dataset("orkut")
+        store = ZipG.compress(graph, num_shards=4, alpha=32,
+                              logstore_threshold_bytes=1 << 30)
+        mix = _zipf_mix(graph, OPS, seed=7)
+        footprint = store.storage_footprint_bytes()
+
+        _run_mix(store, mix)  # warm the uncached path (page-ins, JIT)
+        off = _run_mix(store, mix)
+
+        on = {}
+        for fraction in (FULL_BUDGET_FRACTION, STARVED_BUDGET_FRACTION):
+            cache = store.enable_cache(int(footprint * fraction))
+            _run_mix(store, mix)  # warm the hot set into the cache
+            latencies = _run_mix(store, mix)
+            on[fraction] = (latencies, cache.stats())
+            store.disable_cache()
+        return footprint, off, on
+
+    footprint, off, on = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    full_lat, full_stats = on[FULL_BUDGET_FRACTION]
+    starved_lat, starved_stats = on[STARVED_BUDGET_FRACTION]
+    mean_speedup = float(off.mean() / full_lat.mean())
+    p95_speedup = float(
+        np.percentile(off, 95) / np.percentile(full_lat, 95)
+    )
+    starved_speedup = float(off.mean() / starved_lat.mean())
+
+    print(format_table(
+        "Ablation: hot-set cache (TAO read mix, Zipf keys)",
+        ["config", "mean us", "p95 us", "hit ratio"],
+        [
+            ("cache off", f"{off.mean() / 1e3:.1f}",
+             f"{np.percentile(off, 95) / 1e3:.1f}", "-"),
+            (f"cache {FULL_BUDGET_FRACTION:.0%} of footprint",
+             f"{full_lat.mean() / 1e3:.1f}",
+             f"{np.percentile(full_lat, 95) / 1e3:.1f}",
+             f"{full_stats['hit_ratio']:.3f}"),
+            (f"cache {STARVED_BUDGET_FRACTION:.0%} of footprint",
+             f"{starved_lat.mean() / 1e3:.1f}",
+             f"{np.percentile(starved_lat, 95) / 1e3:.1f}",
+             f"{starved_stats['hit_ratio']:.3f}"),
+        ],
+    ))
+
+    record_bench("ablation_cache", gate={
+        "cache_mean_speedup_10pct": (mean_speedup, "higher_better"),
+        "cache_p95_speedup_10pct": (p95_speedup, "higher_better"),
+        "cache_hit_ratio_10pct": (full_stats["hit_ratio"], "higher_better"),
+    })
+
+    # The acceptance bar: >= 2x lower mean latency at <= 10% of the
+    # compressed store's size, on the skewed mix.
+    assert full_stats["budget_bytes"] <= footprint * FULL_BUDGET_FRACTION
+    assert mean_speedup >= 2.0, mean_speedup
+    # Even a starved budget must never make reads slower than ~the
+    # uncached path (the miss path adds one dict probe per read).
+    assert starved_speedup > 0.5, starved_speedup

@@ -30,7 +30,7 @@ _DIRECTIVE_RE = re.compile(r"(?P<name>[A-Za-z][A-Za-z0-9_-]*)(?:\[(?P<args>[^\]]
 
 #: Directives that apply to the whole module.
 MODULE_DIRECTIVES = frozenset(
-    {"hot-path", "public-api", "query-api", "robust-path"}
+    {"hot-path", "public-api", "query-api", "robust-path", "cache-backed"}
 )
 #: Directives that attach to the enclosing/following function.
 FUNCTION_DIRECTIVES = frozenset(

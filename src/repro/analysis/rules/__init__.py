@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import repro.analysis.rules.cache  # noqa: F401
 import repro.analysis.rules.locks  # noqa: F401
 import repro.analysis.rules.layout  # noqa: F401
 import repro.analysis.rules.hotpath  # noqa: F401

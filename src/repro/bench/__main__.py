@@ -32,6 +32,9 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--sample-rate", type=float, default=1.0,
                         help="trace sampling rate in (0, 1]")
+    parser.add_argument("--cache-budget", type=int, default=0,
+                        help="enable the hot-set cache with this byte "
+                             "budget (0 = cache off)")
     parser.add_argument("--json", action="store_true",
                         help="print the full obs snapshot to stdout")
     args = parser.parse_args(argv)
@@ -42,6 +45,9 @@ def main(argv=None) -> int:
     )
     workload = TAOWorkload(graph, seed=args.seed)
     budget = memory_budget_bytes(args.dataset, graph)
+    cache = None
+    if args.cache_budget:
+        cache = system.store.enable_cache(args.cache_budget)
 
     obs.reset()
     obs.enable_tracing(args.sample_rate)
@@ -60,6 +66,11 @@ def main(argv=None) -> int:
     for layer, values in sorted(result.layers.items()):
         fields = ", ".join(f"{k}={v:.1f}" for k, v in sorted(values.items()))
         print(f"  layer {layer:<12} {fields}")
+    if cache is not None:
+        snap = cache.stats()
+        print(f"  cache hits={snap['hits']} misses={snap['misses']} "
+              f"evictions={snap['evictions']} bytes={snap['bytes']} "
+              f"hit_ratio={snap['hit_ratio']:.3f}")
 
     rec = recorder("quick_tao")
     rec.add_result(result)

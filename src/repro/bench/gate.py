@@ -11,7 +11,9 @@ machine speed. A ``higher_better`` metric fails when it drops below
 ``baseline / tolerance``; a ``lower_better`` metric fails when it rises
 above ``baseline * tolerance``. A baseline metric missing from the
 current artifacts is a failure too -- a silently-dropped benchmark must
-not read as a pass.
+not read as a pass. A *malformed* baseline entry (missing or
+non-positive ``value``) is skipped with a warning instead of crashing
+the gate.
 
 Exit status: 0 when every metric passes, 1 otherwise.
 """
@@ -41,21 +43,45 @@ def check(
     baseline: Dict[str, Dict[str, object]],
     current: Dict[str, Dict[str, object]],
     tolerance: float = DEFAULT_TOLERANCE,
-) -> Tuple[List[str], List[str]]:
+) -> Tuple[List[str], List[str], List[str]]:
     """Compare current gate metrics to the baseline.
 
-    Returns ``(passes, failures)`` -- human-readable lines for each
-    baseline metric.
+    Returns ``(passes, failures, warnings)`` -- human-readable lines
+    for each baseline metric. A malformed baseline entry (missing,
+    non-numeric, or zero/negative ``value`` -- a ratio gate needs a
+    positive pin) is *skipped with a warning* rather than crashing the
+    gate or producing a vacuous bound; a baseline metric absent from
+    the current artifacts is still a failure (a silently-dropped
+    benchmark must not read as a pass).
     """
     passes: List[str] = []
     failures: List[str] = []
+    warnings: List[str] = []
     for name, entry in sorted(baseline.items()):
-        base_value = float(entry["value"])
+        try:
+            base_value = float(entry["value"])  # type: ignore[index]
+        except (KeyError, TypeError, ValueError):
+            warnings.append(
+                f"{name}: baseline entry has no numeric 'value'; skipped"
+            )
+            continue
+        if base_value <= 0:
+            warnings.append(
+                f"{name}: baseline value {base_value} is not positive; "
+                f"ratio bounds would be vacuous; skipped"
+            )
+            continue
         kind = entry.get("kind", "higher_better")
         if name not in current:
             failures.append(f"{name}: missing from current bench artifacts")
             continue
-        value = float(current[name]["value"])
+        try:
+            value = float(current[name]["value"])  # type: ignore[index]
+        except (KeyError, TypeError, ValueError):
+            failures.append(
+                f"{name}: current bench artifact has no numeric 'value'"
+            )
+            continue
         if kind == "lower_better":
             ok = value <= base_value * tolerance
             bound = f"<= {base_value * tolerance:.3f}"
@@ -65,7 +91,7 @@ def check(
         line = (f"{name}: {value:.3f} (baseline {base_value:.3f}, "
                 f"needs {bound}, {kind})")
         (passes if ok else failures).append(line)
-    return passes, failures
+    return passes, failures, warnings
 
 
 def main(argv=None) -> int:
@@ -80,13 +106,16 @@ def main(argv=None) -> int:
 
     baseline = json.loads(args.baseline.read_text())["metrics"]
     current = load_current_metrics(args.bench_dir)
-    passes, failures = check(baseline, current, args.tolerance)
+    passes, failures, warnings = check(baseline, current, args.tolerance)
 
     for line in passes:
         print(f"PASS {line}")
+    for line in warnings:
+        print(f"WARN {line}")
     for line in failures:
         print(f"FAIL {line}")
-    print(f"\n{len(passes)} passed, {len(failures)} failed "
+    print(f"\n{len(passes)} passed, {len(failures)} failed, "
+          f"{len(warnings)} skipped "
           f"(tolerance {args.tolerance}x, {len(current)} current metrics)")
     return 1 if failures else 0
 

@@ -143,6 +143,9 @@ def _cmd_stats(args) -> int:
     )
     workload = _make_workload(args.workload, graph, args.seed)
     budget = memory_budget_bytes(args.dataset, graph)
+    cache = None
+    if args.cache_budget:
+        cache = system.store.enable_cache(args.cache_budget)
 
     obs.reset()
     obs.enable_tracing(args.sample_rate)
@@ -171,6 +174,14 @@ def _cmd_stats(args) -> int:
         for name, summary in sorted(tracer.span_summary().items()):
             print(f"{name:<32}{summary['count']:>8.0f}{summary['p50']:>10.1f}"
                   f"{summary['p95']:>10.1f}{summary['p99']:>10.1f}")
+        if cache is not None:
+            snap = cache.stats()
+            print(f"\nhot-set cache (budget {snap['budget_bytes']} B):")
+            print(f"  zipg_cache_hits_total      {snap['hits']}")
+            print(f"  zipg_cache_misses_total    {snap['misses']}")
+            print(f"  zipg_cache_evictions_total {snap['evictions']}")
+            print(f"  zipg_cache_bytes_total     {snap['bytes']}")
+            print(f"  hit ratio                  {snap['hit_ratio']:.3f}")
     return 0
 
 
@@ -231,6 +242,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     stats.add_argument("--shards", type=int, default=4)
     stats.add_argument("--sample-rate", type=float, default=1.0,
                        help="trace sampling rate in (0, 1]")
+    stats.add_argument("--cache-budget", type=int, default=0,
+                       help="enable the hot-set cache with this byte "
+                            "budget (0 = cache off)")
     stats.add_argument("--format", default="summary",
                        choices=["summary", "prometheus", "json"])
 

@@ -43,12 +43,23 @@ class ZipGCluster(ZipGSystem):
     name = "zipg"
 
     def __init__(self, store: ZipG, num_servers: int,
-                 max_workers: Optional[int] = None):
+                 max_workers: Optional[int] = None,
+                 retries: int = 0, backoff_s: float = 0.0,
+                 deadline_s: Optional[float] = None):
         super().__init__(store)
         if num_servers < 1:
             raise ValueError("num_servers must be >= 1")
         self.num_servers = num_servers
         self.servers = [Server(i) for i in range(num_servers)]
+        # Failure-semantics knobs: pushed onto the store so every
+        # fan-out a query issues (including coalesced ones) inherits
+        # the cluster's retry/backoff/deadline policy.
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.deadline_s = deadline_s
+        store.retries = retries
+        store.backoff_s = backoff_s
+        store.deadline_s = deadline_s
         if max_workers is not None:
             # Re-size the store's fan-out pool so the broadcast path
             # (get_node_ids / find_edges) matches the simulated cluster

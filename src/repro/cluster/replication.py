@@ -94,13 +94,11 @@ class ReplicatedZipGCluster(ZipGCluster):
                  replication_factor: int = 2, retries: int = 0,
                  backoff_s: float = 0.0,
                  deadline_s: Optional[float] = None):
-        super().__init__(store, num_servers)
+        super().__init__(store, num_servers, retries=retries,
+                         backoff_s=backoff_s, deadline_s=deadline_s)
         if not 1 <= replication_factor <= num_servers:
             raise ValueError("replication_factor must be in [1, num_servers]")
         self.replication_factor = replication_factor
-        self.retries = retries
-        self.backoff_s = backoff_s
-        self.deadline_s = deadline_s
         self._state_lock = threading.Lock()
         self._down: Set[int] = set()
         self._rotation: Dict[int, int] = {}
@@ -216,12 +214,16 @@ class ReplicatedZipGCluster(ZipGCluster):
         return fn(server)
 
     def _broadcast(self, title: str, unit_fn: Callable, merge: Callable,
-                   partial_results: bool):
+                   partial_results: bool, args_key=None):
         """Fan one search out over the LogStore + every shard with
         replica failover, collecting per-unit outcomes.
 
         ``unit_fn(unit)`` runs the search on one unit (``None`` is the
-        LogStore); ``merge(values)`` combines the successful hits."""
+        LogStore); ``merge(values)`` combines the successful hits.
+        When ``args_key`` (a hashable digest of the query arguments) is
+        given, identical concurrent broadcasts single-flight through
+        :meth:`ShardExecutor.map_shared` -- the store epoch in the key
+        keeps a fan-out from being shared across a mutation."""
         units: List = [None] + list(self.store.shards)
 
         def run(unit):
@@ -231,8 +233,15 @@ class ReplicatedZipGCluster(ZipGCluster):
                 unit.shard_id, lambda server: unit_fn(unit)
             )
 
+        flight_key = None
+        if args_key is not None:
+            flight_key = (
+                "broadcast", id(self), self.store.epoch.value,
+                title, args_key, bool(partial_results),
+            )
         with obs.span("replication.broadcast", layer="cluster", query=title):
-            outcomes = self.store.executor.map(
+            outcomes = self.store.executor.map_shared(
+                flight_key,
                 run,
                 units,
                 stats_of=lambda unit: (
@@ -288,7 +297,10 @@ class ReplicatedZipGCluster(ZipGCluster):
                 result.update(hits)
             return sorted(result)
 
-        return self._broadcast("get_node_ids", unit_fn, merge, partial_results)
+        return self._broadcast(
+            "get_node_ids", unit_fn, merge, partial_results,
+            args_key=tuple(sorted(property_list.items())),
+        )
 
     @obs.traced("replication.find_edges", layer="cluster")
     def find_edges(self, property_id: str, value: str,
@@ -305,7 +317,10 @@ class ReplicatedZipGCluster(ZipGCluster):
                                           hit[2].destination))
             return results
 
-        return self._broadcast("find_edges", unit_fn, merge, partial_results)
+        return self._broadcast(
+            "find_edges", unit_fn, merge, partial_results,
+            args_key=(property_id, value),
+        )
 
     @obs.traced("replication.get_node_property", layer="cluster")
     def get_node_property(self, node_id: int, property_ids="*") -> PropertyList:

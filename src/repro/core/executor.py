@@ -41,6 +41,7 @@ from typing import Callable, List, Optional, Sequence
 
 from repro import chaos, obs
 from repro.core.errors import DeadlineExceeded
+from repro.perf.coalesce import SingleFlight
 
 _DEFAULT_WORKER_CAP = 8
 #: Exponential backoff is capped so a high retry count cannot stall a
@@ -51,6 +52,13 @@ _BACKOFF_CAP_S = 2.0
 def default_max_workers() -> int:
     """Default pool width: one thread per core, capped."""
     return max(1, min(_DEFAULT_WORKER_CAP, os.cpu_count() or 1))
+
+
+def _count_shared_fanout() -> None:
+    obs.counter(
+        "zipg_executor_coalesced_fanouts_total",
+        help="fan-outs that joined an identical in-flight fan-out",
+    ).inc()
 
 
 @dataclass
@@ -85,6 +93,7 @@ class ShardExecutor:
         self.max_workers = max_workers
         self._pool: Optional[ThreadPoolExecutor] = None
         self._lock = threading.Lock()
+        self._fanout_flights = SingleFlight(on_shared=_count_shared_fanout)
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
         with self._lock:
@@ -202,6 +211,43 @@ class ShardExecutor:
             for outcome in future.result():
                 outcomes[outcome.index] = outcome
         return self._collect([o for o in outcomes if o is not None], partial)
+
+    def map_shared(
+        self,
+        flight_key: Optional[object],
+        fn: Callable,
+        items: Sequence,
+        stats_of: Optional[Callable] = None,
+        *,
+        retries: int = 0,
+        backoff_s: float = 0.0,
+        deadline_s: Optional[float] = None,
+        partial: bool = False,
+    ) -> List:
+        """:meth:`map`, with identical concurrent fan-outs coalesced.
+
+        Callers presenting the same ``flight_key`` while a matching
+        fan-out is in flight share its result list instead of fanning
+        out again (single-flight). The shared list must be treated as
+        read-only. ``flight_key=None`` bypasses coalescing entirely.
+
+        The key must capture everything the result depends on -- the
+        query, its arguments, and a generation counter for the data
+        (e.g. the store epoch), otherwise a concurrent mutation could
+        hand one caller another caller's stale view.
+        """
+        if flight_key is None:
+            return self.map(
+                fn, items, stats_of, retries=retries,
+                backoff_s=backoff_s, deadline_s=deadline_s, partial=partial,
+            )
+        return self._fanout_flights.do(
+            flight_key,
+            lambda: self.map(
+                fn, items, stats_of, retries=retries,
+                backoff_s=backoff_s, deadline_s=deadline_s, partial=partial,
+            ),
+        )
 
     @staticmethod
     def _collect(outcomes: List[ShardResult], partial: bool) -> List:

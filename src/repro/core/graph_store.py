@@ -18,6 +18,7 @@ crosses the size threshold.
 from __future__ import annotations
 
 # zipg: query-api
+# zipg: cache-backed
 
 import bisect
 import weakref
@@ -31,6 +32,8 @@ from repro.core.logstore import LogStore
 from repro.core.model import Edge, EdgeData, GraphData, PropertyList, WILDCARD
 from repro.core.pointers import ACTIVE_LOGSTORE, UpdatePointerTable
 from repro.core.shard import CompressedShard
+from repro.perf.cache import HotSetCache, new_cache_tag
+from repro.perf.epoch import Epoch
 from repro.succinct.stats import AccessStats
 
 EdgeTypeArg = Union[int, str]  # an EdgeType or the WILDCARD string
@@ -75,7 +78,11 @@ class EdgeRecord:
         self.node_id = node_id
         self.edge_type = edge_type
         self.fragments = list(fragments)
-        self._index: Optional[List[Tuple[int, int, int]]] = None  # (ts, frag, local)
+        # (ts, dst, frag, local) -- dst in the sort key matches the
+        # (timestamp, destination) order used by the EdgeFile bucket
+        # sort and the LogStore insertion point, so timestamp ties
+        # resolve identically across fragment boundaries.
+        self._index: Optional[List[Tuple[int, int, int, int]]] = None
         self._direct: Optional[bool] = None
 
     @property
@@ -93,14 +100,22 @@ class EdgeRecord:
             self._direct = True
             return
         self._direct = False
-        merged: List[Tuple[int, int, int]] = []
+        merged: List[Tuple[int, int, int, int]] = []
         for fragment_index, fragment in enumerate(self.fragments):
-            # One batched timestamp read per fragment, not one random
-            # access per edge.
+            # One batched timestamp/destination read per fragment, not
+            # one random access per edge.
             timestamps = fragment.all_timestamps()
+            destinations = fragment.all_destinations()
             for local in range(fragment.edge_count):
                 if not fragment.deleted(local):
-                    merged.append((timestamps[local], fragment_index, local))
+                    merged.append(
+                        (
+                            timestamps[local],
+                            destinations[local],
+                            fragment_index,
+                            local,
+                        )
+                    )
         merged.sort()
         self._index = merged
 
@@ -118,7 +133,7 @@ class EdgeRecord:
             return (self.fragments[0], time_order)
         if not 0 <= time_order < len(self._index):
             raise IndexError(f"TimeOrder {time_order} out of range")
-        _, fragment_index, local = self._index[time_order]
+        _, _, fragment_index, local = self._index[time_order]
         return (self.fragments[fragment_index], local)
 
     def timestamp_at(self, time_order: int) -> int:
@@ -153,10 +168,7 @@ class EdgeRecord:
         self._resolve_layout()
         if self._direct:
             return self.fragments[0].all_destinations()
-        return [
-            self.fragments[fragment_index].destination_at(local)
-            for _, fragment_index, local in self._index
-        ]
+        return [entry[1] for entry in self._index]
 
 
 class ZipG:
@@ -191,6 +203,19 @@ class ZipG:
         # Pointer hops actually followed by queries on this store (the
         # §3.5 fragmentation cost the per-layer breakdown attributes).
         self._pointer_hops = 0
+        # Store-level epoch: bumped by every mutation (append, delete,
+        # freeze, compaction -- WAL replay routes through the same
+        # _apply_* methods). Store-level cached results embed it.
+        self.epoch = Epoch()
+        # Optional hot-set cache (repro.perf); see enable_cache().
+        self._cache: Optional[HotSetCache] = None
+        self._cache_tag = 0
+        self._coalesce_window_s = 0.0
+        # Fan-out failure-semantics knobs (plumbed from the cluster
+        # layer); passed to every executor.map a query issues.
+        self.retries = 0
+        self.backoff_s = 0.0
+        self.deadline_s: Optional[float] = None
         _publish_store_metrics(self)
 
     # ------------------------------------------------------------------
@@ -272,6 +297,48 @@ class ZipG:
     def delimiters(self) -> DelimiterMap:
         return self._delimiters
 
+    # ------------------------------------------------------------------
+    # Hot-set cache (repro.perf)
+    # ------------------------------------------------------------------
+
+    @property
+    def cache(self) -> Optional[HotSetCache]:
+        return self._cache
+
+    def enable_cache(
+        self, budget_bytes: int, coalesce_window_s: float = 0.0
+    ) -> HotSetCache:
+        """Front the hot read paths with a byte-budgeted hot-set cache.
+
+        One shared :class:`HotSetCache` covers store-level results
+        (adjacency lists, fan-out searches) and, through each shard's
+        ``attach_cache``, the NodeFile/EdgeFile/Succinct reads beneath
+        them. Keys embed the relevant epoch, so every mutation
+        invalidates in O(1). Budget accounting is global: the cache
+        never holds more than ``budget_bytes``.
+
+        Args:
+            budget_bytes: total byte budget (a useful rule of thumb is
+                <= 10% of :meth:`storage_footprint_bytes`).
+            coalesce_window_s: when > 0, concurrent cache-missed
+                extracts inside one shard coalesce into a single
+                batched-NPA kernel call.
+        """
+        cache = HotSetCache(budget_bytes, name="zipg")
+        self._cache = cache
+        self._cache_tag = new_cache_tag()
+        self._coalesce_window_s = float(coalesce_window_s)
+        for shard in self._shards:
+            shard.attach_cache(cache, coalesce_window_s=coalesce_window_s)
+        return cache
+
+    def disable_cache(self) -> None:
+        """Detach the cache everywhere; reads revert to the pre-cache
+        paths (byte-identical behavior)."""
+        self._cache = None
+        for shard in self._shards:
+            shard.detach_cache()
+
     def route(self, node_id: int) -> int:
         """Initial shard a NodeID hashes to (query entry point)."""
         return _hash_partition(node_id, self._num_initial)
@@ -344,11 +411,29 @@ class ZipG:
         The one query that must touch *all* shards (§4.1 footnote 5);
         the shard searches fan out across the store's thread pool.
         """
+        cache = self._cache
+        if cache is None:
+            return self._search_nodes(property_list)
+        key = (
+            "gs.nodeids",
+            self._cache_tag,
+            self.epoch.value,
+            tuple(sorted(property_list.items())),
+        )
+        return list(
+            cache.get_or_load(key, lambda: self._search_nodes(property_list))
+        )
+
+    # zipg: span-free  (always runs under get_node_ids's span)
+    def _search_nodes(self, property_list: PropertyList) -> List[int]:
         locations: List = [self._logstore] + self._shards
         hits = self.executor.map(
             lambda location: location.find_live_nodes(property_list),
             locations,
             stats_of=lambda location: location.stats,
+            retries=self.retries,
+            backoff_s=self.backoff_s,
+            deadline_s=self.deadline_s,
         )
         result: set = set()
         for shard_hits in hits:
@@ -368,8 +453,19 @@ class ZipG:
         Implemented join-free (§2.2): fetch neighbors, then probe each
         neighbor's properties by random access.
         """
-        record = self.get_edge_record(node_id, edge_type)
-        destinations = record.destinations()
+        cache = self._cache
+        if cache is None:
+            destinations = self.get_edge_record(node_id, edge_type).destinations()
+        else:
+            # Store-level key: the merged record spans shards *and* the
+            # LogStore, so only the store epoch safely covers it.
+            key = ("gs.nbr", self._cache_tag, self.epoch.value, node_id, edge_type)
+            destinations = list(
+                cache.get_or_load(
+                    key,
+                    lambda: self.get_edge_record(node_id, edge_type).destinations(),
+                )
+            )
         if not property_list:
             return destinations
         matches = []
@@ -432,11 +528,28 @@ class ZipG:
         Returns ``(source, edge_type, EdgeData)`` triples sorted by
         (source, edge_type, timestamp, destination).
         """
+        cache = self._cache
+        if cache is None:
+            return self._search_edges(property_id, value)
+        key = ("gs.edges", self._cache_tag, self.epoch.value, property_id, value)
+        return list(
+            cache.get_or_load(
+                key, lambda: self._search_edges(property_id, value)
+            )
+        )
+
+    # zipg: span-free  (always runs under find_edges's span)
+    def _search_edges(
+        self, property_id: str, value: str
+    ) -> List[Tuple[int, int, EdgeData]]:
         locations: List = self._shards + [self._logstore]
         hits = self.executor.map(
             lambda location: location.find_edges_by_property(property_id, value),
             locations,
             stats_of=lambda location: location.stats,
+            retries=self.retries,
+            backoff_s=self.backoff_s,
+            deadline_s=self.deadline_s,
         )
         results = [hit for shard_hits in hits for hit in shard_hits]
         results.sort(key=lambda hit: (hit[0], hit[1], hit[2].timestamp, hit[2].destination))
@@ -470,6 +583,7 @@ class ZipG:
         self._maybe_freeze()
 
     def _apply_append_node(self, node_id: int, properties: PropertyList) -> None:
+        self.epoch.bump()
         self._logstore.append_node(node_id, properties)
         self._table(node_id).add_node_pointer(node_id, ACTIVE_LOGSTORE)
 
@@ -496,6 +610,7 @@ class ZipG:
         timestamp: int,
         properties: PropertyList,
     ) -> None:
+        self.epoch.bump()
         self._logstore.append_edge(
             Edge(source, destination, edge_type, timestamp, dict(properties))
         )
@@ -508,6 +623,7 @@ class ZipG:
         return self._apply_delete_node(node_id)
 
     def _apply_delete_node(self, node_id: int) -> bool:
+        self.epoch.bump()
         deleted = False
         for location in self._node_locations_newest_first(node_id):
             deleted = location.delete_node(node_id) or deleted
@@ -526,6 +642,7 @@ class ZipG:
         return self._apply_delete_edge(source, edge_type, destination)
 
     def _apply_delete_edge(self, source: int, edge_type: int, destination: int) -> int:
+        self.epoch.bump()
         deleted = 0
         for location in self._edge_locations(source, edge_type):
             deleted += location.delete_edges(source, edge_type, destination)
@@ -602,6 +719,7 @@ class ZipG:
         return self._apply_freeze()
 
     def _apply_freeze(self) -> Optional[CompressedShard]:
+        self.epoch.bump()
         nodes, edges = self._logstore.live_contents()
         new_shard: Optional[CompressedShard] = None
         if nodes or edges:
@@ -609,6 +727,10 @@ class ZipG:
             new_shard = CompressedShard(
                 shard_id, nodes, edges, self._delimiters, alpha=self._alpha
             )
+            if self._cache is not None:
+                new_shard.attach_cache(
+                    self._cache, coalesce_window_s=self._coalesce_window_s
+                )
             self._shards.append(new_shard)
             for node_id in nodes:
                 self._table(node_id).promote_node_active(node_id, shard_id)
@@ -637,6 +759,7 @@ class ZipG:
         return self._apply_compact()
 
     def _apply_compact(self) -> int:
+        self.epoch.bump()
         frozen = self._shards[self._num_initial :]
         if not frozen:
             return 0
@@ -651,10 +774,15 @@ class ZipG:
         new_shard_id = self._num_initial
         new_shards = self._shards[: self._num_initial]
         if merged_nodes or merged_edges:
-            new_shards.append(CompressedShard(
+            merged_shard = CompressedShard(
                 new_shard_id, merged_nodes, merged_edges, self._delimiters,
                 alpha=self._alpha,
-            ))
+            )
+            if self._cache is not None:
+                merged_shard.attach_cache(
+                    self._cache, coalesce_window_s=self._coalesce_window_s
+                )
+            new_shards.append(merged_shard)
         reclaimed = len(self._shards) - len(new_shards)
         self._shards = new_shards
 

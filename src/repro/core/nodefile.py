@@ -28,7 +28,7 @@ from __future__ import annotations
 
 # zipg: hot-path
 
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -38,6 +38,9 @@ from repro.core.errors import NodeNotFound
 from repro.core.model import PropertyList
 from repro.succinct.stats import AccessStats
 from repro.succinct.succinct_file import SuccinctFile
+
+if TYPE_CHECKING:
+    from repro.perf.cache import HotSetCache
 
 
 class NodeFile:
@@ -83,6 +86,39 @@ class NodeFile:
         self._offsets = np.asarray(offsets, dtype=np.int64)
         self._file = SuccinctFile(bytes(buffer), alpha=alpha, stats=stats)
         self.stats = self._file.stats
+        self._init_cache_state()
+
+    def _init_cache_state(self) -> None:
+        from repro.perf.cache import new_cache_tag
+
+        self._cache = None
+        self._cache_epoch_of = None
+        self._cache_tag = new_cache_tag()
+
+    # ------------------------------------------------------------------
+    # Hot-set cache (repro.perf)
+    # ------------------------------------------------------------------
+
+    def attach_cache(
+        self,
+        cache: "HotSetCache",
+        epoch_of: Optional[Callable[[], int]] = None,
+        coalesce_window_s: float = 0.0,
+    ) -> None:
+        """Cache decoded PropertyLists and the underlying Succinct reads."""
+        self._cache = cache
+        self._cache_epoch_of = epoch_of
+        self._file.attach_cache(
+            cache, epoch_of=epoch_of, coalesce_window_s=coalesce_window_s
+        )
+
+    def detach_cache(self) -> None:
+        self._cache = None
+        self._cache_epoch_of = None
+        self._file.detach_cache()
+
+    def _cache_epoch(self) -> int:
+        return self._cache_epoch_of() if self._cache_epoch_of is not None else 0
 
     # ------------------------------------------------------------------
     # Directory
@@ -151,6 +187,23 @@ class NodeFile:
         (a single lockstep NPA walk), instead of two extracts per
         property.
         """
+        cache = self._cache
+        if cache is None:
+            return self._get_properties_uncached(node_id, property_ids)
+        wanted = None if property_ids is None else tuple(property_ids)
+        key = ("nf", self._cache_tag, self._cache_epoch(), node_id, wanted)
+        value = cache.get_or_load(
+            key, lambda: self._get_properties_uncached(node_id, property_ids)
+        )
+        # Callers own their PropertyList; hand out a copy so the cached
+        # dict can't be mutated behind the cache's back.
+        return dict(value)
+
+    # zipg: layout-parser[node-record]
+    def _get_properties_uncached(
+        self, node_id: int, property_ids: Optional[List[str]] = None
+    ) -> PropertyList:
+        """The pre-cache ``get_properties`` body."""
         record = self._record_offset(node_id)
         width = self._len_width
         count = len(self._delimiters)
@@ -267,6 +320,7 @@ class NodeFile:
         instance._offsets = unpack_array(sections["offsets"])
         instance._file = SuccinctFile.from_bytes(sections["file"], stats=stats)
         instance.stats = instance._file.stats
+        instance._init_cache_state()
         return instance
 
     # ------------------------------------------------------------------

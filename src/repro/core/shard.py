@@ -9,15 +9,20 @@ only its deletion bitmaps mutate.
 from __future__ import annotations
 
 # zipg: hot-path
+# zipg: cache-backed
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
 
 from repro import obs
 from repro.core.deletes import DeletionIndex
 from repro.core.delimiters import DelimiterMap
 from repro.core.edgefile import EdgeFile, EdgeRecordFragment
 from repro.core.model import Edge, EdgeData, PropertyList
+from repro.perf.epoch import Epoch
 from repro.succinct.stats import AccessStats
+
+if TYPE_CHECKING:
+    from repro.perf.cache import HotSetCache
 
 
 class ShardEdgeFragment:
@@ -72,6 +77,7 @@ class ShardEdgeFragment:
 
     def mark_deleted(self, time_order: int) -> None:
         self._shard.deletions.delete_edge(self._fragment.base_edge_index + time_order)
+        self._shard.epoch.bump()
 
 
 class CompressedShard:
@@ -102,6 +108,9 @@ class CompressedShard:
         self.node_file = NodeFile(nodes, delimiters, alpha=alpha, stats=self.stats)
         self.edge_file = EdgeFile(edges, delimiters, alpha=alpha, stats=self.stats)
         self.deletions = DeletionIndex(len(self.node_file), self.edge_file.num_edges)
+        # Generation counter covering this shard's only mutable state
+        # (the deletion bitmaps); cache keys embed it.
+        self.epoch = Epoch()
 
     # ------------------------------------------------------------------
     # Nodes
@@ -138,6 +147,7 @@ class CompressedShard:
             return False
         self.deletions.delete_node(self.node_file.node_index(node_id))
         self.stats.writes += 1
+        self.epoch.bump()
         return True
 
     # ------------------------------------------------------------------
@@ -195,6 +205,7 @@ class CompressedShard:
                 deleted += 1
         if deleted:
             self.stats.writes += 1
+            self.epoch.bump()
         return deleted
 
     # ------------------------------------------------------------------
@@ -241,7 +252,36 @@ class CompressedShard:
         instance.deletions._edges = BitVector.from_blocks(
             num_edges, unpack_array(sections["deleted_edges"])
         )
+        instance.epoch = Epoch()
         return instance
+
+    # ------------------------------------------------------------------
+    # Hot-set cache (repro.perf)
+    # ------------------------------------------------------------------
+
+    def _epoch_value(self) -> int:
+        return self.epoch.value
+
+    def attach_cache(
+        self, cache: "HotSetCache", coalesce_window_s: float = 0.0
+    ) -> None:
+        """Front this shard's compressed files with ``cache``.
+
+        Cache keys embed :attr:`epoch`, so deletions on this shard
+        invalidate every cached read in O(1).
+        """
+        self.node_file.attach_cache(
+            cache, epoch_of=self._epoch_value,
+            coalesce_window_s=coalesce_window_s,
+        )
+        self.edge_file.attach_cache(
+            cache, epoch_of=self._epoch_value,
+            coalesce_window_s=coalesce_window_s,
+        )
+
+    def detach_cache(self) -> None:
+        self.node_file.detach_cache()
+        self.edge_file.detach_cache()
 
     # ------------------------------------------------------------------
     # Garbage-collection support

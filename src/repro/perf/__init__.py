@@ -1,0 +1,50 @@
+"""``repro.perf``: the memory-budgeted hot-set cache and request
+coalescing layer (PR 5).
+
+ZipG's pitch is serving interactive queries *from the compressed
+representation* within a fixed memory budget (§2, §5). Repeated
+TAO/LinkBench reads nevertheless re-run the same sampled-SA walks and
+re-decode the same NodeFile/EdgeFile spans from scratch; this package
+spends a small, strictly byte-accounted slice of the budget to make
+those hot reads cheap without touching the memory-efficiency story:
+
+* :class:`~repro.perf.cache.HotSetCache` -- a thread-safe segmented-LRU
+  cache with a byte budget (:class:`~repro.perf.cache.CacheBudget`),
+  per-entry byte accounting, and ``zipg_cache_*`` metrics published
+  through :mod:`repro.obs`.
+* :class:`~repro.perf.epoch.Epoch` -- the monotone counters every
+  shard, the LogStore, and the store itself carry. Cache keys embed
+  the epoch, so a mutation invalidates in O(1) (the stale generation
+  simply becomes unreachable garbage the LRU evicts) -- never a key
+  scan.
+* :mod:`~repro.perf.coalesce` -- single-flight request sharing
+  (:class:`~repro.perf.coalesce.SingleFlight`) and short-window batch
+  coalescing (:class:`~repro.perf.coalesce.BatchCoalescer`) so
+  concurrent identical queries execute once and concurrent extracts
+  collapse into one batched-NPA kernel call.
+
+See ``docs/CACHING.md`` for the budget model and wiring.
+"""
+
+from __future__ import annotations
+
+from repro.perf.cache import (
+    ENTRY_OVERHEAD_BYTES,
+    CacheBudget,
+    HotSetCache,
+    estimate_size,
+    new_cache_tag,
+)
+from repro.perf.coalesce import BatchCoalescer, SingleFlight
+from repro.perf.epoch import Epoch
+
+__all__ = [
+    "BatchCoalescer",
+    "CacheBudget",
+    "ENTRY_OVERHEAD_BYTES",
+    "Epoch",
+    "HotSetCache",
+    "SingleFlight",
+    "estimate_size",
+    "new_cache_tag",
+]

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 # zipg: hot-path
 
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -31,6 +31,9 @@ from repro.succinct.bitvector import BitVector
 from repro.succinct.npa import NextPointerArray
 from repro.succinct.stats import AccessStats
 from repro.succinct.suffix_array import build_suffix_array, inverse_permutation
+
+if TYPE_CHECKING:
+    from repro.perf.cache import HotSetCache
 
 SENTINEL = 0  # terminal byte appended to every file; may not occur in input
 
@@ -89,6 +92,56 @@ class SuccinctFile:
         self._sa_samples = suffix_array[sampled_rows].copy()
         # Position-based ISA sampling: ISA of text positions 0, alpha, 2*alpha...
         self._isa_samples = isa[np.arange(0, n, alpha)].copy()
+        self._init_cache_state()
+
+    def _init_cache_state(self) -> None:
+        from repro.perf.cache import new_cache_tag
+
+        self._cache = None
+        self._cache_epoch_of: Optional[Callable[[], int]] = None
+        self._coalescer = None
+        self._cache_tag = new_cache_tag()
+
+    # ------------------------------------------------------------------
+    # Hot-set cache (repro.perf)
+    # ------------------------------------------------------------------
+
+    def attach_cache(
+        self,
+        cache: "HotSetCache",
+        epoch_of: Optional[Callable[[], int]] = None,
+        coalesce_window_s: float = 0.0,
+    ) -> None:
+        """Front ``extract``/``search`` with a :class:`HotSetCache`.
+
+        Args:
+            cache: the shared :class:`repro.perf.HotSetCache`.
+            epoch_of: callable returning the owning structure's current
+                epoch; embedded in every key so mutations invalidate in
+                O(1). ``None`` pins the epoch to 0 (this file's own
+                structures are immutable).
+            coalesce_window_s: when > 0, concurrent cache-missed
+                extracts are coalesced into one lockstep
+                ``extract_batch`` kernel call.
+        """
+        from repro.perf.coalesce import BatchCoalescer
+
+        self._cache = cache
+        self._cache_epoch_of = epoch_of
+        if coalesce_window_s > 0:
+            self._coalescer = BatchCoalescer(
+                self._extract_batch_kernel, window_s=coalesce_window_s
+            )
+        else:
+            self._coalescer = None
+
+    def detach_cache(self) -> None:
+        self._cache = None
+        self._cache_epoch_of = None
+        self._coalescer = None
+
+    def _cache_epoch(self) -> int:
+        return self._cache_epoch_of() if self._cache_epoch_of is not None else 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -193,12 +246,24 @@ class SuccinctFile:
         regardless of ``length`` instead of once per byte.
         """
         length = self._check_extract(offset, length)
+        cache = self._cache
+        if cache is None:
+            return self._extract_uncached(offset, length)
+        key = ("sf", self._cache_tag, self._cache_epoch(), "x", offset, length)
+        return cache.get_or_load(
+            key, lambda: self._extract_uncached(offset, length)
+        )
+
+    def _extract_uncached(self, offset: int, length: int) -> bytes:
+        """The pre-cache ``extract`` body (``length`` already checked)."""
         self.stats.random_accesses += 1
         self.stats.sequential_bytes += length
         if length == 0:
             return b""
         if length <= _SCALAR_EXTRACT_CUTOFF:
             return self._extract_scalar_body(offset, length)
+        if self._coalescer is not None:
+            return self._coalescer.submit((offset, length))
         return self._extract_batched_body(offset, length)
 
     def extract_scalar(self, offset: int, length: int) -> bytes:
@@ -271,9 +336,39 @@ class SuccinctFile:
         clean = []
         for offset, length in requests:
             clean.append((offset, self._check_extract(offset, length)))
+        cache = self._cache
+        if cache is None:
+            return self._extract_batch_uncached(clean)
+        # Per-request lookup; only the misses go through one kernel call.
+        tag = self._cache_tag
+        epoch = self._cache_epoch()
+        results: List[bytes] = [b""] * len(clean)
+        missing: List[int] = []
+        for index, (offset, length) in enumerate(clean):
+            hit, value = cache.get(("sf", tag, epoch, "x", offset, length))
+            if hit:
+                results[index] = value
+            else:
+                missing.append(index)
+        if missing:
+            fetched = self._extract_batch_uncached([clean[i] for i in missing])
+            for index, value in zip(missing, fetched):
+                offset, length = clean[index]
+                cache.put(("sf", tag, epoch, "x", offset, length), value)
+                results[index] = value
+        return results
+
+    def _extract_batch_uncached(self, clean: Sequence[Tuple[int, int]]) -> List[bytes]:
+        """The pre-cache ``extract_batch`` body (lengths already checked)."""
         self.stats.random_accesses += len(clean)
         self.stats.sequential_bytes += sum(length for _, length in clean)
-        results: list = [b""] * len(clean)
+        return self._extract_batch_kernel(clean)
+
+    def _extract_batch_kernel(self, clean: Sequence[Tuple[int, int]]) -> List[bytes]:
+        """One lockstep walk over every non-empty request (no access
+        accounting: callers meter themselves, so the coalescer can
+        route through here without double counting)."""
+        results: List[bytes] = [b""] * len(clean)
         segments = []
         spans = []  # (result slot, anchor offset in the big row array, head, length)
         cursor = 0
@@ -391,8 +486,26 @@ class SuccinctFile:
         values in one batched lockstep walk instead of a per-row
         ``_lookup_sa`` loop.
         """
+        pattern = bytes(pattern)
+        cache = self._cache
+        if cache is None:
+            return self._search_uncached(pattern)
+
+        def _load() -> np.ndarray:
+            result = self._search_uncached(pattern)
+            # The same array object is handed to every future hit, so
+            # freeze it: a caller mutating a shared result would
+            # corrupt everyone else's view.
+            result.setflags(write=False)
+            return result
+
+        key = ("sf", self._cache_tag, self._cache_epoch(), "s", pattern)
+        return cache.get_or_load(key, _load)
+
+    def _search_uncached(self, pattern: bytes) -> np.ndarray:
+        """The pre-cache ``search`` body."""
         self.stats.searches += 1
-        low, high = self._pattern_row_range(bytes(pattern))
+        low, high = self._pattern_row_range(pattern)
         count = high - low
         self.stats.random_accesses += count
         if count <= 0:
@@ -461,4 +574,5 @@ class SuccinctFile:
             unpack_array(sections["bucket_chars"]),
             unpack_array(sections["bucket_starts"]),
         )
+        instance._init_cache_state()
         return instance

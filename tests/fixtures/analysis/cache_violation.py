@@ -1,0 +1,35 @@
+"""Fixture: a cache-backed store with one mutator that forgets to bump
+the epoch (CACHE001) plus the compliant/suppressed variants."""
+# zipg: cache-backed
+
+
+class Epoch:
+    def __init__(self):
+        self._value = 0
+
+    def bump(self):
+        self._value += 1
+        return self._value
+
+
+class CachedStore:
+    def __init__(self):
+        self.epoch = Epoch()
+        self._items = {}
+
+    def append_item(self, key, value):  # OK: bumps directly
+        self._items[key] = value
+        self.epoch.bump()
+
+    def update_item(self, key, value):  # OK: bumps via append_item
+        if key in self._items:
+            self.append_item(key, value)
+
+    def delete_item(self, key):  # CACHE001: stale entries stay reachable
+        self._items.pop(key, None)
+
+    def remove_quietly(self, key):  # zipg: ignore[CACHE001]
+        self._items.pop(key, None)
+
+    def get_item(self, key):  # OK: not a mutator
+        return self._items.get(key)

@@ -282,6 +282,50 @@ class TestRobustnessRule:
 
 
 # ----------------------------------------------------------------------
+# Cache-coherence (epoch bump) discipline
+# ----------------------------------------------------------------------
+
+
+class TestCacheRule:
+    def test_mutator_without_bump_flagged(self):
+        path = fixture("cache_violation.py")
+        found = hits(findings_for("cache_violation.py", ["CACHE001"]))
+        assert ("CACHE001", line_of(path, "def delete_item")) in found
+
+    def test_direct_bump_not_flagged(self):
+        found = findings_for("cache_violation.py", ["CACHE001"])
+        assert not any("append_item" in f.message for f in found)
+
+    def test_transitive_bump_through_self_call_not_flagged(self):
+        found = findings_for("cache_violation.py", ["CACHE001"])
+        assert not any("update_item" in f.message for f in found)
+
+    def test_acknowledged_mutator_suppressed(self):
+        found = findings_for("cache_violation.py", ["CACHE001"])
+        assert not any("remove_quietly" in f.message for f in found)
+
+    def test_non_mutator_not_flagged(self):
+        found = findings_for("cache_violation.py", ["CACHE001"])
+        assert len(found) == 1  # only delete_item
+
+    def test_not_flagged_without_cache_backed_marker(self, tmp_path):
+        with open(fixture("cache_violation.py")) as handle:
+            body = handle.read().replace("# zipg: cache-backed", "")
+        cold = tmp_path / "unmarked_module.py"
+        cold.write_text(body)
+        findings, _ = analyze_paths([str(cold)], ["CACHE001"])
+        assert findings == []
+
+    def test_cache_backed_store_modules_are_covered(self):
+        for rel in (("core", "graph_store.py"), ("core", "shard.py"),
+                    ("core", "logstore.py")):
+            src_path = os.path.join(SRC_REPRO, *rel)
+            findings, context = analyze_paths([src_path], ["CACHE001"])
+            assert findings == [], rel
+            assert context.modules[0].markers.module_has("cache-backed"), rel
+
+
+# ----------------------------------------------------------------------
 # Engine behaviour + CLI
 # ----------------------------------------------------------------------
 

@@ -1,0 +1,111 @@
+"""Unit tests for the CI perf gate (``repro.bench.gate``).
+
+The satellite fix under test: a malformed baseline entry (missing or
+non-positive ``value``) must *skip with a warning* instead of crashing
+the gate with KeyError / producing a vacuous ratio bound.
+"""
+
+import json
+
+from repro.bench import gate
+
+
+def _entry(value, kind="higher_better"):
+    return {"value": value, "kind": kind}
+
+
+class TestCheck:
+    def test_passing_metric(self):
+        passes, failures, warnings = gate.check(
+            {"speedup": _entry(4.0)}, {"speedup": _entry(3.0)}, tolerance=2.0
+        )
+        assert len(passes) == 1 and not failures and not warnings
+
+    def test_failing_higher_better_metric(self):
+        passes, failures, warnings = gate.check(
+            {"speedup": _entry(4.0)}, {"speedup": _entry(1.0)}, tolerance=2.0
+        )
+        assert not passes and len(failures) == 1 and not warnings
+
+    def test_failing_lower_better_metric(self):
+        _, failures, warnings = gate.check(
+            {"latency": _entry(1.0, "lower_better")},
+            {"latency": _entry(3.0, "lower_better")},
+            tolerance=2.0,
+        )
+        assert len(failures) == 1 and not warnings
+
+    def test_missing_current_metric_is_a_failure(self):
+        passes, failures, warnings = gate.check({"speedup": _entry(4.0)}, {})
+        assert not passes and not warnings
+        assert failures == ["speedup: missing from current bench artifacts"]
+
+    def test_baseline_entry_without_value_warns_and_skips(self):
+        # Historically a KeyError: the gate crashed instead of reporting.
+        passes, failures, warnings = gate.check(
+            {"speedup": {"kind": "higher_better"}}, {"speedup": _entry(3.0)}
+        )
+        assert not passes and not failures
+        assert len(warnings) == 1 and "speedup" in warnings[0]
+
+    def test_non_numeric_baseline_value_warns_and_skips(self):
+        passes, failures, warnings = gate.check(
+            {"speedup": _entry("fast")}, {"speedup": _entry(3.0)}
+        )
+        assert not passes and not failures and len(warnings) == 1
+
+    def test_zero_baseline_value_warns_and_skips(self):
+        # A zero pin makes both ratio bounds vacuous; skip loudly.
+        passes, failures, warnings = gate.check(
+            {"speedup": _entry(0.0)}, {"speedup": _entry(3.0)}
+        )
+        assert not passes and not failures and len(warnings) == 1
+
+    def test_negative_baseline_value_warns_and_skips(self):
+        _, failures, warnings = gate.check(
+            {"speedup": _entry(-1.0)}, {"speedup": _entry(3.0)}
+        )
+        assert not failures and len(warnings) == 1
+
+    def test_non_numeric_current_value_is_a_failure(self):
+        _, failures, warnings = gate.check(
+            {"speedup": _entry(4.0)}, {"speedup": _entry(None)}
+        )
+        assert len(failures) == 1 and not warnings
+
+    def test_warning_does_not_mask_other_failures(self):
+        _, failures, warnings = gate.check(
+            {"bad": _entry(0.0), "good": _entry(4.0)},
+            {"good": _entry(1.0)},
+        )
+        assert len(failures) == 1 and len(warnings) == 1
+
+
+class TestMain:
+    def _write(self, tmp_path, baseline_metrics, gate_metrics):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"metrics": baseline_metrics}))
+        bench_dir = tmp_path / "bench_out"
+        bench_dir.mkdir()
+        (bench_dir / "BENCH_test.json").write_text(
+            json.dumps({"gate": gate_metrics})
+        )
+        return ["--baseline", str(baseline), "--bench-dir", str(bench_dir)]
+
+    def test_exit_zero_on_pass(self, tmp_path, capsys):
+        argv = self._write(tmp_path, {"m": _entry(2.0)}, {"m": _entry(2.0)})
+        assert gate.main(argv) == 0
+        assert "PASS m:" in capsys.readouterr().out
+
+    def test_exit_one_on_failure(self, tmp_path, capsys):
+        argv = self._write(tmp_path, {"m": _entry(8.0)}, {"m": _entry(1.0)})
+        assert gate.main(argv) == 1
+        assert "FAIL m:" in capsys.readouterr().out
+
+    def test_exit_zero_with_only_warnings(self, tmp_path, capsys):
+        # A bench whose baseline pin is malformed must not block CI.
+        argv = self._write(tmp_path, {"m": {"kind": "higher_better"}}, {})
+        assert gate.main(argv) == 0
+        out = capsys.readouterr().out
+        assert "WARN m:" in out
+        assert "1 skipped" in out

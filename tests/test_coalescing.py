@@ -1,0 +1,331 @@
+"""Single-flight and batch coalescing (repro.perf.coalesce), the
+executor's shared fan-outs, and the cluster retry/backoff/deadline
+knobs flowing through the coalesced broadcast path."""
+
+import threading
+import time
+
+import pytest
+
+from repro import chaos
+from repro.chaos import ChaosInjector, FaultInjected, FaultRule
+from repro.cluster.replication import ReplicatedZipGCluster
+from repro.core import GraphData, ZipG
+from repro.core.errors import DeadlineExceeded
+from repro.core.executor import ShardExecutor
+from repro.perf import BatchCoalescer, SingleFlight
+
+
+@pytest.fixture(autouse=True)
+def no_leftover_injector():
+    yield
+    chaos.uninstall()
+
+
+def build_store():
+    graph = GraphData()
+    graph.add_node(1, {"name": "Alice", "city": "Ithaca"})
+    graph.add_node(2, {"name": "Bob", "city": "Boston"})
+    graph.add_node(3, {"name": "Carol", "city": "Ithaca"})
+    graph.add_edge(1, 2, 0, 100, {"w": "5"})
+    graph.add_edge(1, 3, 0, 200)
+    return ZipG.compress(graph, num_shards=2, alpha=4,
+                         logstore_threshold_bytes=1 << 20)
+
+
+def _await(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() > deadline:
+            raise AssertionError("condition not reached in time")
+        time.sleep(0.001)
+
+
+# ----------------------------------------------------------------------
+# SingleFlight
+# ----------------------------------------------------------------------
+
+
+class TestSingleFlight:
+    def test_concurrent_callers_share_one_execution(self):
+        flights = SingleFlight()
+        release = threading.Event()
+        calls = []
+
+        def fn():
+            calls.append(1)
+            release.wait(5)
+            return "result"
+
+        results = []
+        threads = [
+            threading.Thread(
+                target=lambda: results.append(flights.do("k", fn))
+            )
+            for _ in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        _await(lambda: flights.shared == 3)
+        release.set()
+        for thread in threads:
+            thread.join(5)
+        assert results == ["result"] * 4
+        assert len(calls) == 1
+        assert flights.shared == 3
+
+    def test_sequential_calls_do_not_share(self):
+        flights = SingleFlight()
+        assert flights.do("k", lambda: 1) == 1
+        assert flights.do("k", lambda: 2) == 2  # flight already retired
+        assert flights.shared == 0
+
+    def test_leader_error_propagates_to_followers(self):
+        flights = SingleFlight()
+        entered = threading.Event()
+        release = threading.Event()
+
+        def fn():
+            entered.set()
+            release.wait(5)
+            raise FaultInjected("boom")
+
+        outcomes = []
+
+        def call():
+            try:
+                flights.do("k", fn)
+            except FaultInjected as exc:
+                outcomes.append(exc)
+
+        leader = threading.Thread(target=call)
+        leader.start()
+        assert entered.wait(5)
+        follower = threading.Thread(target=call)
+        follower.start()
+        _await(lambda: flights.shared == 1)
+        release.set()
+        leader.join(5)
+        follower.join(5)
+        assert len(outcomes) == 2
+
+    def test_on_shared_hook_fires_per_follower(self):
+        shared_calls = []
+        flights = SingleFlight(on_shared=lambda: shared_calls.append(1))
+        release = threading.Event()
+        entered = threading.Event()
+
+        def fn():
+            entered.set()
+            release.wait(5)
+            return 0
+
+        leader = threading.Thread(target=lambda: flights.do("k", fn))
+        leader.start()
+        assert entered.wait(5)
+        follower = threading.Thread(target=lambda: flights.do("k", fn))
+        follower.start()
+        _await(lambda: flights.shared == 1)
+        release.set()
+        leader.join(5)
+        follower.join(5)
+        assert len(shared_calls) == 1
+
+
+# ----------------------------------------------------------------------
+# BatchCoalescer
+# ----------------------------------------------------------------------
+
+
+class TestBatchCoalescer:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchCoalescer(lambda reqs: reqs, window_s=-0.1)
+        with pytest.raises(ValueError):
+            BatchCoalescer(lambda reqs: reqs, max_batch=0)
+
+    def test_single_submit_routes_through_batch_fn(self):
+        batches = []
+
+        def batch_fn(requests):
+            batches.append(list(requests))
+            return [r * 2 for r in requests]
+
+        coalescer = BatchCoalescer(batch_fn, window_s=0.0)
+        assert coalescer.submit(21) == 42
+        assert batches == [[21]]
+
+    def test_concurrent_submits_coalesce_into_one_batch(self):
+        batches = []
+
+        def batch_fn(requests):
+            batches.append(list(requests))
+            return [r * 2 for r in requests]
+
+        coalescer = BatchCoalescer(batch_fn, window_s=0.25)
+        results = {}
+
+        def submit(value):
+            results[value] = coalescer.submit(value)
+
+        leader = threading.Thread(target=submit, args=(1,))
+        leader.start()
+        _await(lambda: coalescer._open is not None)  # window open
+        followers = [threading.Thread(target=submit, args=(v,))
+                     for v in (2, 3)]
+        for thread in followers:
+            thread.start()
+        _await(lambda: coalescer._coalesced == 2)
+        leader.join(5)
+        for thread in followers:
+            thread.join(5)
+        assert len(batches) == 1 and sorted(batches[0]) == [1, 2, 3]
+        assert results == {1: 2, 2: 4, 3: 6}  # per-slot routing
+
+    def test_batch_error_propagates_to_every_submitter(self):
+        def batch_fn(requests):
+            raise FaultInjected("kernel failed")
+
+        coalescer = BatchCoalescer(batch_fn, window_s=0.0)
+        with pytest.raises(FaultInjected):
+            coalescer.submit(1)
+
+
+# ----------------------------------------------------------------------
+# ShardExecutor.map_shared
+# ----------------------------------------------------------------------
+
+
+class TestMapShared:
+    def test_none_key_bypasses_coalescing(self):
+        with ShardExecutor(max_workers=1) as executor:
+            assert executor.map_shared(None, lambda x: x + 1, [1, 2]) == [2, 3]
+
+    def test_concurrent_identical_fanouts_share_one_execution(self):
+        executor = ShardExecutor(max_workers=2)
+        calls = []
+        release = threading.Event()
+        entered = threading.Event()
+
+        def fn(item):
+            calls.append(item)
+            entered.set()
+            release.wait(5)
+            return item * 2
+
+        results = [None, None]
+
+        def call(slot):
+            results[slot] = executor.map_shared(("q", 7), fn, [1, 2])
+
+        leader = threading.Thread(target=call, args=(0,))
+        leader.start()
+        assert entered.wait(5)
+        follower = threading.Thread(target=call, args=(1,))
+        follower.start()
+        _await(lambda: executor._fanout_flights.shared == 1)
+        release.set()
+        leader.join(5)
+        follower.join(5)
+        executor.close()
+        assert results[0] == results[1] == [2, 4]
+        assert sorted(calls) == [1, 2]  # one fan-out total, not two
+
+    def test_different_keys_do_not_share(self):
+        with ShardExecutor(max_workers=1) as executor:
+            calls = []
+
+            def fn(item):
+                calls.append(item)
+                return item
+
+            executor.map_shared(("q", 1), fn, [1])
+            executor.map_shared(("q", 2), fn, [1])
+            assert len(calls) == 2
+
+
+# ----------------------------------------------------------------------
+# Cluster knobs through the coalesced broadcast
+# ----------------------------------------------------------------------
+
+
+class TestClusterKnobs:
+    def test_broadcast_flight_key_embeds_epoch(self, monkeypatch):
+        store = build_store()
+        cluster = ReplicatedZipGCluster(store, num_servers=2,
+                                        replication_factor=1)
+        keys = []
+        real = store.executor.map_shared
+
+        def spy(flight_key, *args, **kwargs):
+            keys.append(flight_key)
+            return real(flight_key, *args, **kwargs)
+
+        monkeypatch.setattr(store.executor, "map_shared", spy)
+        expected = cluster.get_node_ids({"city": "Ithaca"})
+        assert cluster.get_node_ids({"city": "Ithaca"}) == expected
+        assert keys[0] is not None and keys[0] == keys[1]
+        store.append_node(9, {"city": "Ithaca"})  # bumps the store epoch
+        cluster.get_node_ids({"city": "Ithaca"})
+        assert keys[2] != keys[1]
+
+    def test_retries_knob_reaches_broadcast_fanout(self):
+        store = build_store()
+        cluster = ReplicatedZipGCluster(store, num_servers=2,
+                                        replication_factor=1, retries=1)
+        chaos.install(ChaosInjector(rules=[
+            FaultRule(site=chaos.SITE_EXECUTOR_CALL, times=1),
+        ]))
+        # First shard call fails once; the plumbed retry absorbs it.
+        assert cluster.get_node_ids({"city": "Ithaca"}) == [1, 3]
+
+    def test_no_retries_control(self):
+        store = build_store()
+        cluster = ReplicatedZipGCluster(store, num_servers=2,
+                                        replication_factor=1)
+        chaos.install(ChaosInjector(rules=[
+            FaultRule(site=chaos.SITE_EXECUTOR_CALL, times=1),
+        ]))
+        with pytest.raises(FaultInjected):
+            cluster.get_node_ids({"city": "Ithaca"})
+
+    def test_backoff_knob_paces_broadcast_retries(self, monkeypatch):
+        from repro.core import executor as executor_module
+
+        sleeps = []
+        monkeypatch.setattr(executor_module.time, "sleep",
+                            lambda seconds: sleeps.append(seconds))
+        store = build_store()
+        cluster = ReplicatedZipGCluster(store, num_servers=2,
+                                        replication_factor=1, retries=1,
+                                        backoff_s=0.05)
+        chaos.install(ChaosInjector(rules=[
+            FaultRule(site=chaos.SITE_EXECUTOR_CALL, times=1),
+        ]))
+        assert cluster.get_node_ids({"city": "Ithaca"}) == [1, 3]
+        assert 0.05 in sleeps
+
+    def test_deadline_knob_bounds_broadcast_calls(self):
+        store = build_store()
+        cluster = ReplicatedZipGCluster(store, num_servers=2,
+                                        replication_factor=1,
+                                        deadline_s=0.01)
+        chaos.install(ChaosInjector(rules=[
+            FaultRule(site=chaos.SITE_EXECUTOR_CALL, fault="latency",
+                      latency_s=0.1, times=1),
+        ]))
+        with pytest.raises(DeadlineExceeded):
+            cluster.get_node_ids({"city": "Ithaca"})
+
+    def test_store_level_queries_inherit_cluster_knobs(self):
+        store = build_store()
+        ReplicatedZipGCluster(store, num_servers=2, replication_factor=1,
+                              retries=2, backoff_s=0.01, deadline_s=5.0)
+        assert store.retries == 2
+        assert store.backoff_s == 0.01
+        assert store.deadline_s == 5.0
+        chaos.install(ChaosInjector(rules=[
+            FaultRule(site=chaos.SITE_EXECUTOR_CALL, times=2),
+        ]))
+        # Store-level fan-out (not the cluster broadcast) also retries.
+        assert store.get_node_ids({"city": "Ithaca"}) == [1, 3]
