@@ -9,3 +9,4 @@ import repro.analysis.rules.hotpath  # noqa: F401
 import repro.analysis.rules.hygiene  # noqa: F401
 import repro.analysis.rules.obs  # noqa: F401
 import repro.analysis.rules.robustness  # noqa: F401
+import repro.analysis.rules.rpc  # noqa: F401

@@ -1,0 +1,76 @@
+"""RPC framing-boundary lint (RPC001).
+
+Every byte that crosses a ZipG socket is length-prefix framed by
+:mod:`repro.server.ipc` -- that module is the *only* place raw socket
+I/O primitives may appear.  Code elsewhere that calls ``sendall`` /
+``recv`` and friends directly bypasses the framing layer, which means
+it also bypasses the ``rpc.send`` / ``rpc.recv`` chaos sites, the
+torn-frame / oversized-prefix protection, and the
+:class:`~repro.server.ipc.FrameError` taxonomy the transport's
+failure mapping is built on.  A partial ``send`` or short ``recv``
+handled ad hoc is exactly the bug class the framing module exists to
+make impossible.
+
+The rule flags any call whose attribute name is a raw socket I/O
+primitive (``send``, ``sendall``, ``recv``, ``recv_into``,
+``sendmsg``, ``recvmsg``, ``sendfile``) in modules other than the
+framing module itself.  Non-socket objects that happen to share a
+method name (a generator's ``send``, a queue wrapper's ``recv``) opt
+out with ``# zipg: ignore[RPC001]`` on the offending line.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import AnalysisContext, Finding, rule
+
+#: Raw socket I/O primitives that bypass length-prefix framing.
+RAW_SOCKET_CALLS = frozenset({
+    "send",
+    "sendall",
+    "recv",
+    "recv_into",
+    "sendmsg",
+    "recvmsg",
+    "sendfile",
+})
+
+#: The one module allowed to touch sockets directly (path suffixes,
+#: matched with ``/`` and ``os.sep`` both normalized).
+FRAMING_MODULES = ("repro/server/ipc.py",)
+
+
+def _is_framing_module(path: str) -> bool:
+    normalized = path.replace("\\", "/")
+    return any(normalized.endswith(suffix) for suffix in FRAMING_MODULES)
+
+
+@rule(
+    "RPC001",
+    "raw socket I/O is confined to the framing module "
+    "(repro.server.ipc); everything else goes through framed RPC",
+)
+def check_raw_socket_io(context: AnalysisContext) -> Iterator[Finding]:
+    for module in context.modules:
+        if _is_framing_module(module.path):
+            continue
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr not in RAW_SOCKET_CALLS:
+                continue
+            yield Finding(
+                "RPC001",
+                f"raw socket call '.{func.attr}(...)' outside the "
+                f"framing module -- route bytes through "
+                f"repro.server.ipc (send_frame/recv_frame) so framing, "
+                f"chaos sites, and FrameError mapping apply (or mark "
+                f"'# zipg: ignore[RPC001]' if this is not a socket)",
+                module.path,
+                node.lineno,
+            )

@@ -39,6 +39,9 @@ __all__ = [
     "SimulatedCrash",
     "SITE_EXECUTOR_CALL",
     "SITE_REPLICA_CALL",
+    "SITE_RPC_HANDLE",
+    "SITE_RPC_RECV",
+    "SITE_RPC_SEND",
     "SITE_SAVE_WRITE",
     "SITE_WAL_WRITE",
     "active",
@@ -54,6 +57,15 @@ __all__ = [
 SITE_EXECUTOR_CALL = "executor.shard_call"
 #: Replicated-cluster per-replica call (tags: ``shard``, ``server``).
 SITE_REPLICA_CALL = "replication.replica_call"
+#: RPC frame send (tags: ``method``, ``server``). A ``torn_write``
+#: rule models a peer dying mid-frame: a prefix of the frame reaches
+#: the socket and the sender crashes.
+SITE_RPC_SEND = "rpc.send"
+#: RPC frame receive (tags: ``method``, ``server``). ``error`` rules
+#: (e.g. ``error=ConnectionResetError``) model resets mid-call.
+SITE_RPC_RECV = "rpc.recv"
+#: Server-side RPC request execution (tags: ``method``, ``server``).
+SITE_RPC_HANDLE = "rpc.handle"
 #: Snapshot data-file write (tags: ``file``).
 SITE_SAVE_WRITE = "save.write"
 #: WAL record write (tags: ``lsn``).

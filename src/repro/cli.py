@@ -8,10 +8,22 @@ Commands:
 * ``workload [--dataset D] [--workload W] [--ops N]``
                                  -- run a workload across all systems
 * ``query --file PATH "ZIPQL"``  -- compress a graph file and query it
+* ``serve-shard --file PATH --server-id N [--port P]``
+                                 -- run one shard-server process
+* ``serve-master --file PATH --shard ID=HOST:PORT ...``
+                                 -- run the client-facing master
 
-The graph file format accepted by ``query`` is the canonical text form
-used for raw-size accounting: ``N <id> <pid>=<value>;...`` node lines
-and ``E <src> <dst> <type> <ts>`` edge lines.
+The graph file format accepted by ``query`` and the ``serve-*``
+commands is the canonical text form used for raw-size accounting:
+``N <id> <pid>=<value>;...`` node lines and ``E <src> <dst> <type>
+<ts>`` edge lines.
+
+The serving commands print one ``LISTENING <host> <port>`` line on
+stdout once the socket is bound (``--port 0`` picks a free port), then
+serve until killed -- the contract process supervisors and the e2e
+tests rely on.  Every server process must be seeded from the *same*
+graph file: replicas start identical and stay aligned through the
+master's LSN-stamped ``apply_write`` replication stream.
 """
 
 from __future__ import annotations
@@ -197,6 +209,75 @@ def _cmd_query(args) -> int:
     return 0
 
 
+def _parse_shard_address(text: str) -> tuple:
+    """``"2=127.0.0.1:7002"`` -> ``(2, ("127.0.0.1", 7002))``."""
+    server, eq, hostport = text.partition("=")
+    host, colon, port = hostport.rpartition(":")
+    if not eq or not colon or not host:
+        raise SystemExit(
+            f"bad --shard {text!r} (expected ID=HOST:PORT)"
+        )
+    try:
+        return int(server), (host, int(port))
+    except ValueError:
+        raise SystemExit(
+            f"bad --shard {text!r} (expected ID=HOST:PORT)"
+        ) from None
+
+
+def _serve(server) -> int:
+    """Announce the bound address, then serve until interrupted."""
+    host, port = server.address
+    print(f"LISTENING {host} {port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass  # clean shutdown on ^C
+    finally:
+        server.stop()
+    return 0
+
+
+def _cmd_serve_shard(args) -> int:
+    from repro.server.shard_server import ShardServer
+
+    graph = _load_graph_file(args.file)
+    store = ZipGSystem.load(
+        graph, num_shards=args.shards, alpha=args.alpha
+    ).store
+    server = ShardServer(
+        store, server_id=args.server_id, host=args.host, port=args.port,
+        max_workers=args.workers,
+    )
+    return _serve(server)
+
+
+def _cmd_serve_master(args) -> int:
+    from repro.cluster.replication import ReplicatedZipGCluster
+    from repro.server.master import MasterServer
+    from repro.server.transport import SocketTransport
+
+    graph = _load_graph_file(args.file)
+    addresses = dict(_parse_shard_address(item) for item in args.shard)
+    num_servers = max(addresses) + 1
+    missing = [s for s in range(num_servers) if s not in addresses]
+    if missing:
+        raise SystemExit(f"missing --shard entries for servers {missing}")
+    store = ZipGSystem.load(
+        graph, num_shards=args.shards, alpha=args.alpha
+    ).store
+    cluster = ReplicatedZipGCluster(
+        store, num_servers,
+        replication_factor=min(args.replication, num_servers),
+        retries=args.retries, backoff_s=args.backoff_s,
+        deadline_s=args.deadline_s,
+    )
+    cluster.transport = SocketTransport(addresses, timeout_s=args.timeout_s)
+    server = MasterServer(cluster, host=args.host, port=args.port,
+                          max_workers=args.workers)
+    return _serve(server)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="ZipG reproduction command line"
@@ -254,6 +335,44 @@ def main(argv: Optional[List[str]] = None) -> int:
     query.add_argument("--alpha", type=int, default=16)
     query.add_argument("zipql", help="the ZipQL query text")
 
+    serve_shard = commands.add_parser(
+        "serve-shard", help="run one shard-server process"
+    )
+    serve_shard.add_argument("--file", required=True,
+                             help="graph file (N/E lines)")
+    serve_shard.add_argument("--server-id", type=int, required=True,
+                             help="this server's cluster id")
+    serve_shard.add_argument("--host", default="127.0.0.1")
+    serve_shard.add_argument("--port", type=int, default=0,
+                             help="0 picks a free port (see LISTENING line)")
+    serve_shard.add_argument("--shards", type=int, default=2)
+    serve_shard.add_argument("--alpha", type=int, default=16)
+    serve_shard.add_argument("--workers", type=int, default=8)
+
+    serve_master = commands.add_parser(
+        "serve-master", help="run the client-facing master process"
+    )
+    serve_master.add_argument("--file", required=True,
+                              help="graph file (N/E lines)")
+    serve_master.add_argument("--shard", action="append", required=True,
+                              metavar="ID=HOST:PORT",
+                              help="one shard-server address (repeatable; "
+                                   "ids must cover 0..N-1)")
+    serve_master.add_argument("--host", default="127.0.0.1")
+    serve_master.add_argument("--port", type=int, default=0,
+                              help="0 picks a free port (see LISTENING line)")
+    serve_master.add_argument("--shards", type=int, default=2)
+    serve_master.add_argument("--alpha", type=int, default=16)
+    serve_master.add_argument("--workers", type=int, default=8)
+    serve_master.add_argument("--replication", type=int, default=2,
+                              help="replicas per shard (capped at the "
+                                   "server count)")
+    serve_master.add_argument("--retries", type=int, default=1)
+    serve_master.add_argument("--backoff-s", type=float, default=0.0)
+    serve_master.add_argument("--deadline-s", type=float, default=None)
+    serve_master.add_argument("--timeout-s", type=float, default=30.0,
+                              help="per-connection socket timeout to shards")
+
     args = parser.parse_args(argv)
     handler = {
         "info": _cmd_info,
@@ -264,6 +383,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "check": _cmd_check,
         "stats": _cmd_stats,
         "query": _cmd_query,
+        "serve-shard": _cmd_serve_shard,
+        "serve-master": _cmd_serve_master,
     }[args.command]
     return handler(args)
 

@@ -60,6 +60,9 @@ class ZipGCluster(ZipGSystem):
         store.retries = retries
         store.backoff_s = backoff_s
         store.deadline_s = deadline_s
+        # Per-server dispatch seam; None means "in-process against the
+        # shared store", materialized lazily by the `transport` property.
+        self._transport = None
         if max_workers is not None:
             # Re-size the store's fan-out pool so the broadcast path
             # (get_node_ids / find_edges) matches the simulated cluster
@@ -68,6 +71,29 @@ class ZipGCluster(ZipGSystem):
 
             store.executor.close()
             store.executor = ShardExecutor(max_workers)
+
+    # -- dispatch --------------------------------------------------------
+
+    @property
+    def transport(self):
+        """The :class:`~repro.server.transport.Transport` every
+        per-server operation dispatches through.
+
+        Defaults to an in-process backend resolving against the shared
+        local store (byte-identical to pre-serving-layer dispatch);
+        assign a :class:`~repro.server.transport.SocketTransport` to
+        route the same calls to real shard-server processes.  Created
+        lazily -- and imported lazily, because the server package
+        imports cluster types for its wire codec."""
+        if self._transport is None:
+            from repro.server.transport import InProcessTransport
+
+            self._transport = InProcessTransport(self.store)
+        return self._transport
+
+    @transport.setter
+    def transport(self, transport) -> None:
+        self._transport = transport
 
     # -- placement -------------------------------------------------------
 

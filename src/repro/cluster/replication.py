@@ -26,9 +26,30 @@ Degraded-query semantics on top of that placement:
 * Replica calls pass through the ``replication.replica_call`` chaos
   site, so :mod:`repro.chaos` can fail chosen servers deterministically.
 
-Rotation and down-server state are guarded by one lock: cluster
-queries fan out on the store's thread pool, so ``fail_server`` can race
-``server_of_shard`` from a worker thread.
+Per-server operations dispatch through the cluster's
+:class:`~repro.server.transport.Transport` (``self.transport``): the
+default in-process backend answers from the shared local store exactly
+as the pre-serving-layer code did, and a socket backend routes the
+same ``(method, args, unit)`` triples to real shard-server processes
+-- failover, retries, deadlines, and ``partial_results`` degradation
+apply identically to both because transport failures surface as
+retryable :class:`~repro.core.errors.TransportError`\\ s.
+
+Writes replicate: each mutation is applied locally, assigned a
+monotone cluster LSN, recorded in an in-memory oplog (the WAL record
+vocabulary), and shipped to every live server as an ``apply_write``
+RPC.  A server that misses writes while down is *not* re-admitted to
+read rotation by :meth:`ReplicatedZipGCluster.recover_server` until
+its missed oplog tail has been replayed -- re-admitting immediately
+(the old behavior) let reads route to a replica that was missing
+acknowledged writes.  Replicas mid-catch-up are counted by the
+``zipg_replicas_catching_up`` gauge.
+
+Rotation, down-server, and catch-up state are guarded by one lock:
+cluster queries fan out on the store's thread pool, so ``fail_server``
+can race ``server_of_shard`` from a worker thread.  Writes and
+catch-up serialize on a separate write lock (always taken *before*
+the state lock) so the oplog and the commit LSN stay consistent.
 """
 # zipg: query-api
 
@@ -102,6 +123,18 @@ class ReplicatedZipGCluster(ZipGCluster):
         self._state_lock = threading.Lock()
         self._down: Set[int] = set()
         self._rotation: Dict[int, int] = {}
+        # Replicated-write state: a monotone cluster LSN, the in-memory
+        # oplog of (lsn, op, args) in WAL vocabulary, what each server
+        # has acknowledged, and which servers are replaying a missed
+        # tail (held out of read rotation). Lock order: _write_lock
+        # before _state_lock, never the reverse.
+        self._write_lock = threading.Lock()
+        self._commit_lsn = 0
+        self._oplog: List[Tuple[int, str, List]] = []
+        self._applied_lsn: Dict[int, int] = {
+            server: 0 for server in range(num_servers)
+        }
+        self._catching_up: Set[int] = set()
 
     # ------------------------------------------------------------------
     # Placement
@@ -116,9 +149,10 @@ class ReplicatedZipGCluster(ZipGCluster):
         ]
 
     def live_replicas(self, shard_id: int) -> List[int]:
+        """Replicas reads may route to: not down, not mid-catch-up."""
         with self._state_lock:
-            down = set(self._down)
-        return [s for s in self.replica_servers(shard_id) if s not in down]
+            out = self._down | self._catching_up
+        return [s for s in self.replica_servers(shard_id) if s not in out]
 
     def server_of_shard(self, shard_id: int) -> int:
         """Round-robin read routing over the shard's live replicas."""
@@ -131,9 +165,10 @@ class ReplicatedZipGCluster(ZipGCluster):
         """Atomically snapshot the live replicas and claim a rotation
         turn for one read of ``shard_id``."""
         with self._state_lock:
+            out = self._down | self._catching_up
             live = [
                 s for s in self.replica_servers(shard_id)
-                if s not in self._down
+                if s not in out
             ]
             turn = self._rotation.get(shard_id, 0)
             self._rotation[shard_id] = turn + 1
@@ -151,13 +186,77 @@ class ReplicatedZipGCluster(ZipGCluster):
             self._down.add(server_id)
 
     def recover_server(self, server_id: int) -> None:
-        with self._state_lock:
-            self._down.discard(server_id)
+        """Re-admit a server to read rotation -- after catch-up.
+
+        A server that missed replicated writes while down first
+        replays its missed oplog tail (``apply_write`` RPCs through
+        the transport); until the replay finishes it stays out of read
+        rotation (``zipg_replicas_catching_up``), because serving
+        reads from a replica missing acknowledged writes is the bug
+        this method used to have.  A server whose replay fails stays
+        down.  Holding the write lock freezes the commit LSN for the
+        duration, so "caught up" is exact, not racy."""
+        if not 0 <= server_id < self.num_servers:
+            raise IndexError(f"server {server_id} out of range")
+        with self._write_lock:
+            with self._state_lock:
+                if server_id not in self._down:
+                    return
+                behind = self._applied_lsn.get(server_id, 0) < self._commit_lsn
+                self._down.discard(server_id)
+                if behind:
+                    self._catching_up.add(server_id)
+            if not behind:
+                return
+            gauge = obs.gauge(
+                "zipg_replicas_catching_up",
+                help="recovered replicas still replaying missed writes",
+            )
+            gauge.inc()
+            try:
+                self._replay_tail_locked(server_id)
+            except Exception:
+                # Replay failed (server still unreachable / mid-crash):
+                # the server goes back to down rather than serving
+                # reads from a stale replica.
+                obs.counter(
+                    "zipg_replica_catchup_failures_total",
+                    help="recover_server catch-ups that could not replay",
+                ).inc()
+                with self._state_lock:
+                    self._down.add(server_id)
+            finally:
+                with self._state_lock:
+                    self._catching_up.discard(server_id)
+                gauge.inc(-1)
+
+    def _replay_tail_locked(self, server_id: int) -> None:
+        """Ship every oplog record past the server's applied LSN."""
+        applied = self._applied_lsn.get(server_id, 0)
+        for lsn, op, args in self._oplog:
+            if lsn <= applied:
+                continue
+            self.transport.call(server_id, "apply_write", [lsn, op, list(args)])
+            self._applied_lsn[server_id] = lsn
 
     @property
     def down_servers(self) -> Set[int]:
         with self._state_lock:
             return set(self._down)
+
+    @property
+    def catching_up_servers(self) -> Set[int]:
+        with self._state_lock:
+            return set(self._catching_up)
+
+    @property
+    def commit_lsn(self) -> int:
+        with self._write_lock:
+            return self._commit_lsn
+
+    def applied_lsn(self, server_id: int) -> int:
+        """The last replicated write ``server_id`` has acknowledged."""
+        return self._applied_lsn.get(server_id, 0)
 
     def is_available(self) -> bool:
         """True if every shard still has at least one live replica."""
@@ -167,6 +266,97 @@ class ReplicatedZipGCluster(ZipGCluster):
         """Replication multiplies the stored bytes (no storage-efficient
         erasure coding -- the paper leaves that as future work)."""
         return super().storage_footprint_bytes() * self.replication_factor
+
+    # ------------------------------------------------------------------
+    # Replicated writes
+    # ------------------------------------------------------------------
+
+    def _replicated_write(self, op: str, args: List,
+                          apply_fn: Callable[[], object]) -> object:
+        """Apply one mutation locally, then replicate it.
+
+        The mutation gets the next cluster LSN, lands in the oplog,
+        and ships to every live server as an ``apply_write`` RPC in
+        WAL vocabulary.  Auto-freezes triggered by the local apply are
+        detected via the store's ``freeze_count`` delta and replicate
+        as explicit ``freeze`` records -- replicas replay freezes
+        exactly where the master froze, never on their own thresholds,
+        so shard inventories stay aligned.  A server that fails its
+        ``apply_write`` is marked down (``recover_server`` will replay
+        its tail); the local result is returned regardless -- writes
+        are master-durable, replication is for availability."""
+        with self._write_lock:
+            freeze_before = self.store.freeze_count
+            result = apply_fn()
+            records: List[Tuple[str, List]] = [(op, list(args))]
+            for _ in range(self.store.freeze_count - freeze_before):
+                records.append(("freeze", []))
+            with self._state_lock:
+                targets = [
+                    server for server in range(self.num_servers)
+                    if server not in self._down
+                    and server not in self._catching_up
+                ]
+            dead: Set[int] = set()
+            for record_op, record_args in records:
+                self._commit_lsn += 1
+                lsn = self._commit_lsn
+                self._oplog.append((lsn, record_op, record_args))
+                for server in targets:
+                    if server in dead:
+                        continue
+                    try:
+                        self.transport.call(
+                            server, "apply_write",
+                            [lsn, record_op, list(record_args)],
+                        )
+                        self._applied_lsn[server] = lsn
+                    except Exception:
+                        # The replica missed this write: it must not
+                        # serve reads until recover_server replays it.
+                        dead.add(server)
+                        obs.counter(
+                            "zipg_replication_write_failures_total",
+                            help="apply_write RPCs that failed "
+                                 "(server marked down)",
+                            labels={"server": str(server)},
+                        ).inc()
+            if dead:
+                with self._state_lock:
+                    self._down.update(dead)
+        return result
+
+    @obs.traced("replication.append_node", layer="cluster")
+    def append_node(self, node_id: int, properties) -> None:
+        properties = dict(properties)
+        self._replicated_write(
+            "node", [node_id, properties],
+            lambda: self.store.append_node(node_id, properties),
+        )
+
+    @obs.traced("replication.append_edge", layer="cluster")
+    def append_edge(self, source: int, edge_type: int, destination: int,
+                    timestamp: int = 0, properties=None) -> None:
+        properties = dict(properties or {})
+        self._replicated_write(
+            "edge", [source, edge_type, destination, timestamp, properties],
+            lambda: self.store.append_edge(source, edge_type, destination,
+                                           timestamp, properties),
+        )
+
+    @obs.traced("replication.delete_node", layer="cluster")
+    def delete_node(self, node_id: int) -> bool:
+        return bool(self._replicated_write(
+            "del_node", [node_id],
+            lambda: self.store.delete_node(node_id),
+        ))
+
+    @obs.traced("replication.delete_edge", layer="cluster")
+    def delete_edge(self, source: int, edge_type: int, destination: int) -> int:
+        return int(self._replicated_write(
+            "del_edge", [source, edge_type, destination],
+            lambda: self.store.delete_edge(source, edge_type, destination),
+        ))
 
     # ------------------------------------------------------------------
     # Resilient shard calls
@@ -213,24 +403,34 @@ class ReplicatedZipGCluster(ZipGCluster):
         chaos.kick(chaos.SITE_REPLICA_CALL, shard=LOGSTORE_UNIT, server=server)
         return fn(server)
 
-    def _broadcast(self, title: str, unit_fn: Callable, merge: Callable,
-                   partial_results: bool, args_key=None):
+    def _broadcast(self, title: str, method: str, wire_args: List,
+                   merge: Callable, partial_results: bool, args_key=None):
         """Fan one search out over the LogStore + every shard with
         replica failover, collecting per-unit outcomes.
 
-        ``unit_fn(unit)`` runs the search on one unit (``None`` is the
-        LogStore); ``merge(values)`` combines the successful hits.
-        When ``args_key`` (a hashable digest of the query arguments) is
+        ``method(*wire_args)`` runs on each unit *through the
+        transport* (see :func:`repro.server.ops.run_op`), so the same
+        fan-out works in-process and against socket shard servers;
+        ``merge(values)`` combines the successful hits.  When
+        ``args_key`` (a hashable digest of the query arguments) is
         given, identical concurrent broadcasts single-flight through
         :meth:`ShardExecutor.map_shared` -- the store epoch in the key
         keeps a fan-out from being shared across a mutation."""
         units: List = [None] + list(self.store.shards)
+        transport = self.transport
 
         def run(unit):
             if unit is None:
-                return self._call_on_logstore(lambda server: unit_fn(unit))
+                return self._call_on_logstore(
+                    lambda server: transport.call(
+                        server, method, wire_args, unit=LOGSTORE_UNIT
+                    )
+                )
             return self.call_on_shard(
-                unit.shard_id, lambda server: unit_fn(unit)
+                unit.shard_id,
+                lambda server: transport.call(
+                    server, method, wire_args, unit=unit.shard_id
+                ),
             )
 
         flight_key = None
@@ -287,10 +487,6 @@ class ReplicatedZipGCluster(ZipGCluster):
                      partial_results: bool = False):
         """All-shard node search with replica failover; see
         :meth:`_broadcast` for the ``partial_results`` contract."""
-        def unit_fn(unit):
-            location = self.store.logstore if unit is None else unit
-            return location.find_live_nodes(property_list)
-
         def merge(values):
             result: set = set()
             for hits in values:
@@ -298,7 +494,8 @@ class ReplicatedZipGCluster(ZipGCluster):
             return sorted(result)
 
         return self._broadcast(
-            "get_node_ids", unit_fn, merge, partial_results,
+            "get_node_ids", "find_live_nodes", [dict(property_list)],
+            merge, partial_results,
             args_key=tuple(sorted(property_list.items())),
         )
 
@@ -306,10 +503,6 @@ class ReplicatedZipGCluster(ZipGCluster):
     def find_edges(self, property_id: str, value: str,
                    partial_results: bool = False):
         """All-shard edge-property search with replica failover."""
-        def unit_fn(unit):
-            location = self.store.logstore if unit is None else unit
-            return location.find_edges_by_property(property_id, value)
-
         def merge(values):
             results = [hit for hits in values for hit in hits]
             results.sort(key=lambda hit: (hit[0], hit[1],
@@ -318,7 +511,8 @@ class ReplicatedZipGCluster(ZipGCluster):
             return results
 
         return self._broadcast(
-            "find_edges", unit_fn, merge, partial_results,
+            "find_edges", "find_edges_by_property", [property_id, value],
+            merge, partial_results,
             args_key=(property_id, value),
         )
 
@@ -329,5 +523,7 @@ class ReplicatedZipGCluster(ZipGCluster):
         shard_id = self.store.route(node_id)
         return self.call_on_shard(
             shard_id,
-            lambda server: self.store.get_node_property(node_id, property_ids),
+            lambda server: self.transport.call(
+                server, "get_node_property", [node_id, property_ids]
+            ),
         )

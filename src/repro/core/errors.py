@@ -84,6 +84,24 @@ class DeadlineExceeded(ShardCallError):
     (retryable) once the elapsed wall time passes the deadline."""
 
 
+class TransportError(ShardCallError):
+    """An RPC to a shard server failed at the transport layer.
+
+    Covers connection refusal, resets mid-call, torn or oversized
+    frames, and socket timeouts.  Deliberately an :class:`Exception`
+    (not a crash): the executor's retry loop and the replicated
+    cluster's failover treat it as one failed, retryable attempt."""
+
+
+class RemoteError(ZipGError):
+    """An exception raised on a remote server whose type has no local
+    reconstruction.  Carries the remote type name and message."""
+
+    def __init__(self, remote_type: str, message: str) -> None:
+        self.remote_type = remote_type
+        super().__init__(f"{remote_type}: {message}")
+
+
 class ReplicaCallError(ZipGError):
     """Every live replica of a shard failed the attempted call.
 

@@ -13,10 +13,12 @@ threads at once. :meth:`ShardExecutor.map` enforces this by grouping
 items that share a stats instance into a single serial task.
 
 Failure semantics: each work item may be retried (``retries`` +
-exponential ``backoff_s``), bounded by a cooperative per-call
-``deadline_s`` (the call runs to completion but an over-deadline
-result is discarded as :class:`~repro.core.errors.DeadlineExceeded`
-and retried), and ``partial=True`` returns structured per-item
+exponential ``backoff_s``), bounded by a cooperative ``deadline_s``
+that budgets the *entire* item -- all attempts and the backoff sleeps
+between them, so total wall time is at most the budget plus one
+attempt (over-budget results are discarded as
+:class:`~repro.core.errors.DeadlineExceeded`), and ``partial=True``
+returns structured per-item
 :class:`ShardResult`\\ s instead of raising on the first failure --
 the degraded-query building block the replicated cluster uses.  Every
 invocation passes through the ``executor.shard_call`` chaos site, so
@@ -115,13 +117,26 @@ class ShardExecutor:
     ) -> ShardResult:
         """One work item through the retry/deadline state machine.
 
+        ``deadline_s`` budgets the *whole* item -- every attempt plus
+        the backoff sleeps between them -- not each attempt in
+        isolation.  (Per-attempt deadlines made ``1 + retries`` slow
+        attempts legal, so a query configured with a 50ms deadline and
+        3 retries could stall for 200ms-plus; callers size deadlines
+        for the item.)  The budget is enforced cooperatively, so total
+        wall time is bounded by ``deadline_s`` plus one attempt: a
+        result arriving past the budget is discarded as
+        :class:`DeadlineExceeded`, a failure with no budget left stops
+        retrying (chaining the attempt's error as ``__cause__``), and
+        a backoff sleep that would not fit the remaining budget is
+        skipped so the final attempt gets the time instead.
+
         Never raises an :class:`Exception` (failures come back as a
         ``ShardResult``); :class:`~repro.chaos.SimulatedCrash` and
         other ``BaseException``\\ s still propagate -- retry logic must
         not survive a process kill."""
         attempt = 0
+        start = time.monotonic()
         while True:
-            start = time.monotonic()
             try:
                 chaos.kick(chaos.SITE_EXECUTOR_CALL, index=index, attempt=attempt)
                 value = fn(item)
@@ -132,7 +147,8 @@ class ShardExecutor:
                         help="shard calls whose result missed the deadline",
                     ).inc()
                     raise DeadlineExceeded(
-                        f"shard call took {elapsed:.4f}s, deadline {deadline_s}s"
+                        f"shard call finished {elapsed:.4f}s into a "
+                        f"{deadline_s}s budget"
                     )
                 return ShardResult(index, True, value, None, attempt + 1)
             except Exception as exc:
@@ -142,10 +158,39 @@ class ShardExecutor:
                         help="shard calls failed after exhausting retries",
                     ).inc()
                     return ShardResult(index, False, None, exc, attempt + 1)
+                remaining = (
+                    None if deadline_s is None
+                    else deadline_s - (time.monotonic() - start)
+                )
+                if remaining is not None and remaining <= 0:
+                    # Budget exhausted: retrying now could only return
+                    # another over-deadline result. Surface the budget
+                    # miss with the attempt's failure as the cause.
+                    if not isinstance(exc, DeadlineExceeded):
+                        obs.counter(
+                            "zipg_executor_deadline_exceeded_total",
+                            help="shard calls whose result missed the deadline",
+                        ).inc()
+                        deadline_error = DeadlineExceeded(
+                            f"retry budget of {deadline_s}s exhausted after "
+                            f"{attempt + 1} attempt(s)"
+                        )
+                        deadline_error.__cause__ = exc
+                        exc = deadline_error
+                    obs.counter(
+                        "zipg_executor_failures_total",
+                        help="shard calls failed after exhausting retries",
+                    ).inc()
+                    return ShardResult(index, False, None, exc, attempt + 1)
                 obs.counter("zipg_executor_retries_total",
                             help="shard call retries").inc()
                 if backoff_s > 0:
-                    time.sleep(min(backoff_s * (2 ** attempt), _BACKOFF_CAP_S))
+                    sleep_s = min(backoff_s * (2 ** attempt), _BACKOFF_CAP_S)
+                    # A sleep that would overrun the budget is skipped:
+                    # the remaining time goes to the attempt, which can
+                    # still beat the deadline.
+                    if remaining is None or sleep_s < remaining:
+                        time.sleep(sleep_s)
                 attempt += 1
 
     def map(
@@ -167,8 +212,9 @@ class ShardExecutor:
         ``+=`` increments never race.
 
         Failure handling: each item is attempted ``1 + retries`` times
-        with exponential backoff; a cooperative per-call ``deadline_s``
-        converts slow calls into retryable failures. By default the
+        with exponential backoff; a cooperative ``deadline_s`` budgets
+        each item's attempts *and* backoff sleeps as a whole,
+        converting slow items into failures. By default the
         first exhausted failure propagates to the caller; with
         ``partial=True`` the return value is a list of
         :class:`ShardResult` (one per item, input order) carrying

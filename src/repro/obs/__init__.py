@@ -58,6 +58,7 @@ __all__ = [
     "NULL_SPAN",
     "SPAN_HISTOGRAM",
     "counter",
+    "current_trace_context",
     "disable_tracing",
     "enable_tracing",
     "gauge",
@@ -66,6 +67,7 @@ __all__ = [
     "histogram",
     "json_snapshot",
     "prometheus_text",
+    "remote_span",
     "reset",
     "snapshot",
     "span",
@@ -97,6 +99,18 @@ def span(name: str, **tags: object):
 def traced(name: Optional[str] = None, **tags: object) -> Callable[[_F], _F]:
     """Decorator: wrap a function in a span on the global tracer."""
     return _TRACER.traced(name, **tags)
+
+
+def current_trace_context() -> Optional[Dict[str, str]]:
+    """The active span's ``{"trace_id", "span_id"}`` for RPC requests
+    (``None`` unless a recorded span is open)."""
+    return _TRACER.current_context()
+
+
+def remote_span(name: str, context: Optional[Dict[str, str]] = None,
+                **tags: object):
+    """Open a server-side span continuing a remote caller's trace."""
+    return _TRACER.remote_span(name, context, **tags)
 
 
 def counter(name: str, help: str = "",

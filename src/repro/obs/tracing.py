@@ -30,6 +30,8 @@ from __future__ import annotations
 
 import contextvars
 import functools
+import itertools
+import os
 import threading
 import time
 from collections import deque
@@ -38,6 +40,16 @@ from typing import Any, Callable, Deque, Dict, List, Optional, TypeVar
 from repro.obs.metrics import MetricsRegistry
 
 F = TypeVar("F", bound=Callable[..., Any])
+
+# Trace/span identity: a per-process random prefix plus a counter is
+# unique across the master + shard-server processes of one deployment
+# without the cost of a fresh urandom read per span.
+_ID_PREFIX = os.urandom(4).hex()
+_ID_COUNTER = itertools.count(1)
+
+
+def _new_id() -> str:
+    return f"{_ID_PREFIX}-{next(_ID_COUNTER):x}"
 
 _current_span: "contextvars.ContextVar[Optional[_SpanBase]]" = contextvars.ContextVar(
     "zipg_current_span", default=None
@@ -95,6 +107,7 @@ class Span(_SpanBase):
 
     __slots__ = (
         "name", "tags", "start_ns", "end_ns", "children",
+        "trace_id", "span_id",
         "_tracer", "_parent", "_token", "_lock",
     )
 
@@ -107,6 +120,11 @@ class Span(_SpanBase):
         self.start_ns = 0
         self.end_ns = 0
         self.children: List[Span] = []
+        #: Roots mint a new trace id; children inherit. RPC requests
+        #: carry ``{"trace_id", "span_id"}`` so a server-side
+        #: :meth:`Tracer.remote_span` joins the caller's trace.
+        self.trace_id = _new_id() if parent is None else parent.trace_id
+        self.span_id = _new_id()
         self._tracer = tracer
         self._parent = parent
         self._lock = threading.Lock()
@@ -158,6 +176,7 @@ class Span(_SpanBase):
         """JSON-serializable trace tree."""
         return {
             "name": self.name,
+            "trace_id": self.trace_id,
             "tags": {k: v for k, v in self.tags.items()},
             "duration_us": self.duration_ns / 1e3,
             "exclusive_us": self.exclusive_ns / 1e3,
@@ -310,6 +329,38 @@ class Tracer:
 
     def current(self) -> Optional[_SpanBase]:
         return _current_span.get()
+
+    def current_context(self) -> Optional[Dict[str, str]]:
+        """The active span's wire-propagable identity.
+
+        ``None`` when tracing is off or the enclosing trace is not
+        being recorded -- callers attach it to outbound RPC requests
+        only when there is something to join."""
+        span = _current_span.get()
+        if isinstance(span, Span):
+            return {"trace_id": span.trace_id, "span_id": span.span_id}
+        return None
+
+    def remote_span(self, name: str,
+                    context: Optional[Dict[str, str]] = None,
+                    **tags: object) -> _SpanBase:
+        """A server-side span continuing a caller's trace.
+
+        With no ``context`` this is plain :meth:`span`. With one, the
+        span adopts the caller's ``trace_id`` and tags the remote
+        parent span id -- and bypasses the root sampler, because the
+        *caller* already made the sampling decision when it recorded
+        the context."""
+        if not self.enabled:
+            return NULL_SPAN
+        if not context:
+            return self.span(name, **tags)
+        parent = _current_span.get()
+        span = Span(self, name, dict(tags),
+                    parent if isinstance(parent, Span) else None)
+        span.trace_id = str(context.get("trace_id", span.trace_id))
+        span.tag(remote_parent=str(context.get("span_id", "")))
+        return span
 
     # -- aggregation -----------------------------------------------------
 

@@ -1,0 +1,148 @@
+"""The shard-server operation registry.
+
+One table maps RPC method names to executions against a local
+:class:`~repro.core.graph_store.ZipG` store.  Both transport backends
+run through it -- :class:`~repro.server.transport.InProcessTransport`
+calls :func:`run_op` directly, and a
+:class:`~repro.server.shard_server.ShardServer` calls it per request
+-- so the two deployments cannot drift apart on semantics.
+
+Unit addressing: requests carry an optional ``unit`` identifying which
+storage unit the operation targets --
+
+* ``None``       -- a store-level operation (node-routed reads, writes);
+* ``-1``         -- the LogStore (:data:`LOGSTORE_UNIT`, §3.5);
+* ``shard_id >= 0`` -- one compressed shard.
+
+``apply_write`` is the replication op: the master applies a mutation
+locally, then ships ``(lsn, op, args)`` -- the exact WAL record
+vocabulary -- to each replica, which applies it via
+``ZipG.apply_wal_record``.  A server fronting the *same* store object
+as the master (the in-process backend, and the loopback harness's
+shared-store mode) must acknowledge without re-applying, or every
+write would land twice; ``apply_writes=False`` selects that mode.
+"""
+# zipg: robust-path
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.core.graph_store import ZipG
+
+#: Wire value for "the LogStore" (matches
+#: :data:`repro.cluster.replication.LOGSTORE_UNIT`; duplicated here so
+#: the server package never imports the cluster layer at module level).
+LOGSTORE_UNIT = -1
+
+
+def resolve_unit(store: ZipG, unit: Optional[int]) -> object:
+    """The storage unit ``unit`` addresses within ``store``.
+
+    ``None`` is the store itself, :data:`LOGSTORE_UNIT` the LogStore,
+    and any other value a shard id (which must exist)."""
+    if unit is None:
+        return store
+    if unit == LOGSTORE_UNIT:
+        return store.logstore
+    for shard in store.shards:
+        if shard.shard_id == unit:
+            return shard
+    raise KeyError(f"no shard {unit} on this server")
+
+
+_HANDLERS: Dict[str, Callable] = {}
+
+
+def _op(name: str) -> Callable[[Callable], Callable]:
+    def register(fn: Callable) -> Callable:
+        _HANDLERS[name] = fn
+        return fn
+
+    return register
+
+
+def methods() -> List[str]:
+    """The registered method names (for introspection and tests)."""
+    return sorted(_HANDLERS)
+
+
+def run_op(store: ZipG, method: str, args: List[object],
+            kwargs: Optional[Dict[str, object]] = None,
+            unit: Optional[int] = None,
+            apply_writes: bool = True) -> object:
+    """Run one RPC method against the local store.
+
+    Raises :class:`KeyError` for unknown methods (the server turns
+    that into a structured error response)."""
+    handler = _HANDLERS.get(method)
+    if handler is None:
+        raise KeyError(f"unknown RPC method {method!r}")
+    return handler(_Context(store, unit, apply_writes), *args, **(kwargs or {}))
+
+
+class _Context:
+    """What a handler gets: the store, the addressed unit, write mode."""
+
+    __slots__ = ("store", "unit", "apply_writes")
+
+    def __init__(self, store: ZipG, unit: Optional[int],
+                 apply_writes: bool) -> None:
+        self.store = store
+        self.unit = unit
+        self.apply_writes = apply_writes
+
+
+# ----------------------------------------------------------------------
+# Handlers
+# ----------------------------------------------------------------------
+
+
+@_op("ping")
+def _ping(ctx: _Context) -> str:
+    return "pong"
+
+
+@_op("shard_inventory")
+def _shard_inventory(ctx: _Context) -> Dict[str, object]:
+    """What this server holds (master handshake / diagnostics)."""
+    return {
+        "shards": [shard.shard_id for shard in ctx.store.shards],
+        "epoch": ctx.store.epoch.value,
+        "freeze_count": ctx.store.freeze_count,
+    }
+
+
+@_op("find_live_nodes")
+def _find_live_nodes(ctx: _Context, property_list: Dict[str, str]) -> List[int]:
+    """Node search on one unit (the broadcast fan-out's per-unit op)."""
+    return resolve_unit(ctx.store, ctx.unit).find_live_nodes(
+        dict(property_list)
+    )
+
+
+@_op("find_edges_by_property")
+def _find_edges_by_property(ctx: _Context, property_id: str, value: str):
+    """Edge-property search on one unit."""
+    return resolve_unit(ctx.store, ctx.unit).find_edges_by_property(
+        property_id, value
+    )
+
+
+@_op("get_node_property")
+def _get_node_property(ctx: _Context, node_id: int, property_ids: object = "*"):
+    if isinstance(property_ids, list):
+        property_ids = tuple(property_ids)
+    return ctx.store.get_node_property(node_id, property_ids)
+
+
+@_op("apply_write")
+def _apply_write(ctx: _Context, lsn: int, op: str, args: List[object]) -> int:
+    """Apply one replicated mutation; returns the LSN as the ack.
+
+    Uses the WAL replay path (``apply_wal_record``): replicas must not
+    re-log or auto-freeze -- freezes replicate as explicit ``freeze``
+    records from the master, keeping shard inventories aligned."""
+    if ctx.apply_writes:
+        ctx.store.apply_wal_record(op, list(args))
+    return int(lsn)

@@ -1,0 +1,354 @@
+"""RPC envelopes and the wire codec for query values and errors.
+
+Requests and responses are JSON objects carried in :mod:`ipc` frames::
+
+    request:  {"id": 7, "method": "find_live_nodes", "unit": 2,
+               "args": [...], "kwargs": {...}, "trace": {...}}
+    response: {"id": 7, "ok": true,  "value": <encoded>}
+              {"id": 7, "ok": false, "error": <encoded exception>}
+
+``id`` correlates responses with requests: servers execute requests
+concurrently and may answer out of order on one connection, so a
+client matches on ``id`` and buffers responses destined for other
+in-flight calls (:class:`RpcConnection`).  ``trace`` carries the
+caller's :mod:`repro.obs` span context (trace id + span id) so server
+spans attach to the originating query's trace.
+
+The value codec round-trips everything the query surface returns --
+tuples, sets, :class:`~repro.core.model.EdgeData`, degraded
+:class:`~repro.cluster.replication.PartialResult` values -- through a
+``{"__zipg__": <tag>, ...}`` tagging scheme, and reconstructs typed
+exceptions on the client from a registry of ZipG error classes (an
+unknown remote type degrades to :class:`~repro.core.errors.RemoteError`
+rather than losing the failure).
+"""
+# zipg: robust-path
+
+from __future__ import annotations
+
+import itertools
+import socket
+import threading
+from typing import Dict, List, Optional, Tuple, Type
+
+from repro.core.errors import (
+    DeadlineExceeded,
+    EdgeRecordNotFound,
+    GraphFormatError,
+    NodeNotFound,
+    RemoteError,
+    ReplicaCallError,
+    ShardCallError,
+    TransportError,
+    ZipGError,
+)
+from repro.core.model import EdgeData
+from repro.server import ipc
+
+_TAG = "__zipg__"
+
+#: Exception types reconstructed by name on the receiving side.  The
+#: chaos FaultInjected type registers itself lazily (import cycle).
+_EXCEPTION_TYPES: Dict[str, Type[BaseException]] = {
+    exc.__name__: exc
+    for exc in (
+        ZipGError,
+        GraphFormatError,
+        NodeNotFound,
+        EdgeRecordNotFound,
+        ShardCallError,
+        DeadlineExceeded,
+        TransportError,
+        KeyError,
+        ValueError,
+        IndexError,
+        RuntimeError,
+        ConnectionResetError,
+        TimeoutError,
+    )
+}
+
+
+def register_exception(exc_type: Type[BaseException]) -> None:
+    """Add a type to the wire-decodable exception registry."""
+    _EXCEPTION_TYPES[exc_type.__name__] = exc_type
+
+
+def _registered_types() -> Dict[str, Type[BaseException]]:
+    if "FaultInjected" not in _EXCEPTION_TYPES:
+        from repro.chaos import FaultInjected
+
+        _EXCEPTION_TYPES["FaultInjected"] = FaultInjected
+    if "ShardUnavailable" not in _EXCEPTION_TYPES:
+        from repro.cluster.replication import ShardUnavailable
+
+        _EXCEPTION_TYPES["ShardUnavailable"] = ShardUnavailable
+    return _EXCEPTION_TYPES
+
+
+# ----------------------------------------------------------------------
+# Value codec
+# ----------------------------------------------------------------------
+
+
+def encode_value(value: object) -> object:
+    """Lower ``value`` into JSON-safe form (tagged where needed)."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, EdgeData):
+        return {
+            _TAG: "edgedata",
+            "d": value.destination,
+            "t": value.timestamp,
+            "p": dict(value.properties),
+        }
+    if isinstance(value, tuple):
+        return {_TAG: "tuple", "v": [encode_value(item) for item in value]}
+    if isinstance(value, (set, frozenset)):
+        return {_TAG: "set", "v": [encode_value(item) for item in sorted(value)]}
+    if isinstance(value, list):
+        return [encode_value(item) for item in value]
+    if isinstance(value, dict):
+        if all(isinstance(key, str) for key in value) and _TAG not in value:
+            return {key: encode_value(item) for key, item in value.items()}
+        return {
+            _TAG: "dict",
+            "v": [[encode_value(k), encode_value(v)] for k, v in value.items()],
+        }
+    if isinstance(value, BaseException):
+        return encode_exception(value)
+    from repro.cluster.replication import PartialResult, ShardError
+
+    if isinstance(value, PartialResult):
+        return {
+            _TAG: "partial",
+            "value": encode_value(value.value),
+            "errors": [encode_value(error) for error in value.errors],
+            "attempted": value.attempted,
+        }
+    if isinstance(value, ShardError):
+        return {
+            _TAG: "sharderror",
+            "shard_id": value.shard_id,
+            "error": encode_exception(value.error),
+            "servers_tried": list(value.servers_tried),
+        }
+    raise TypeError(f"cannot encode {type(value).__name__} for the wire")
+
+
+def decode_value(value: object) -> object:
+    """Inverse of :func:`encode_value`."""
+    if isinstance(value, list):
+        return [decode_value(item) for item in value]
+    if not isinstance(value, dict):
+        return value
+    tag = value.get(_TAG)
+    if tag is None:
+        return {key: decode_value(item) for key, item in value.items()}
+    if tag == "edgedata":
+        return EdgeData(value["d"], value["t"], dict(value["p"]))
+    if tag == "tuple":
+        return tuple(decode_value(item) for item in value["v"])
+    if tag == "set":
+        return {decode_value(item) for item in value["v"]}
+    if tag == "dict":
+        return {decode_value(k): decode_value(v) for k, v in value["v"]}
+    if tag == "error":
+        return decode_exception(value)
+    if tag == "partial":
+        from repro.cluster.replication import PartialResult
+
+        return PartialResult(
+            decode_value(value["value"]),
+            [decode_value(error) for error in value["errors"]],
+            attempted=value["attempted"],
+        )
+    if tag == "sharderror":
+        from repro.cluster.replication import ShardError
+
+        return ShardError(
+            value["shard_id"],
+            decode_exception(value["error"]),
+            list(value["servers_tried"]),
+        )
+    raise FrameDecodeError(f"unknown wire tag {tag!r}")
+
+
+class FrameDecodeError(ipc.FrameError):
+    """A structurally valid frame carried an undecodable value."""
+
+
+# ----------------------------------------------------------------------
+# Exception codec
+# ----------------------------------------------------------------------
+
+
+def encode_exception(exc: BaseException) -> Dict[str, object]:
+    encoded: Dict[str, object] = {
+        _TAG: "error",
+        "type": type(exc).__name__,
+        "message": str(exc),
+    }
+    if isinstance(exc, ReplicaCallError):
+        encoded["shard_id"] = exc.shard_id
+        encoded["attempts"] = [
+            [server, encode_exception(attempt)] for server, attempt in exc.attempts
+        ]
+    if isinstance(exc, RemoteError):
+        # Re-forwarding an already-remote error keeps the original type.
+        encoded["type"] = exc.remote_type
+    return encoded
+
+
+def decode_exception(encoded: Dict[str, object]) -> BaseException:
+    type_name = str(encoded.get("type", "Exception"))
+    message = str(encoded.get("message", ""))
+    if type_name == "ReplicaCallError":
+        attempts: List[Tuple[int, BaseException]] = [
+            (server, decode_exception(attempt))
+            for server, attempt in encoded.get("attempts", [])
+        ]
+        return ReplicaCallError(int(encoded.get("shard_id", -2)), attempts)
+    exc_type = _registered_types().get(type_name)
+    if exc_type is None:
+        return RemoteError(type_name, message)
+    try:
+        return exc_type(message)
+    except Exception:  # ctor with extra required args
+        return RemoteError(type_name, message)
+
+
+# ----------------------------------------------------------------------
+# Envelopes
+# ----------------------------------------------------------------------
+
+
+def make_request(request_id: int, method: str, args: List[object],
+                 unit: Optional[int] = None,
+                 kwargs: Optional[Dict[str, object]] = None,
+                 trace: Optional[Dict[str, str]] = None) -> Dict[str, object]:
+    request: Dict[str, object] = {
+        "id": request_id,
+        "method": method,
+        "args": [encode_value(arg) for arg in args],
+    }
+    if unit is not None:
+        request["unit"] = unit
+    if kwargs:
+        request["kwargs"] = {k: encode_value(v) for k, v in kwargs.items()}
+    if trace:
+        request["trace"] = trace
+    return request
+
+
+def make_response(request_id: int, value: object) -> Dict[str, object]:
+    return {"id": request_id, "ok": True, "value": encode_value(value)}
+
+
+def make_error_response(request_id: int, exc: BaseException) -> Dict[str, object]:
+    return {"id": request_id, "ok": False, "error": encode_exception(exc)}
+
+
+def unpack_response(response: Dict[str, object]) -> object:
+    """The response's value, or raise its reconstructed exception."""
+    if response.get("ok"):
+        return decode_value(response.get("value"))
+    error = response.get("error")
+    if not isinstance(error, dict):
+        raise FrameDecodeError(f"malformed error response: {response!r}")
+    raise decode_exception(error)
+
+
+# ----------------------------------------------------------------------
+# Connection
+# ----------------------------------------------------------------------
+
+
+class RpcConnection:
+    """One framed RPC connection with id-correlated responses.
+
+    Supports pipelining: multiple requests may be sent before their
+    responses are read, and responses may arrive in any order -- a
+    response for another outstanding request is buffered until its
+    :meth:`recv_response` call comes asking.  Sending is serialized
+    under a lock; concurrent :meth:`call` invocations from multiple
+    threads should use one connection each (the transport pools them).
+    """
+
+    _ids = itertools.count(1)
+
+    def __init__(self, sock: socket.socket, peer: str = "?",
+                 tags: Optional[Dict[str, object]] = None) -> None:
+        self._sock = sock
+        self.peer = peer
+        #: Extra chaos-site tags stamped on every frame this connection
+        #: sends or receives (e.g. ``server=2``), so fault rules can
+        #: target one peer.
+        self._tags = dict(tags or {})
+        self._send_lock = threading.Lock()
+        self._buffered: Dict[int, Dict[str, object]] = {}
+        self._closed = False
+
+    @classmethod
+    def connect(cls, host: str, port: int,
+                timeout_s: Optional[float] = None,
+                tags: Optional[Dict[str, object]] = None) -> "RpcConnection":
+        sock = socket.create_connection((host, port), timeout=timeout_s)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return cls(sock, peer=f"{host}:{port}", tags=tags)
+
+    def settimeout(self, timeout_s: Optional[float]) -> None:
+        self._sock.settimeout(timeout_s)
+
+    def send_request(self, method: str, args: List[object],
+                     unit: Optional[int] = None,
+                     kwargs: Optional[Dict[str, object]] = None,
+                     trace: Optional[Dict[str, str]] = None) -> int:
+        """Frame and send one request; returns its correlation id."""
+        request_id = next(self._ids)
+        request = make_request(request_id, method, args, unit=unit,
+                               kwargs=kwargs, trace=trace)
+        with self._send_lock:
+            ipc.send_frame(self._sock, request, method=method, **self._tags)
+        return request_id
+
+    def recv_response(self, request_id: int) -> Dict[str, object]:
+        """The raw response for ``request_id`` (other ids buffered)."""
+        if request_id in self._buffered:
+            return self._buffered.pop(request_id)
+        while True:
+            frame = ipc.recv_frame(self._sock, **self._tags)
+            frame_id = frame.get("id")
+            if frame_id == request_id:
+                return frame
+            if isinstance(frame_id, int):
+                self._buffered[frame_id] = frame
+            else:
+                raise FrameDecodeError(f"response without an id: {frame!r}")
+
+    def call(self, method: str, args: List[object],
+             unit: Optional[int] = None,
+             kwargs: Optional[Dict[str, object]] = None,
+             trace: Optional[Dict[str, str]] = None) -> object:
+        """One request/response round trip; decodes value or raises."""
+        request_id = self.send_request(method, args, unit=unit,
+                                       kwargs=kwargs, trace=trace)
+        return unpack_response(self.recv_response(request_id))
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            try:
+                self._sock.close()
+            except OSError:
+                pass  # zipg: ignore[ROBUST001] - advisory cleanup
+
+    def __enter__(self) -> "RpcConnection":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

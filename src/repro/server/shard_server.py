@@ -1,0 +1,283 @@
+"""Framed-RPC server machinery and the shard-server role.
+
+:class:`RpcServerBase` owns everything both server roles share:
+connections are accepted on a listener thread, each connection gets a
+reader thread, and each *request* is handed to a shared worker pool so
+a slow operation does not head-of-line-block its connection -- the
+response for a fast later request may overtake it (clients correlate
+by request id, see :class:`~repro.server.protocol.RpcConnection`).
+Subclasses supply :meth:`RpcServerBase._execute`.
+
+:class:`ShardServer` is the worker role: one local
+:class:`~repro.core.graph_store.ZipG` replica answering the
+:mod:`repro.server.ops` surface (the master role lives in
+:mod:`repro.server.master`).
+
+Failure semantics, from the server's side of the wire:
+
+* an operation that raises an ``Exception`` becomes a structured error
+  response -- the typed exception re-raises client-side;
+* a peer that vanishes (reset, torn frame) kills only that
+  connection's reader; the store and other connections are untouched;
+* :class:`~repro.chaos.SimulatedCrash` out of a ``rpc.handle`` or
+  ``rpc.send`` chaos rule is a *process death model* -- it tears down
+  the whole server (listener included), so clients observe exactly
+  what a kill -9 produces: connection resets and refused reconnects.
+
+Chaos sites: every request execution passes ``rpc.handle`` (tags:
+``method``, ``server``); the framed reply goes out through
+``rpc.send`` (a ``torn_write`` rule there models the server dying
+mid-response, which clients see as a torn frame).
+"""
+# zipg: robust-path
+
+from __future__ import annotations
+
+import socket
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Optional, Set, Tuple
+
+from repro import chaos, obs
+from repro.core.graph_store import ZipG
+from repro.server import ipc, ops
+from repro.server.protocol import (
+    decode_value,
+    make_error_response,
+    make_response,
+)
+
+#: Accept-loop poll interval; bounds how long ``stop()`` can take.
+_ACCEPT_TIMEOUT_S = 0.2
+
+
+class RpcServerBase:
+    """Threaded accept/read/execute loop for one framed-RPC listener.
+
+    Args:
+        server_id: this server's cluster id (stamped on spans, chaos
+            tags, and metrics).
+        host / port: bind address; port 0 picks a free port (read the
+            chosen one off :attr:`address`).
+        max_workers: request-execution pool width.
+    """
+
+    #: Role tag used in thread names and spans ("shard" / "master").
+    role = "server"
+
+    def __init__(self, server_id: int = 0, host: str = "127.0.0.1",
+                 port: int = 0, max_workers: int = 8) -> None:
+        self.server_id = server_id
+        self._listener = socket.create_server((host, port))
+        self._listener.settimeout(_ACCEPT_TIMEOUT_S)
+        self.address: Tuple[str, int] = self._listener.getsockname()[:2]
+        self._workers = ThreadPoolExecutor(
+            max_workers=max_workers,
+            thread_name_prefix=f"zipg-{self.role}{server_id}",
+        )
+        self._lock = threading.Lock()
+        self._connections: Set[socket.socket] = set()
+        self._stopping = threading.Event()
+        self._accept_thread: Optional[threading.Thread] = None
+
+    def _execute(self, request: Dict[str, object], method: str) -> object:
+        """Run one decoded request; subclasses implement dispatch."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "RpcServerBase":
+        """Accept connections on a background thread; returns self."""
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop,
+            name=f"zipg-{self.role}{self.server_id}-accept",
+            daemon=True,
+        )
+        self._accept_thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Accept connections on the calling thread until ``stop()``
+        (the CLI ``serve-*`` entry points)."""
+        self._accept_loop()
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopping.is_set()
+
+    def stop(self) -> None:
+        """Stop accepting, drop every connection, drain the pool."""
+        self._stopping.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass  # zipg: ignore[ROBUST001] - already closed
+        with self._lock:
+            connections, self._connections = list(self._connections), set()
+        for sock in connections:
+            _close_socket(sock)
+        accept_thread = self._accept_thread
+        if (accept_thread is not None and accept_thread.is_alive()
+                and accept_thread is not threading.current_thread()):
+            accept_thread.join(timeout=5.0)
+        self._workers.shutdown(wait=False)
+
+    def __enter__(self) -> "RpcServerBase":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Accept / read / execute
+    # ------------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                sock, _peer = self._listener.accept()
+            except socket.timeout:
+                continue  # zipg: ignore[ROBUST001] - accept poll tick
+            except OSError:
+                if self._stopping.is_set():
+                    return
+                raise
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            accepted = False
+            with self._lock:
+                if not self._stopping.is_set():
+                    self._connections |= {sock}
+                    accepted = True
+            if not accepted:
+                # Raced with stop(): this socket is not tracked, close
+                # it ourselves and bail out.
+                _close_socket(sock)
+                return
+            threading.Thread(
+                target=self._connection_loop, args=(sock,),
+                name=f"zipg-{self.role}{self.server_id}-conn", daemon=True,
+            ).start()
+
+    def _connection_loop(self, sock: socket.socket) -> None:
+        """Read frames off one connection until the peer goes away."""
+        send_lock = threading.Lock()
+        try:
+            while not self._stopping.is_set():
+                try:
+                    request = ipc.recv_frame(sock, server=self.server_id)
+                except (ipc.ConnectionClosed, OSError):
+                    return  # peer hung up (or we are stopping)
+                except ipc.FrameError as exc:
+                    # Protocol violation: answer if the stream still
+                    # works, then drop the connection -- framing state
+                    # is unrecoverable after a bad prefix.
+                    self._try_send(sock, send_lock,
+                                   make_error_response(-1, exc))
+                    return
+                self._workers.submit(self._handle, sock, send_lock, request)
+        finally:
+            with self._lock:
+                self._connections.discard(sock)
+            _close_socket(sock)
+
+    def _handle(self, sock: socket.socket, send_lock: threading.Lock,
+                request: Dict[str, object]) -> None:
+        request_id = request.get("id")
+        if not isinstance(request_id, int):
+            request_id = -1
+        method = str(request.get("method", ""))
+        trace = request.get("trace")
+        try:
+            chaos.kick(chaos.SITE_RPC_HANDLE,
+                       method=method, server=self.server_id)
+            with obs.remote_span(
+                f"rpc.{method}",
+                trace if isinstance(trace, dict) else None,
+                layer="server", method=method, server=self.server_id,
+            ):
+                value = self._execute(request, method)
+            response = make_response(request_id, value)
+        except chaos.SimulatedCrash:
+            # kill -9 model: the whole process dies, not one request.
+            self._crash()
+            return
+        except Exception as exc:
+            obs.counter(
+                "zipg_rpc_errors_total",
+                help="RPC requests answered with an error response",
+                labels={"method": method},
+            ).inc()
+            response = make_error_response(request_id, exc)
+        self._try_send(sock, send_lock, response)
+
+    def _try_send(self, sock: socket.socket, send_lock: threading.Lock,
+                  response: Dict[str, object]) -> None:
+        try:
+            with send_lock:
+                ipc.send_frame(sock, response, server=self.server_id)
+        except chaos.SimulatedCrash:
+            self._crash()
+        except (OSError, ipc.FrameError) as exc:
+            # The peer is gone (or the response was torn); it retries
+            # via its transport. Count it so dead-peer storms show up.
+            obs.counter(
+                "zipg_rpc_send_failures_total",
+                help="RPC responses that could not be delivered",
+                labels={"kind": type(exc).__name__},
+            ).inc()
+            _close_socket(sock)
+
+    def _crash(self) -> None:
+        """A ``SimulatedCrash`` fired server-side: die like a process.
+
+        Every connection resets (clients get torn frames / resets) and
+        the listener closes (reconnects are refused) -- observable
+        behavior identical to the OS killing the server."""
+        obs.counter(
+            "zipg_rpc_simulated_crashes_total",
+            help="server deaths injected at rpc.* sites",
+            labels={"server": str(self.server_id), "role": self.role},
+        ).inc()
+        self.stop()
+
+
+class ShardServer(RpcServerBase):
+    """Serve one store replica's operations over framed TCP RPC.
+
+    Args:
+        store: the local store (a full replica in the replicated
+            deployment).
+        apply_writes: whether ``apply_write`` RPCs mutate the local
+            store. ``False`` only for loopback harnesses whose servers
+            *share* the writer's store object.
+    """
+
+    role = "shard"
+
+    def __init__(self, store: ZipG, server_id: int = 0,
+                 host: str = "127.0.0.1", port: int = 0,
+                 apply_writes: bool = True, max_workers: int = 8) -> None:
+        super().__init__(server_id=server_id, host=host, port=port,
+                         max_workers=max_workers)
+        self.store = store
+        self.apply_writes = apply_writes
+
+    def _execute(self, request: Dict[str, object], method: str) -> object:
+        args = [decode_value(arg) for arg in request.get("args", [])]
+        kwargs = {
+            key: decode_value(value)
+            for key, value in (request.get("kwargs") or {}).items()
+        }
+        unit = request.get("unit")
+        return ops.run_op(self.store, method, args, kwargs=kwargs,
+                          unit=unit if isinstance(unit, int) else None,
+                          apply_writes=self.apply_writes)
+
+
+def _close_socket(sock: socket.socket) -> None:
+    try:
+        sock.close()
+    except OSError:
+        pass  # zipg: ignore[ROBUST001] - already closed

@@ -1,0 +1,185 @@
+"""The :class:`Transport` seam between the cluster layer and servers.
+
+The replicated cluster dispatches every per-server operation through
+``transport.call(server_id, method, args, unit=...)``.  Two backends
+implement that contract:
+
+* :class:`InProcessTransport` (the default) resolves the call against
+  the shared local store -- exactly what the pre-serving-layer code
+  did inline, so existing single-process deployments and tests are
+  byte-identical.  No sockets, no codec, no ``rpc.*`` chaos sites.
+* :class:`SocketTransport` speaks the :mod:`repro.server.ipc` framed
+  protocol to real shard-server processes, pooling one
+  :class:`~repro.server.protocol.RpcConnection` per in-flight call per
+  server so concurrent executor fan-outs never interleave writes on a
+  socket.
+
+Failure mapping is the heart of the seam: every transport-layer
+failure -- connection refused, reset mid-call, torn or oversized
+frame, socket timeout -- surfaces as a retryable
+:class:`~repro.core.errors.TransportError`, so the executor's
+retry/backoff/deadline machinery and the cluster's replica failover
+treat a dead network peer exactly like an injected
+``replication.replica_call`` fault.  Exceptions raised *by the remote
+operation* (e.g. ``NodeNotFound``) decode and re-raise as themselves;
+:class:`~repro.chaos.SimulatedCrash` stays a ``BaseException`` and is
+never swallowed into a retry.
+"""
+# zipg: robust-path
+
+from __future__ import annotations
+
+import threading
+from abc import ABC, abstractmethod
+from typing import Dict, List, Optional, Tuple
+
+from repro import obs
+from repro.core.errors import TransportError
+from repro.core.graph_store import ZipG
+from repro.server import ipc, ops
+from repro.server.protocol import RpcConnection, unpack_response
+
+
+class Transport(ABC):
+    """Dispatch surface for per-server operations."""
+
+    @abstractmethod
+    def call(self, server_id: int, method: str, args: List[object],
+             unit: Optional[int] = None,
+             kwargs: Optional[Dict[str, object]] = None) -> object:
+        """Run ``method(*args, **kwargs)`` on ``server_id`` against the
+        unit ``unit`` (see :func:`repro.server.ops.resolve_unit`)."""
+
+    def close(self) -> None:
+        """Release any held connections (idempotent)."""
+
+
+class InProcessTransport(Transport):
+    """All virtual servers answer from one shared local store.
+
+    ``apply_write`` acknowledges without re-applying: the master
+    already mutated the (shared) store, so applying again would double
+    every write.  Pass ``apply_writes=True`` only when this transport
+    fronts a store object the writer does *not* share."""
+
+    def __init__(self, store: ZipG, apply_writes: bool = False) -> None:
+        self.store = store
+        self.apply_writes = apply_writes
+
+    def call(self, server_id: int, method: str, args: List[object],
+             unit: Optional[int] = None,
+             kwargs: Optional[Dict[str, object]] = None) -> object:
+        return ops.run_op(self.store, method, list(args), kwargs=kwargs,
+                          unit=unit, apply_writes=self.apply_writes)
+
+
+class _ConnectionPool:
+    """Idle :class:`RpcConnection`\\ s for one server address.
+
+    Checkout hands each caller its own connection (creating one on
+    demand), so concurrent calls never share a socket; clean round
+    trips return the connection for reuse, failed ones close it --
+    a socket that just tore a frame has undefined stream state."""
+
+    def __init__(self, server_id: int, host: str, port: int,
+                 timeout_s: Optional[float]) -> None:
+        self.server_id = server_id
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self._lock = threading.Lock()
+        self._idle: List[RpcConnection] = []
+        self._shutdown = False
+
+    def checkout(self) -> RpcConnection:
+        with self._lock:
+            if self._idle:
+                return self._idle.pop()
+        connection = RpcConnection.connect(
+            self.host, self.port, timeout_s=self.timeout_s,
+            tags={"server": self.server_id},
+        )
+        return connection
+
+    def checkin(self, connection: RpcConnection) -> None:
+        with self._lock:
+            if not self._shutdown and not connection.closed:
+                self._idle.append(connection)
+                return
+        connection.close()
+
+    def close(self) -> None:
+        with self._lock:
+            self._shutdown = True
+            idle, self._idle = self._idle, []
+        for connection in idle:
+            connection.close()
+
+
+class SocketTransport(Transport):
+    """Framed RPC to real shard-server processes over TCP.
+
+    Args:
+        addresses: ``server_id -> (host, port)`` for every server the
+            cluster may address.
+        timeout_s: socket timeout per connection (connect and reads);
+            ``None`` blocks indefinitely -- rely on the executor's
+            cooperative deadline instead.
+    """
+
+    def __init__(self, addresses: Dict[int, Tuple[str, int]],
+                 timeout_s: Optional[float] = 30.0) -> None:
+        self.addresses = dict(addresses)
+        self._pools = {
+            server_id: _ConnectionPool(server_id, host, port, timeout_s)
+            for server_id, (host, port) in self.addresses.items()
+        }
+
+    def call(self, server_id: int, method: str, args: List[object],
+             unit: Optional[int] = None,
+             kwargs: Optional[Dict[str, object]] = None) -> object:
+        pool = self._pools.get(server_id)
+        if pool is None:
+            raise TransportError(f"no address for server {server_id}")
+        try:
+            connection = pool.checkout()
+        except OSError as exc:
+            self._count_failure(server_id, "connect")
+            raise TransportError(
+                f"cannot connect to server {server_id} "
+                f"({pool.host}:{pool.port}): {exc}"
+            ) from exc
+        try:
+            request_id = connection.send_request(
+                method, list(args), unit=unit, kwargs=kwargs,
+                trace=obs.current_trace_context(),
+            )
+            response = connection.recv_response(request_id)
+        except (OSError, ipc.FrameError) as exc:
+            connection.close()
+            self._count_failure(server_id, type(exc).__name__)
+            raise TransportError(
+                f"rpc {method!r} to server {server_id} failed: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+        except BaseException:
+            # SimulatedCrash and friends: the stream state is unknown,
+            # drop the connection, but let the crash keep flying.
+            connection.close()
+            raise
+        pool.checkin(connection)
+        # Outside the mapping block: a *decoded remote* exception (e.g.
+        # NodeNotFound raised by the operation itself) re-raises as its
+        # own type, not as a transport failure.
+        return unpack_response(response)
+
+    def _count_failure(self, server_id: int, kind: str) -> None:
+        obs.counter(
+            "zipg_transport_failures_total",
+            help="RPC calls that failed at the transport layer",
+            labels={"server": str(server_id), "kind": kind},
+        ).inc()
+
+    def close(self) -> None:
+        for pool in self._pools.values():
+            pool.close()

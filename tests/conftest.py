@@ -41,3 +41,12 @@ def chaos_seeds() -> list:
     if pinned is not None:
         return [int(pinned)]
     return list(CHAOS_SEEDS)
+
+
+#: Transport backend the cluster suites dispatch through.  The default
+#: in-process backend is byte-identical to pre-serving-layer dispatch;
+#: CI's socket-transport job sets ``ZIPG_TRANSPORT=socket`` to run the
+#: same suites over real loopback RPC (framing, codec, pooling, rpc.*
+#: chaos sites).
+def socket_transport_enabled() -> bool:
+    return os.environ.get("ZIPG_TRANSPORT") == "socket"

@@ -1,0 +1,28 @@
+"""Fixture: raw socket I/O outside the framing module (RPC001)."""
+
+import socket
+
+
+def leak_request(host, port, payload):
+    sock = socket.create_connection((host, port))
+    sock.sendall(payload)  # RPC001: bypasses length-prefix framing
+    return sock.recv(4096)  # RPC001: unframed read
+
+
+def scatter_gather(sock):
+    sock.sendmsg([b"a", b"b"])  # RPC001: unframed vectored write
+    buffer = bytearray(16)
+    sock.recv_into(buffer)  # RPC001: unframed read into a buffer
+    return bytes(buffer)
+
+
+def pump_generator(gen):
+    return gen.send(None)  # zipg: ignore[RPC001] - generator, not a socket
+
+
+def framed_ok(sock, frame_bytes):
+    # OK: no raw I/O primitive -- this is what callers should do
+    # (repro.server.ipc owns the sendall underneath).
+    from repro.server import ipc
+
+    return ipc.send_frame(sock, frame_bytes)

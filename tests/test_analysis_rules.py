@@ -326,6 +326,50 @@ class TestCacheRule:
 
 
 # ----------------------------------------------------------------------
+# RPC framing-boundary discipline
+# ----------------------------------------------------------------------
+
+
+class TestRpcRule:
+    def test_raw_sendall_and_recv_flagged(self):
+        path = fixture("rpc_violations.py")
+        found = hits(findings_for("rpc_violations.py", ["RPC001"]))
+        assert ("RPC001",
+                line_of(path, "RPC001: bypasses length-prefix")) in found
+        assert ("RPC001", line_of(path, "RPC001: unframed read")) in found
+
+    def test_vectored_and_buffer_io_flagged(self):
+        path = fixture("rpc_violations.py")
+        found = hits(findings_for("rpc_violations.py", ["RPC001"]))
+        assert ("RPC001",
+                line_of(path, "RPC001: unframed vectored write")) in found
+        assert ("RPC001",
+                line_of(path, "RPC001: unframed read into")) in found
+
+    def test_acknowledged_non_socket_send_suppressed(self):
+        path = fixture("rpc_violations.py")
+        found = findings_for("rpc_violations.py", ["RPC001"])
+        ignored = line_of(path, "zipg: ignore[RPC001]")
+        assert not any(f.line == ignored for f in found)
+
+    def test_framed_helper_not_flagged(self):
+        found = findings_for("rpc_violations.py", ["RPC001"])
+        assert len(found) == 4
+
+    def test_framing_module_is_exempt(self):
+        src_path = os.path.join(SRC_REPRO, "server", "ipc.py")
+        findings, _ = analyze_paths([src_path], ["RPC001"])
+        assert findings == []
+
+    def test_server_package_routes_through_framing(self):
+        # Everything else in the server package (transport, protocol,
+        # the server roles, the client) must hold the boundary.
+        src_path = os.path.join(SRC_REPRO, "server")
+        findings, _ = analyze_paths([src_path], ["RPC001"])
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
 # Engine behaviour + CLI
 # ----------------------------------------------------------------------
 

@@ -214,17 +214,83 @@ class TestExecutorResilience:
         assert isinstance(results[0].error, DeadlineExceeded)
 
     def test_deadline_retry_can_succeed(self):
+        """A fast failure retried within the remaining budget succeeds
+        (the budget spans all attempts, not each one separately)."""
         calls = []
 
-        def slow_once(item):
+        def fail_once(item):
             calls.append(item)
             if len(calls) == 1:
-                time.sleep(0.03)
+                raise ValueError("transient")
             return item
 
         with ShardExecutor(1) as executor:
-            assert executor.map(slow_once, [5], deadline_s=0.02, retries=1) == [5]
+            assert executor.map(fail_once, [5], deadline_s=5.0, retries=1) == [5]
         assert len(calls) == 2
+
+    def test_deadline_budgets_whole_retry_loop(self):
+        """Regression: the deadline used to reset per attempt, so
+        ``1 + retries`` slow attempts each got a fresh budget.  Now a
+        first attempt that burns the whole budget makes the retry's
+        result arrive over-deadline: total wall time stays bounded by
+        ``deadline_s`` plus one attempt."""
+        calls = []
+
+        def slow(item):
+            calls.append(item)
+            time.sleep(0.03)
+            return item
+
+        with ShardExecutor(1) as executor:
+            begin = time.monotonic()
+            results = executor.map(slow, [5], deadline_s=0.02, retries=3,
+                                   partial=True)
+            wall = time.monotonic() - begin
+        assert not results[0].ok
+        assert isinstance(results[0].error, DeadlineExceeded)
+        # Old behavior: 4 attempts x 0.03s each = ~0.12s. New: the
+        # budget (0.02s) plus at most one extra attempt (0.03s).
+        assert len(calls) <= 2
+        assert wall < 0.03 * 3
+
+    def test_deadline_budget_exhausted_stops_retrying(self):
+        """A failure with no budget left must not burn more attempts;
+        the result chains the attempt's error under DeadlineExceeded."""
+        calls = []
+
+        def slow_fail(item):
+            calls.append(item)
+            time.sleep(0.03)
+            raise ValueError("kaput")
+
+        with ShardExecutor(1) as executor:
+            results = executor.map(slow_fail, [5], deadline_s=0.02,
+                                   retries=5, partial=True)
+        assert len(calls) == 1
+        assert not results[0].ok
+        assert isinstance(results[0].error, DeadlineExceeded)
+        assert isinstance(results[0].error.__cause__, ValueError)
+
+    def test_deadline_skips_backoff_that_overruns_budget(self):
+        """A backoff sleep larger than the remaining budget is skipped
+        so the final attempt gets the time instead of the pillow."""
+        calls = []
+
+        def fail_once(item):
+            calls.append(item)
+            if len(calls) == 1:
+                raise ValueError("transient")
+            return item
+
+        with ShardExecutor(1) as executor:
+            begin = time.monotonic()
+            # backoff_s far exceeds the budget: sleeping would make the
+            # retry pointless, so it must be skipped and still succeed.
+            assert executor.map(fail_once, [5], deadline_s=0.5,
+                                retries=1, backoff_s=10.0) == [5]
+            wall = time.monotonic() - begin
+        assert len(calls) == 2
+        assert wall < 1.0
 
     def test_chaos_site_fires_inside_executor(self):
         injector = ChaosInjector(

@@ -1,20 +1,34 @@
-"""Replica failover, degraded queries, and cluster thread-safety."""
+"""Replica failover, degraded queries, and cluster thread-safety.
+
+With ``ZIPG_TRANSPORT=socket`` in the environment, every cluster these
+tests build dispatches per-server operations over real loopback RPC
+(a :class:`repro.server.loopback.LoopbackCluster` sharing the store)
+instead of the in-process transport -- same assertions, full framed
+wire path.
+"""
 
 import threading
 
 import pytest
 
+from conftest import socket_transport_enabled
 from repro import chaos, obs
 from repro.chaos import ChaosInjector, FaultRule
 from repro.cluster import PartialResult, ReplicatedZipGCluster, ShardUnavailable
 from repro.cluster.replication import LOGSTORE_UNIT
 from repro.core import GraphData, ReplicaCallError, ZipG
 
+#: Loopback harnesses opened by build_cluster under ZIPG_TRANSPORT=
+#: socket; torn down after each test.
+_loopbacks = []
+
 
 @pytest.fixture(autouse=True)
 def no_leftover_injector():
     yield
     chaos.uninstall()
+    while _loopbacks:
+        _loopbacks.pop().close()
 
 
 def build_cluster(num_servers=4, replication_factor=2, **kwargs):
@@ -25,9 +39,16 @@ def build_cluster(num_servers=4, replication_factor=2, **kwargs):
                        properties={"w": str(i % 3)})
     store = ZipG.compress(graph, num_shards=4, alpha=8,
                           logstore_threshold_bytes=1 << 20)
-    return ReplicatedZipGCluster(store, num_servers=num_servers,
-                                 replication_factor=replication_factor,
-                                 **kwargs), store
+    cluster = ReplicatedZipGCluster(store, num_servers=num_servers,
+                                    replication_factor=replication_factor,
+                                    **kwargs)
+    if socket_transport_enabled():
+        from repro.server.loopback import LoopbackCluster
+
+        loopback = LoopbackCluster(store, num_servers)
+        _loopbacks.append(loopback)
+        cluster.transport = loopback.transport
+    return cluster, store
 
 
 class TestFailover:
