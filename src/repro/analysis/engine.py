@@ -11,7 +11,10 @@ findings through the ``# zipg: ignore[RULE]`` suppression machinery.
 from __future__ import annotations
 
 import ast
+import hashlib
 import os
+import pickle
+import sys
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
@@ -69,12 +72,26 @@ class FunctionRecord:
         return self.node.name
 
     @property
+    def qualkey(self) -> str:
+        """Globally unique key: ``<module>:<qualname>``."""
+        return f"{self.module.name}:{self.qualname}"
+
+    @property
+    def start_line(self) -> int:
+        """First physical line of the definition, decorators included."""
+        decorators = [d.lineno for d in self.node.decorator_list]
+        return min(decorators + [self.node.lineno])
+
+    @property
     def end_line(self) -> int:
         return self.node.end_lineno or self.node.lineno
 
     def directives(self) -> List[Directive]:
         return function_directives(
-            self.module.markers, self.module.lines, self.node.lineno
+            self.module.markers,
+            self.module.lines,
+            self.node.lineno,
+            decorator_line=self.start_line,
         )
 
     def has_directive(self, name: str) -> bool:
@@ -100,6 +117,7 @@ class ModuleInfo:
     markers: MarkerIndex
     functions: List[FunctionRecord] = field(default_factory=list)
     classes: List[ast.ClassDef] = field(default_factory=list)
+    _statement_spans: Optional[List[Tuple[int, int]]] = None
 
     @property
     def is_hot(self) -> bool:
@@ -126,12 +144,45 @@ class ModuleInfo:
         )
 
     def enclosing_function(self, line: int) -> Optional[FunctionRecord]:
-        """Innermost function whose span contains ``line``."""
+        """Innermost function whose span (decorators included) contains
+        ``line``."""
         best: Optional[FunctionRecord] = None
         for record in self.functions:
-            if record.node.lineno <= line <= record.end_line:
-                if best is None or record.node.lineno >= best.node.lineno:
+            if record.start_line <= line <= record.end_line:
+                if best is None or record.start_line >= best.start_line:
                     best = record
+        return best
+
+    def statement_span(self, line: int) -> Tuple[int, int]:
+        """Physical span of the innermost statement containing ``line``.
+
+        Simple statements span their full (possibly multi-line) extent;
+        compound statements (``if``/``with``/``for``/``def``...)
+        contribute only their header lines, so a suppression marker on
+        the last line of a block never silences the whole block.
+        """
+        if self._statement_spans is None:
+            spans: List[Tuple[int, int]] = []
+            for node in ast.walk(self.tree):
+                if not isinstance(node, ast.stmt):
+                    continue
+                end = node.end_lineno or node.lineno
+                body = getattr(node, "body", None)
+                if isinstance(body, list) and body and isinstance(body[0], ast.stmt):
+                    # Compound statement: header only.
+                    first_body = min(child.lineno for child in body)
+                    end = max(node.lineno, first_body - 1) if (
+                        first_body > node.lineno
+                    ) else node.lineno
+                spans.append((node.lineno, end))
+            self._statement_spans = sorted(spans)
+        best = (line, line)
+        best_size = None
+        for start, end in self._statement_spans:
+            if start <= line <= end:
+                size = end - start
+                if best_size is None or size <= best_size:
+                    best, best_size = (start, end), size
         return best
 
     def delimiter_imports(self) -> List[str]:
@@ -150,6 +201,9 @@ class AnalysisContext:
     :mod:`repro.analysis.callgraph` and is attached on first use)."""
 
     modules: List[ModuleInfo]
+    #: Recorded runtime lock-order edges (see
+    #: :mod:`repro.analysis.runtime`) merged into DEADLOCK001.
+    lock_traces: List[Dict[str, object]] = field(default_factory=list)
     _callgraph: Optional[object] = None
 
     def module_by_name(self, name: str) -> Optional[ModuleInfo]:
@@ -231,10 +285,65 @@ def _module_name(path: str) -> str:
     return os.path.splitext(os.path.basename(path))[0]
 
 
-def load_module(path: str) -> ModuleInfo:
+#: Bump when ModuleInfo / FunctionRecord / MarkerIndex shapes change
+#: (invalidates every ScanCache entry).
+_CACHE_VERSION = 1
+
+
+class ScanCache:
+    """Content-addressed cache of parsed :class:`ModuleInfo` objects.
+
+    Parsing plus definition indexing dominates checker start-up on a
+    full-tree scan; CI caches this file between jobs (keyed on the
+    Python version and engine layout) so re-runs only re-parse files
+    whose bytes changed.  The payload is a pickle -- treat the cache
+    file like build output, never like an input from another trust
+    domain.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._tag = (sys.version_info[:2], _CACHE_VERSION)
+        self._entries: Dict[str, Tuple[str, ModuleInfo]] = {}
+        self._dirty = False
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+            if payload.get("tag") == self._tag:
+                self._entries = payload["entries"]
+        except Exception:
+            self._entries = {}  # corrupt/missing/foreign cache: rebuild
+
+    def get(self, path: str, digest: str) -> Optional[ModuleInfo]:
+        entry = self._entries.get(os.path.abspath(path))
+        if entry is not None and entry[0] == digest:
+            return entry[1]
+        return None
+
+    def put(self, path: str, digest: str, module: ModuleInfo) -> None:
+        self._entries[os.path.abspath(path)] = (digest, module)
+        self._dirty = True
+
+    def save(self) -> None:
+        if not self._dirty:
+            return
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        tmp = self.path + ".tmp"
+        with open(tmp, "wb") as handle:
+            pickle.dump({"tag": self._tag, "entries": self._entries}, handle)
+        os.replace(tmp, self.path)
+
+
+def load_module(path: str, cache: Optional[ScanCache] = None) -> ModuleInfo:
     """Parse one file into a :class:`ModuleInfo` (raises SyntaxError)."""
     with open(path, "r", encoding="utf-8") as handle:
         source = handle.read()
+    if cache is not None:
+        digest = hashlib.sha256(source.encode("utf-8")).hexdigest()
+        cached = cache.get(path, digest)
+        if cached is not None:
+            return cached
     tree = ast.parse(source, filename=path)
     lines = source.splitlines()
     module = ModuleInfo(
@@ -246,6 +355,8 @@ def load_module(path: str) -> ModuleInfo:
         markers=index_markers(lines),
     )
     _index_definitions(module)
+    if cache is not None:
+        cache.put(path, digest, module)
     return module
 
 
@@ -294,8 +405,14 @@ def collect_files(paths: List[str]) -> List[str]:
 
 def _suppressed(finding: Finding, module: ModuleInfo) -> bool:
     markers = module.markers
-    if markers.line_suppresses(finding.line, finding.rule_id):
-        return True
+    # A marker on any physical line of the enclosing statement counts:
+    # multi-line calls and parenthesized expressions put the natural
+    # marker position (end of the statement) lines away from the AST
+    # anchor the rule reported.
+    start, end = module.statement_span(finding.line)
+    for line in range(start, end + 1):
+        if markers.line_suppresses(line, finding.rule_id):
+            return True
     record = module.enclosing_function(finding.line)
     if record is not None and any(
         d.suppresses(finding.rule_id) for d in record.directives()
@@ -305,12 +422,19 @@ def _suppressed(finding: Finding, module: ModuleInfo) -> bool:
 
 
 def analyze_paths(
-    paths: List[str], rule_ids: Optional[List[str]] = None
+    paths: List[str],
+    rule_ids: Optional[List[str]] = None,
+    lock_traces: Optional[List[Dict[str, object]]] = None,
+    cache_path: Optional[str] = None,
 ) -> Tuple[List[Finding], AnalysisContext]:
     """Run the registered rules over ``paths``.
 
-    Returns the (suppression-filtered, sorted) findings plus the context
-    so callers (tests, the CLI) can introspect what was scanned.
+    ``lock_traces`` feeds recorded runtime lock-order edges (see
+    :func:`repro.analysis.runtime.export_lock_order_trace`) into
+    DEADLOCK001; ``cache_path`` persists the parsed-module cache
+    between runs.  Returns the (suppression-filtered, sorted) findings
+    plus the context so callers (tests, the CLI) can introspect what
+    was scanned.
     """
     specs = all_rules()
     if rule_ids is not None:
@@ -319,8 +443,11 @@ def analyze_paths(
             raise ValueError(f"unknown rule ids: {sorted(unknown)}")
         specs = [spec for spec in specs if spec.rule_id in rule_ids]
 
-    modules = [load_module(path) for path in collect_files(paths)]
-    context = AnalysisContext(modules)
+    cache = ScanCache(cache_path) if cache_path else None
+    modules = [load_module(path, cache) for path in collect_files(paths)]
+    if cache is not None:
+        cache.save()
+    context = AnalysisContext(modules, lock_traces=list(lock_traces or []))
     by_path = {module.path: module for module in modules}
 
     findings: List[Finding] = []

@@ -30,11 +30,33 @@ _DIRECTIVE_RE = re.compile(r"(?P<name>[A-Za-z][A-Za-z0-9_-]*)(?:\[(?P<args>[^\]]
 
 #: Directives that apply to the whole module.
 MODULE_DIRECTIVES = frozenset(
-    {"hot-path", "public-api", "query-api", "robust-path", "cache-backed"}
+    {
+        "hot-path",
+        "public-api",
+        "query-api",
+        "robust-path",
+        "cache-backed",
+        # Mutations in this module follow a single-writer protocol
+        # (e.g. per-thread AccessStats counters merged under a lock):
+        # RACE001 defers to LOCK003's counter whitelist here.
+        "single-writer",
+        # This module IS the typed-exception codec: EXC001 reads the
+        # registered exception names from it.
+        "exception-registry",
+    }
 )
 #: Directives that attach to the enclosing/following function.
 FUNCTION_DIRECTIVES = frozenset(
-    {"scalar-ok", "layout-writer", "layout-parser", "ignore", "span-free"}
+    {
+        "scalar-ok",
+        "layout-writer",
+        "layout-parser",
+        "ignore",
+        "span-free",
+        # Entry point of the RPC dispatch surface: EXC001 roots its
+        # raisable-exception walk at functions marked this way.
+        "rpc-entry",
+    }
 )
 
 
@@ -103,12 +125,21 @@ def index_markers(lines: List[str]) -> MarkerIndex:
 
 
 def function_directives(
-    index: MarkerIndex, lines: List[str], def_line: int
+    index: MarkerIndex,
+    lines: List[str],
+    def_line: int,
+    decorator_line: Optional[int] = None,
 ) -> List[Directive]:
-    """Directives attached to a function: those on the ``def`` line plus
-    the contiguous comment block immediately above it."""
-    directives = list(index.at(def_line))
-    lineno = def_line - 1
+    """Directives attached to a function: those on the ``def`` line, on
+    any decorator line (``decorator_line`` is the first decorator's
+    line, from the AST -- this covers multi-line decorator calls whose
+    continuation lines don't start with ``@``), plus the contiguous
+    comment block immediately above the definition."""
+    top = def_line if decorator_line is None else min(decorator_line, def_line)
+    directives: List[Directive] = []
+    for lineno in range(top, def_line + 1):
+        directives.extend(index.at(lineno))
+    lineno = top - 1
     while lineno >= 1 and lines[lineno - 1].lstrip().startswith(("#", "@")):
         directives.extend(index.at(lineno))
         lineno -= 1

@@ -1,0 +1,165 @@
+"""Global lock-order deadlock detection (DEADLOCK001).
+
+Builds one lock-acquisition-order graph from two sources and reports
+every cycle in it:
+
+* **AST edges** -- the same receiver-resolved held->acquired edges
+  LOCK002 derives (shared via
+  :func:`repro.analysis.rules.locks.static_lock_order_edges`), with a
+  ``path:line`` witness per edge;
+* **runtime edges** -- lock-order traces recorded by named
+  :class:`repro.analysis.runtime.TrackedLock` instances (exported with
+  ``LockOrderRecorder.save`` and fed in via ``--lock-trace``), each
+  carrying the two witness acquisition stacks.
+
+The two sources compose: a cycle is reported even when one leg was
+only ever observed at runtime (a code path the static analysis cannot
+resolve) and the other leg only exists in the AST.  Each finding names
+both legs with their witnesses -- for runtime edges the innermost
+frame of the recorded acquisition stacks.
+
+LOCK002 keeps its narrower static-only contract; DEADLOCK001 is the
+whole-program view.  A purely static cycle is reported by both.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.engine import AnalysisContext, Finding, rule
+from repro.analysis.rules.locks import static_lock_order_edges
+
+#: Pseudo-path used for findings whose witness edge exists only in a
+#: runtime trace (there is no source line to point at).
+TRACE_PATH = "<runtime-lock-trace>"
+
+
+class _Edge:
+    """One held->acquired edge with its witness description."""
+
+    __slots__ = ("held", "acquired", "source", "path", "line", "witness")
+
+    def __init__(
+        self,
+        held: str,
+        acquired: str,
+        source: str,
+        path: str,
+        line: int,
+        witness: str,
+    ) -> None:
+        self.held = held
+        self.acquired = acquired
+        self.source = source  # "static" | "runtime"
+        self.path = path
+        self.line = line
+        self.witness = witness
+
+
+def _innermost(stack: object) -> Optional[str]:
+    if isinstance(stack, list) and stack:
+        last = stack[-1]
+        if isinstance(last, str):
+            return last
+    return None
+
+
+def _trace_edges(context: AnalysisContext) -> List[_Edge]:
+    edges: List[_Edge] = []
+    for record in context.lock_traces:
+        held = record.get("held")
+        acquired = record.get("acquired")
+        if not isinstance(held, str) or not isinstance(acquired, str):
+            continue
+        held_at = _innermost(record.get("held_stack"))
+        acquired_at = _innermost(record.get("acquired_stack"))
+        witness = f"'{held}' acquired at {held_at or '<unknown>'}, then " \
+                  f"'{acquired}' at {acquired_at or '<unknown>'}"
+        edges.append(
+            _Edge(held, acquired, "runtime", TRACE_PATH, 0, witness)
+        )
+    return edges
+
+
+@rule(
+    "DEADLOCK001",
+    "the combined (AST + runtime-trace) lock-acquisition-order graph "
+    "must be acyclic; cycles are reported with both witness "
+    "acquisitions",
+)
+def check_global_lock_order(context: AnalysisContext) -> Iterator[Finding]:
+    static_edges, static_sites = static_lock_order_edges(context)
+
+    by_pair: Dict[Tuple[str, str], _Edge] = {}
+    for held, inners in static_edges.items():
+        for inner in inners:
+            path, line = static_sites[(held, inner)]
+            by_pair[(held, inner)] = _Edge(
+                held, inner, "static", path, line, f"{path}:{line}"
+            )
+    for edge in _trace_edges(context):
+        by_pair.setdefault((edge.held, edge.acquired), edge)
+
+    graph: Dict[str, Set[str]] = {}
+    for held, inner in by_pair:
+        graph.setdefault(held, set()).add(inner)
+
+    def shortest_path(start: str, goal: str) -> Optional[List[str]]:
+        """BFS node path ``start -> ... -> goal`` through the edges."""
+        if start == goal:
+            return [start]
+        parents: Dict[str, str] = {}
+        queue = [start]
+        seen = {start}
+        while queue:
+            current = queue.pop(0)
+            for nxt in sorted(graph.get(current, set())):
+                if nxt in seen:
+                    continue
+                seen.add(nxt)
+                parents[nxt] = current
+                if nxt == goal:
+                    path = [goal]
+                    while path[-1] != start:
+                        path.append(parents[path[-1]])
+                    return list(reversed(path))
+                queue.append(nxt)
+        return None
+
+    reported: Set[frozenset] = set()
+    for (held, inner) in sorted(by_pair):
+        edge = by_pair[(held, inner)]
+        if held == inner:
+            if edge.source == "static":
+                # LOCK002 already reports static self-deadlocks.
+                continue
+            yield Finding(
+                "DEADLOCK001",
+                f"runtime trace shows '{held}' re-acquired while "
+                f"already held ({edge.witness})",
+                edge.path,
+                edge.line,
+            )
+            continue
+        back = shortest_path(inner, held)
+        if back is None:
+            continue
+        cycle_nodes = frozenset(back)
+        if cycle_nodes in reported:
+            continue  # one finding per distinct cycle
+        reported.add(cycle_nodes)
+        counter = by_pair.get((back[0], back[1]))
+        counter_witness = (
+            f"{counter.source} witness {counter.witness}"
+            if counter is not None
+            else "unknown witness"
+        )
+        cycle = " -> ".join(back + [inner])
+        yield Finding(
+            "DEADLOCK001",
+            f"lock-order cycle {cycle}: '{inner}' acquired while "
+            f"holding '{held}' ({edge.source} witness {edge.witness}) "
+            f"but the reverse order also occurs ({counter_witness})",
+            edge.path,
+            edge.line,
+        )

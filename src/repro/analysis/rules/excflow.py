@@ -1,0 +1,224 @@
+"""RPC exception-flow checking (EXC001).
+
+Every exception type that can propagate out of the RPC dispatch
+surface crosses the wire through the typed-exception codec in the
+module marked ``# zipg: exception-registry``
+(:mod:`repro.server.protocol`).  A type missing from that registry is
+not an error at runtime -- it silently degrades to ``RemoteError`` on
+the client, losing the type the caller's ``except`` clause was
+written against.  EXC001 makes the registry's completeness a static
+invariant.
+
+Roots of the raisable-exception walk:
+
+* functions marked ``# zipg: rpc-entry`` (``ops.run_op``, the master
+  and shard ``_execute`` dispatchers);
+* ``@_op("...")``-registered handlers (dispatched through a table the
+  call graph cannot see);
+* methods named in a ``*_METHODS`` frozenset of any module containing
+  an rpc-entry function (the master's explicit getattr allowlist).
+
+From those roots the rule walks everything reachable on the
+receiver-aware call graph and collects each explicit
+``raise SomeError(...)`` of a capitalized name.  Raised names must be
+registered -- by appearing in the registry module's
+``_EXCEPTION_TYPES`` table, its lazy-registration helpers, its
+decoder's special cases, or a ``register_exception(X)`` call anywhere
+in the scanned tree.
+
+Deliberately *not* checked: bare re-raises (type-preserving),
+``raise exc_var`` (unresolvable statically), and crash-model
+``BaseException``s that are supposed to kill the process rather than
+cross the wire (``SimulatedCrash``, ``KeyboardInterrupt``,
+``SystemExit``, ``GeneratorExit``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.engine import (
+    AnalysisContext,
+    Finding,
+    FunctionRecord,
+    ModuleInfo,
+    rule,
+)
+
+#: BaseExceptions that must NOT be wire-encoded: they implement the
+#: kill -9 crash model or interpreter control flow.
+_CRASH_MODEL = frozenset(
+    {"SimulatedCrash", "KeyboardInterrupt", "SystemExit", "GeneratorExit"}
+)
+
+
+def _registered_names(registry: ModuleInfo) -> Set[str]:
+    """Exception type names the registry module can decode."""
+    names: Set[str] = set()
+    for node in ast.walk(registry.tree):
+        # _EXCEPTION_TYPES = {exc.__name__: exc for exc in (A, B, ...)}
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id.endswith("EXCEPTION_TYPES")
+                    and node.value is not None
+                ):
+                    for sub in ast.walk(node.value):
+                        if isinstance(sub, ast.Name) and sub.id[:1].isupper():
+                            names.add(sub.id)
+                        elif (
+                            isinstance(sub, ast.Attribute)
+                            and sub.attr[:1].isupper()
+                        ):
+                            # module-qualified entries: ipc.FrameError
+                            names.add(sub.attr)
+                # _EXCEPTION_TYPES["FaultInjected"] = FaultInjected
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id.endswith("EXCEPTION_TYPES")
+                    and isinstance(target.slice, ast.Constant)
+                    and isinstance(target.slice.value, str)
+                ):
+                    names.add(target.slice.value)
+        # decoder special cases: type_name == "ReplicaCallError"
+        if isinstance(node, ast.Compare):
+            for comparator in [node.left, *node.comparators]:
+                if (
+                    isinstance(comparator, ast.Constant)
+                    and isinstance(comparator.value, str)
+                    and comparator.value[:1].isupper()
+                    and comparator.value.isidentifier()
+                ):
+                    names.add(comparator.value)
+    return names
+
+
+def _register_calls(context: AnalysisContext) -> Set[str]:
+    """Names passed to ``register_exception(X)`` anywhere in the tree."""
+    names: Set[str] = set()
+    for module in context.modules:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            callee = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr
+                if isinstance(func, ast.Attribute)
+                else None
+            )
+            if callee == "register_exception" and node.args:
+                arg = node.args[0]
+                if isinstance(arg, ast.Name):
+                    names.add(arg.id)
+    return names
+
+
+def _roots(
+    context: AnalysisContext, graph: CallGraph
+) -> List[FunctionRecord]:
+    roots: List[FunctionRecord] = []
+    entry_modules: Set[str] = set()
+    for record in context.each_function():
+        if record.has_directive("rpc-entry"):
+            roots.append(record)
+            entry_modules.add(record.module.name)
+            continue
+        # @_op("name") table-dispatched handlers.
+        for decorator in record.node.decorator_list:
+            if (
+                isinstance(decorator, ast.Call)
+                and isinstance(decorator.func, ast.Name)
+                and decorator.func.id == "_op"
+            ):
+                roots.append(record)
+                break
+    # Allowlisted method names: FOO_METHODS = frozenset({"a", "b"}) in
+    # a module that has an rpc-entry dispatcher.
+    method_names: Set[str] = set()
+    for module in context.modules:
+        if module.name not in entry_modules:
+            continue
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            for target in node.targets:
+                if not (
+                    isinstance(target, ast.Name)
+                    and target.id.endswith("_METHODS")
+                ):
+                    continue
+                for sub in ast.walk(node.value):
+                    if isinstance(sub, ast.Constant) and isinstance(
+                        sub.value, str
+                    ):
+                        method_names.add(sub.value)
+    for name in sorted(method_names):
+        roots.extend(graph.by_name.get(name, []))
+    return roots
+
+
+def _raised_names(record: FunctionRecord) -> Iterator[Tuple[str, int]]:
+    for node in ast.walk(record.node):
+        if not isinstance(node, ast.Raise) or node.exc is None:
+            continue
+        exc = node.exc
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        name = None
+        if isinstance(exc, ast.Name):
+            name = exc.id
+        elif isinstance(exc, ast.Attribute):
+            name = exc.attr
+        if name is not None and name[:1].isupper():
+            yield name, node.lineno
+
+
+@rule(
+    "EXC001",
+    "every exception raisable from the RPC dispatch surface must be "
+    "registered in the typed-exception codec (unregistered types "
+    "silently degrade to RemoteError on the wire)",
+)
+def check_exception_flow(context: AnalysisContext) -> Iterator[Finding]:
+    registries = [
+        module
+        for module in context.modules
+        if module.markers.module_has("exception-registry")
+    ]
+    if not registries:
+        return  # nothing to check against (e.g. a fixtures-only scan)
+
+    registered: Set[str] = set(_CRASH_MODEL)
+    for registry in registries:
+        registered |= _registered_names(registry)
+    registered |= _register_calls(context)
+
+    graph: CallGraph = context.callgraph()  # type: ignore[assignment]
+    reported: Dict[Tuple[str, str, int], bool] = {}
+    for record in graph.reachable_from(_roots(context, graph)):
+        for name, line in _raised_names(record):
+            if name in registered:
+                continue
+            key = (record.module.path, name, line)
+            if key in reported:
+                continue
+            reported[key] = True
+            yield Finding(
+                "EXC001",
+                f"'{name}' raised in '{record.qualname}' can escape "
+                f"the RPC dispatch surface but is not registered in "
+                f"the typed-exception codec -- it would degrade to "
+                f"RemoteError on the wire (register_exception or add "
+                f"it to _EXCEPTION_TYPES)",
+                record.module.path,
+                line,
+            )

@@ -215,19 +215,25 @@ def _acquired_lock_nodes(
     return nodes
 
 
-@rule(
-    "LOCK002",
-    "the lock acquisition-order graph must be acyclic "
-    "(cycles deadlock; self-edges self-deadlock on non-reentrant locks)",
-)
-def check_lock_order(context: AnalysisContext) -> Iterator[Finding]:
+def static_lock_order_edges(
+    context: AnalysisContext,
+) -> Tuple[Dict[str, Set[str]], Dict[Tuple[str, str], Tuple[str, int]]]:
+    """The AST-derived lock-acquisition-order graph.
+
+    Returns ``(edges, sites)``: ``edges`` maps a held lock node
+    (``Class.lock_attr``) to the lock nodes acquired -- directly or
+    through receiver-resolved calls -- while it is held; ``sites``
+    remembers one witness ``(path, line)`` per ordered pair.  Shared
+    by LOCK002 (static cycles) and DEADLOCK001 (static + runtime-trace
+    cycles).
+    """
     owners = discover_lock_owners(context)
     attr_owners: Dict[str, Set[str]] = {}
     for owner in owners:
         for attr in owner.lock_attrs:
             attr_owners.setdefault(attr, set()).add(owner.class_name)
     if not attr_owners:
-        return
+        return {}, {}
 
     graph: CallGraph = context.callgraph()  # type: ignore[assignment]
 
@@ -244,21 +250,32 @@ def check_lock_order(context: AnalysisContext) -> Iterator[Finding]:
     edges: Dict[str, Set[str]] = {}
     sites: Dict[Tuple[str, str], Tuple[str, int]] = {}
     for record in context.each_function():
+        call_targets: Optional[Dict[int, List[FunctionRecord]]] = None
         for node in ast.walk(record.node):
             if not isinstance(node, ast.With):
                 continue
             held = _acquired_lock_nodes(node, record, attr_owners)
             if not held:
                 continue
+            if call_targets is None:
+                call_targets = {
+                    id(call): targets
+                    for call, targets in graph.callees_at(record)
+                }
             inner: Set[str] = set()
             for stmt in node.body:
                 for sub in ast.walk(stmt):
                     if isinstance(sub, ast.With):
                         inner.update(_acquired_lock_nodes(sub, record, attr_owners))
-            callee_names: Set[str] = set()
+            # Receiver-resolved where the graph can; every same-named
+            # function otherwise (calls on opaque builtin receivers
+            # like dict.get contribute no edges at all).
+            direct: List[FunctionRecord] = []
             for stmt in node.body:
-                callee_names.update(called_names(stmt))
-            for callee in graph.reachable_from_names(callee_names):
+                for sub in ast.walk(stmt):
+                    if isinstance(sub, ast.Call):
+                        direct.extend(call_targets.get(id(sub), []))
+            for callee in graph.reachable_from(direct):
                 inner.update(acquires.get(graph.key_of(callee), set()))
             for held_node in held:
                 for inner_node in inner:
@@ -267,6 +284,16 @@ def check_lock_order(context: AnalysisContext) -> Iterator[Finding]:
                         (held_node, inner_node),
                         (record.module.path, node.lineno),
                     )
+    return edges, sites
+
+
+@rule(
+    "LOCK002",
+    "the lock acquisition-order graph must be acyclic "
+    "(cycles deadlock; self-edges self-deadlock on non-reentrant locks)",
+)
+def check_lock_order(context: AnalysisContext) -> Iterator[Finding]:
+    edges, sites = static_lock_order_edges(context)
 
     def reaches(start: str, goal: str) -> bool:
         seen: Set[str] = set()

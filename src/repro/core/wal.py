@@ -45,6 +45,8 @@ FSYNC_POLICIES = ("always", "batch", "never")
 #: in the file and it being fsync'd, and right after the fsync.
 CRASH_POINT_PRE_FSYNC = "wal.pre_fsync"
 CRASH_POINT_POST_FSYNC = "wal.post_fsync"
+CRASH_POINT_REPAIR = "wal.repair"
+SITE_WAL_SYNC = "wal.sync"
 
 WAL_FILENAME = "wal.log"
 
@@ -149,6 +151,7 @@ def repair_torn_tail(path: str) -> bool:
             valid += len(line)
     if valid == size:
         return False
+    chaos.crash_point(CRASH_POINT_REPAIR, valid_bytes=valid, torn_bytes=size - valid)
     with open(path, "r+b") as handle:
         handle.truncate(valid)
         handle.flush()
@@ -218,7 +221,9 @@ class WriteAheadLog:
                     help="fsync calls issued by the write-ahead log").inc()
 
     def sync(self) -> None:
-        """Force outstanding records to disk regardless of policy."""
+        """Force outstanding records to disk regardless of policy
+        (chaos site ``wal.sync``)."""
+        chaos.kick(SITE_WAL_SYNC, unsynced=self._unsynced)
         if self._handle is not None:
             self._handle.flush()
         if self._unsynced:

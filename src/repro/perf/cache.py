@@ -168,10 +168,6 @@ class HotSetCache:
 
     # -- reads ---------------------------------------------------------
 
-    # The checker's name-based call graph aliases the dict ``.get`` /
-    # ``.pop`` calls inside ``_get_locked`` to this method and reports
-    # a false self-deadlock on ``_lock``.
-    # zipg: ignore[LOCK002]
     def get(self, key: Hashable) -> Tuple[bool, object]:
         """Look up ``key``; returns ``(hit, value)``.
 

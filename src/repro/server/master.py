@@ -74,6 +74,7 @@ class MasterServer(RpcServerBase):
                          max_workers=max_workers)
         self.cluster = cluster
 
+    # zipg: rpc-entry
     def _execute(self, request: Dict[str, object], method: str) -> object:
         args = [decode_value(arg) for arg in request.get("args", [])]
         kwargs = {
@@ -92,6 +93,7 @@ class MasterServer(RpcServerBase):
             )
         return handler(*args, **kwargs)
 
+    # zipg: rpc-entry
     def _admin(self, method: str, args: List[object]) -> object:
         if method == "ping":
             return "pong"

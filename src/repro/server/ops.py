@@ -67,6 +67,7 @@ def methods() -> List[str]:
     return sorted(_HANDLERS)
 
 
+# zipg: rpc-entry
 def run_op(store: ZipG, method: str, args: List[object],
             kwargs: Optional[Dict[str, object]] = None,
             unit: Optional[int] = None,

@@ -23,6 +23,7 @@ unknown remote type degrades to :class:`~repro.core.errors.RemoteError`
 rather than losing the failure).
 """
 # zipg: robust-path
+# zipg: exception-registry
 
 from __future__ import annotations
 
@@ -36,9 +37,11 @@ from repro.core.errors import (
     EdgeRecordNotFound,
     GraphFormatError,
     NodeNotFound,
+    RecoveryError,
     RemoteError,
     ReplicaCallError,
     ShardCallError,
+    TooManyProperties,
     TransportError,
     ZipGError,
 )
@@ -59,10 +62,18 @@ _EXCEPTION_TYPES: Dict[str, Type[BaseException]] = {
         ShardCallError,
         DeadlineExceeded,
         TransportError,
+        RecoveryError,
+        TooManyProperties,
+        ipc.FrameError,
+        ipc.FrameTooLarge,
+        ipc.TornFrame,
+        ipc.ConnectionClosed,
         KeyError,
         ValueError,
         IndexError,
         RuntimeError,
+        TypeError,
+        AssertionError,
         ConnectionResetError,
         TimeoutError,
     )
@@ -83,6 +94,10 @@ def _registered_types() -> Dict[str, Type[BaseException]]:
         from repro.cluster.replication import ShardUnavailable
 
         _EXCEPTION_TYPES["ShardUnavailable"] = ShardUnavailable
+    if "ParseError" not in _EXCEPTION_TYPES:
+        from repro.query.parser import ParseError
+
+        _EXCEPTION_TYPES["ParseError"] = ParseError
     return _EXCEPTION_TYPES
 
 
@@ -176,6 +191,9 @@ def decode_value(value: object) -> object:
 
 class FrameDecodeError(ipc.FrameError):
     """A structurally valid frame carried an undecodable value."""
+
+
+register_exception(FrameDecodeError)
 
 
 # ----------------------------------------------------------------------
@@ -286,6 +304,7 @@ class RpcConnection:
         #: target one peer.
         self._tags = dict(tags or {})
         self._send_lock = threading.Lock()
+        self._recv_lock = threading.Lock()
         self._buffered: Dict[int, Dict[str, object]] = {}
         self._closed = False
 
@@ -314,17 +333,20 @@ class RpcConnection:
 
     def recv_response(self, request_id: int) -> Dict[str, object]:
         """The raw response for ``request_id`` (other ids buffered)."""
-        if request_id in self._buffered:
-            return self._buffered.pop(request_id)
-        while True:
-            frame = ipc.recv_frame(self._sock, **self._tags)
-            frame_id = frame.get("id")
-            if frame_id == request_id:
-                return frame
-            if isinstance(frame_id, int):
-                self._buffered[frame_id] = frame
-            else:
-                raise FrameDecodeError(f"response without an id: {frame!r}")
+        with self._recv_lock:
+            if request_id in self._buffered:
+                return self._buffered.pop(request_id)
+            while True:
+                frame = ipc.recv_frame(self._sock, **self._tags)
+                frame_id = frame.get("id")
+                if frame_id == request_id:
+                    return frame
+                if isinstance(frame_id, int):
+                    self._buffered[frame_id] = frame
+                else:
+                    raise FrameDecodeError(
+                        f"response without an id: {frame!r}"
+                    )
 
     def call(self, method: str, args: List[object],
              unit: Optional[int] = None,
@@ -340,12 +362,16 @@ class RpcConnection:
         return self._closed
 
     def close(self) -> None:
-        if not self._closed:
+        with self._send_lock:
+            if self._closed:
+                return
             self._closed = True
-            try:
-                self._sock.close()
-            except OSError:
-                pass  # zipg: ignore[ROBUST001] - advisory cleanup
+        # Socket teardown happens outside the lock: never hold the
+        # send lock around I/O that can block.
+        try:
+            self._sock.close()
+        except OSError:
+            pass  # zipg: ignore[ROBUST001] - advisory cleanup
 
     def __enter__(self) -> "RpcConnection":
         return self

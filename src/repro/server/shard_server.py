@@ -264,6 +264,7 @@ class ShardServer(RpcServerBase):
         self.store = store
         self.apply_writes = apply_writes
 
+    # zipg: rpc-entry
     def _execute(self, request: Dict[str, object], method: str) -> object:
         args = [decode_value(arg) for arg in request.get("args", [])]
         kwargs = {

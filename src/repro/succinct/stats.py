@@ -15,6 +15,7 @@ grouping work items that share a stats object into one serial task;
 cross-thread aggregation goes through the locked :meth:`merge`,
 :meth:`add`, :meth:`snapshot` and :meth:`reset` methods.
 """
+# zipg: single-writer
 
 from __future__ import annotations
 

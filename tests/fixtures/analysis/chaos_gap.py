@@ -1,0 +1,29 @@
+"""CHAOS001 fixture: raw I/O in a robust-path module outside any
+repro.chaos site (plus the covered shapes that must stay clean)."""
+# zipg: robust-path
+
+import os
+
+from repro import chaos
+
+
+def torn_truncate(path, valid):
+    with open(path, "r+b") as handle:
+        handle.truncate(valid)  # CHAOS001: fault injection cannot reach
+        os.fsync(handle.fileno())  # CHAOS001: same gap
+
+
+def covered_write(path, payload):
+    with open(path, "wb") as handle:
+        chaos.write_bytes("fixture.write", handle, payload)  # clean
+        os.fsync(handle.fileno())  # clean: hook in this function
+
+
+def _helper_fsync(handle):
+    os.fsync(handle.fileno())  # clean: every caller is chaos-covered
+
+
+def caller(path):
+    chaos.kick("fixture.flush")
+    with open(path, "ab") as handle:
+        _helper_fsync(handle)

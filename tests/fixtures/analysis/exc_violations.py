@@ -1,0 +1,42 @@
+"""EXC001 fixture: an RPC dispatch surface raising an exception type
+the wire codec cannot reconstruct."""
+# zipg: exception-registry
+
+
+class WireError(Exception):
+    pass
+
+
+class KnownError(WireError):
+    pass
+
+
+class LazyError(WireError):
+    pass
+
+
+class UnknownError(WireError):
+    pass
+
+
+_EXCEPTION_TYPES = {exc.__name__: exc for exc in (KnownError,)}
+
+
+def register_exception(exc_type):
+    _EXCEPTION_TYPES[exc_type.__name__] = exc_type
+
+
+register_exception(LazyError)
+
+
+# zipg: rpc-entry
+def dispatch(method):
+    if method == "boom":
+        raise UnknownError("EXC001: not in the codec registry")
+    if method == "known":
+        raise KnownError("clean: listed in _EXCEPTION_TYPES")
+    return _helper()
+
+
+def _helper():
+    raise LazyError("clean: registered via register_exception")

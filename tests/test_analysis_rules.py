@@ -434,3 +434,280 @@ class TestCli:
 
         assert cli_main(["check", FIXTURES]) == 1
         assert "LOCK001" in capsys.readouterr().out
+
+# ----------------------------------------------------------------------
+# Lockset race detection
+# ----------------------------------------------------------------------
+
+
+class TestRaceRule:
+    def test_unlocked_write_from_thread_entry_flagged(self):
+        path = fixture("race_violation.py")
+        found = hits(findings_for("race_violation.py", ["RACE001"]))
+        assert ("RACE001", line_of(path, "RACE001: no path holds")) in found
+
+    def test_entry_origin_named_in_message(self):
+        found = findings_for("race_violation.py", ["RACE001"])
+        assert any("Thread(target=...)" in f.message for f in found)
+
+    def test_syntactically_locked_write_not_flagged(self):
+        path = fixture("race_violation.py")
+        found = hits(findings_for("race_violation.py", ["RACE001"]))
+        assert not any(
+            line == line_of(path, "clean: syntactically under the lock")
+            for _, line in found
+        )
+
+    def test_caller_held_lock_not_flagged(self):
+        path = fixture("race_violation.py")
+        found = hits(findings_for("race_violation.py", ["RACE001"]))
+        assert not any(
+            line == line_of(path, "clean: every caller path holds")
+            for _, line in found
+        )
+
+    def test_only_the_unsafe_write_flagged(self):
+        found = findings_for("race_violation.py", ["RACE001"])
+        assert len(found) == 1
+
+
+# ----------------------------------------------------------------------
+# Global lock-order deadlock cycles
+# ----------------------------------------------------------------------
+
+
+class TestDeadlockRule:
+    def test_static_inversion_reported_once(self):
+        found = findings_for("deadlock_cycle.py", ["DEADLOCK001"])
+        assert len(found) == 1  # one finding per distinct cycle
+        message = found[0].message
+        assert "lock-order cycle" in message
+        assert "Pair._a" in message and "Pair._b" in message
+
+    def test_both_legs_carry_static_witnesses(self):
+        found = findings_for("deadlock_cycle.py", ["DEADLOCK001"])
+        assert found[0].message.count("static witness") == 2
+
+    def test_single_lock_method_contributes_no_cycle(self):
+        # 'straight' acquires only _a; the one finding is the inversion.
+        found = findings_for("deadlock_cycle.py", ["DEADLOCK001"])
+        assert "straight" not in found[0].message
+
+
+# ----------------------------------------------------------------------
+# RPC exception-flow registry
+# ----------------------------------------------------------------------
+
+
+class TestExcFlowRule:
+    def test_unregistered_raise_flagged(self):
+        path = fixture("exc_violations.py")
+        found = hits(findings_for("exc_violations.py", ["EXC001"]))
+        assert (
+            "EXC001",
+            line_of(path, "EXC001: not in the codec registry"),
+        ) in found
+
+    def test_table_and_register_call_both_count(self):
+        found = findings_for("exc_violations.py", ["EXC001"])
+        assert len(found) == 1
+        assert "UnknownError" in found[0].message
+
+    def test_silent_without_registry_module(self, tmp_path):
+        with open(fixture("exc_violations.py")) as handle:
+            body = handle.read().replace("# zipg: exception-registry", "")
+        cold = tmp_path / "no_registry.py"
+        cold.write_text(body)
+        findings, _ = analyze_paths([str(cold)], ["EXC001"])
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# Chaos-site coverage of raw I/O
+# ----------------------------------------------------------------------
+
+
+class TestChaosRule:
+    def test_uncovered_truncate_and_fsync_flagged(self):
+        path = fixture("chaos_gap.py")
+        found = hits(findings_for("chaos_gap.py", ["CHAOS001"]))
+        assert (
+            "CHAOS001",
+            line_of(path, "CHAOS001: fault injection cannot reach"),
+        ) in found
+        assert ("CHAOS001", line_of(path, "CHAOS001: same gap")) in found
+
+    def test_hook_in_function_covers(self):
+        path = fixture("chaos_gap.py")
+        found = hits(findings_for("chaos_gap.py", ["CHAOS001"]))
+        assert not any(
+            line == line_of(path, "clean: hook in this function")
+            for _, line in found
+        )
+
+    def test_covered_caller_covers_helper(self):
+        path = fixture("chaos_gap.py")
+        found = hits(findings_for("chaos_gap.py", ["CHAOS001"]))
+        assert not any(
+            line == line_of(path, "clean: every caller is chaos-covered")
+            for _, line in found
+        )
+
+    def test_exactly_the_gap_flagged(self):
+        found = findings_for("chaos_gap.py", ["CHAOS001"])
+        assert len(found) == 2
+
+    def test_not_flagged_without_robust_marker(self, tmp_path):
+        with open(fixture("chaos_gap.py")) as handle:
+            body = handle.read().replace("# zipg: robust-path", "")
+        cold = tmp_path / "unmarked_module.py"
+        cold.write_text(body)
+        findings, _ = analyze_paths([str(cold)], ["CHAOS001"])
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# Suppression scopes: decorated functions, multi-line statements
+# ----------------------------------------------------------------------
+
+
+DECORATED_MODULE = '''\
+"""Fixture."""
+# zipg: public-api
+
+
+def deco(fn: object) -> object:
+    return fn
+
+
+# zipg: ignore[API001]
+@deco
+def untyped_but_acknowledged(x):
+    return x
+'''
+
+MULTILINE_DEF_MODULE = '''\
+"""Fixture."""
+# zipg: public-api
+
+
+def spread(
+    a,
+    b,
+):  # zipg: ignore[API001]
+    return a
+'''
+
+MULTILINE_STMT_MODULE = '''\
+"""Fixture."""
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._total = 0
+
+    def good(self, amount):
+        with self._lock:
+            self._total += amount
+
+    def bad(self, amount):
+        self._total = (
+            self._total
+            + amount
+        )  # zipg: ignore[LOCK001]
+'''
+
+
+class TestSuppressionScopes:
+    def test_ignore_above_decorator_suppresses_function(self, tmp_path):
+        module = tmp_path / "decorated.py"
+        module.write_text(DECORATED_MODULE)
+        findings, _ = analyze_paths([str(module)], ["API001"])
+        assert findings == []
+
+    def test_without_directive_decorated_function_flagged(self, tmp_path):
+        module = tmp_path / "decorated.py"
+        module.write_text(
+            DECORATED_MODULE.replace("# zipg: ignore[API001]\n", "")
+        )
+        findings, _ = analyze_paths([str(module)], ["API001"])
+        assert any("untyped_but_acknowledged" in f.message for f in findings)
+
+    def test_ignore_on_multiline_def_closing_line(self, tmp_path):
+        module = tmp_path / "spread.py"
+        module.write_text(MULTILINE_DEF_MODULE)
+        findings, _ = analyze_paths([str(module)], ["API001"])
+        assert findings == []
+
+    def test_ignore_on_multiline_statement_closing_line(self, tmp_path):
+        module = tmp_path / "multiline.py"
+        module.write_text(MULTILINE_STMT_MODULE)
+        findings, _ = analyze_paths([str(module)], ["LOCK001"])
+        assert findings == []
+
+    def test_without_directive_multiline_statement_flagged(self, tmp_path):
+        module = tmp_path / "multiline.py"
+        module.write_text(
+            MULTILINE_STMT_MODULE.replace("  # zipg: ignore[LOCK001]", "")
+        )
+        findings, _ = analyze_paths([str(module)], ["LOCK001"])
+        assert len(findings) == 1
+
+
+# ----------------------------------------------------------------------
+# CLI: SARIF, --changed, --cache
+# ----------------------------------------------------------------------
+
+
+class TestCliExtensions:
+    def test_sarif_output(self, capsys):
+        import json
+
+        assert analysis_main([FIXTURES, "--format", "sarif"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == "2.1.0"
+        run = payload["runs"][0]
+        assert run["results"], "expected findings from the fixture tree"
+        rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+        assert {"RACE001", "DEADLOCK001", "EXC001", "CHAOS001"} <= rule_ids
+        result = run["results"][0]
+        assert result["locations"][0]["physicalLocation"]["region"][
+            "startLine"
+        ] >= 1
+
+    def test_changed_filters_to_listed_files(self, capsys, monkeypatch):
+        import repro.analysis.__main__ as driver
+
+        changed = os.path.relpath(fixture("race_violation.py"))
+        monkeypatch.setattr(driver, "_changed_files", lambda base: [changed])
+        assert analysis_main([FIXTURES, "--changed"]) == 1
+        out = capsys.readouterr().out
+        body, summary = out.rsplit("scanned ", 1)
+        assert "race_violation.py" in body
+        assert "deadlock_cycle.py" not in body
+        assert "1 finding(s)" in summary
+
+    def test_changed_with_nothing_relevant_passes(self, capsys, monkeypatch):
+        import repro.analysis.__main__ as driver
+
+        monkeypatch.setattr(driver, "_changed_files", lambda base: [])
+        assert analysis_main([FIXTURES, "--changed"]) == 0
+
+    def test_cache_roundtrip_same_findings(self, tmp_path, capsys):
+        cache = str(tmp_path / "scan.pkl")
+        assert analysis_main([FIXTURES, "--json", "--cache", cache]) == 1
+        first = capsys.readouterr().out
+        assert os.path.exists(cache)
+        assert analysis_main([FIXTURES, "--json", "--cache", cache]) == 1
+        assert capsys.readouterr().out == first
+
+    def test_repro_check_forwards_new_flags(self, capsys):
+        import json
+
+        from repro.cli import main as cli_main
+
+        assert cli_main(["check", FIXTURES, "--format", "sarif"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["runs"][0]["results"]
