@@ -6,6 +6,7 @@ import repro.analysis.rules.cache  # noqa: F401
 import repro.analysis.rules.chaos_cov  # noqa: F401
 import repro.analysis.rules.deadlock  # noqa: F401
 import repro.analysis.rules.excflow  # noqa: F401
+import repro.analysis.rules.gateway  # noqa: F401
 import repro.analysis.rules.locks  # noqa: F401
 import repro.analysis.rules.race  # noqa: F401
 import repro.analysis.rules.layout  # noqa: F401

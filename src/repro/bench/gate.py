@@ -3,7 +3,14 @@
 Usage::
 
     python -m repro.bench.gate --baseline benchmarks/baseline.json \
-        --bench-dir bench_out [--tolerance 2.0]
+        --bench-dir bench_out [--tolerance 2.0] \
+        [--only PREFIX ...] [--exclude PREFIX ...]
+
+``--only`` / ``--exclude`` select baseline metrics by name prefix, so
+CI jobs that each produce a *subset* of the artifacts (the bench job
+vs the gateway load-test job) can share one ``baseline.json`` without
+tripping the missing-metric failure on each other's metrics.  Within
+the selected subset, missing is still a failure.
 
 The baseline pins *ratio* metrics only (modeled throughput ratios,
 batched-vs-scalar speedups) so the check is independent of absolute
@@ -37,6 +44,30 @@ def load_current_metrics(bench_dir: Path) -> Dict[str, Dict[str, object]]:
         for name, entry in payload.get("gate", {}).items():
             merged[name] = entry
     return merged
+
+
+def select_metrics(
+    baseline: Dict[str, Dict[str, object]],
+    only: List[str],
+    exclude: List[str],
+) -> Dict[str, Dict[str, object]]:
+    """Filter baseline metrics by name prefix.
+
+    ``only`` keeps metrics matching any listed prefix (empty = all);
+    ``exclude`` then drops matches.  The selection narrows which
+    metrics a job is accountable for -- inside it, a missing current
+    metric remains a hard failure.
+    """
+    selected = {
+        name: entry
+        for name, entry in baseline.items()
+        if not only or any(name.startswith(prefix) for prefix in only)
+    }
+    return {
+        name: entry
+        for name, entry in selected.items()
+        if not any(name.startswith(prefix) for prefix in exclude)
+    }
 
 
 def check(
@@ -102,9 +133,18 @@ def main(argv=None) -> int:
                         default=Path("benchmarks/baseline.json"))
     parser.add_argument("--bench-dir", type=Path, default=Path("bench_out"))
     parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE)
+    parser.add_argument("--only", action="append", default=[],
+                        metavar="PREFIX",
+                        help="gate only baseline metrics with this name "
+                             "prefix (repeatable)")
+    parser.add_argument("--exclude", action="append", default=[],
+                        metavar="PREFIX",
+                        help="drop baseline metrics with this name prefix "
+                             "(repeatable)")
     args = parser.parse_args(argv)
 
     baseline = json.loads(args.baseline.read_text())["metrics"]
+    baseline = select_metrics(baseline, args.only, args.exclude)
     current = load_current_metrics(args.bench_dir)
     passes, failures, warnings = check(baseline, current, args.tolerance)
 

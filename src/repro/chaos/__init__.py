@@ -38,6 +38,8 @@ __all__ = [
     "FaultRule",
     "SimulatedCrash",
     "SITE_EXECUTOR_CALL",
+    "SITE_GATEWAY_ADMIT",
+    "SITE_GATEWAY_DISPATCH",
     "SITE_REPLICA_CALL",
     "SITE_RPC_HANDLE",
     "SITE_RPC_RECV",
@@ -55,6 +57,13 @@ __all__ = [
 
 #: Executor work-item invocation (tags: ``index``, ``attempt``).
 SITE_EXECUTOR_CALL = "executor.shard_call"
+#: Gateway admission decision (tags: ``tenant``, ``method``).  An
+#: ``error`` rule here makes admission itself fail -- the shed path
+#: under fault injection -- and a ``crash`` rule kills the gateway.
+SITE_GATEWAY_ADMIT = "gateway.admit"
+#: Gateway backend dispatch, just before the awaitable submission to
+#: the cluster/transport (tags: ``tenant``, ``method``).
+SITE_GATEWAY_DISPATCH = "gateway.dispatch"
 #: Replicated-cluster per-replica call (tags: ``shard``, ``server``).
 SITE_REPLICA_CALL = "replication.replica_call"
 #: RPC frame send (tags: ``method``, ``server``). A ``torn_write``

@@ -12,6 +12,9 @@ Commands:
                                  -- run one shard-server process
 * ``serve-master --file PATH --shard ID=HOST:PORT ...``
                                  -- run the client-facing master
+* ``serve-gateway --master-port P``
+                                 -- run the admission-controlled gateway
+                                    in front of a master
 
 The graph file format accepted by ``query`` and the ``serve-*``
 commands is the canonical text form used for raw-size accounting:
@@ -286,6 +289,26 @@ def _cmd_serve_master(args) -> int:
     return _serve(server)
 
 
+def _cmd_serve_gateway(args) -> int:
+    from repro.gateway import GatewayConfig, GatewayServer
+    from repro.server.client import ZipGClient
+
+    backend = ZipGClient(args.master_host, args.master_port,
+                         timeout_s=args.timeout_s)
+    config = GatewayConfig(
+        tenant_rate=args.tenant_rate,
+        tenant_burst=args.tenant_burst,
+        queue_depth=args.queue_depth,
+        shed_threshold=args.shed_threshold,
+        dispatchers=args.dispatchers,
+    )
+    server = GatewayServer(backend, config, host=args.host, port=args.port)
+    try:
+        return _serve(server)
+    finally:
+        backend.close()
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="ZipG reproduction command line"
@@ -392,6 +415,30 @@ def main(argv: Optional[List[str]] = None) -> int:
     serve_master.add_argument("--timeout-s", type=float, default=30.0,
                               help="per-connection socket timeout to shards")
 
+    serve_gateway = commands.add_parser(
+        "serve-gateway", help="run the admission-controlled query gateway"
+    )
+    serve_gateway.add_argument("--master-host", default="127.0.0.1",
+                               help="the master server to front")
+    serve_gateway.add_argument("--master-port", type=int, required=True)
+    serve_gateway.add_argument("--host", default="127.0.0.1")
+    serve_gateway.add_argument("--port", type=int, default=0,
+                               help="0 picks a free port (see LISTENING line)")
+    serve_gateway.add_argument("--tenant-rate", type=float, default=500.0,
+                               help="sustained per-tenant admissions/second")
+    serve_gateway.add_argument("--tenant-burst", type=float, default=100.0,
+                               help="per-tenant token-bucket capacity")
+    serve_gateway.add_argument("--queue-depth", type=int, default=64,
+                               help="per-tenant queue bound")
+    serve_gateway.add_argument("--shed-threshold", type=float, default=0.75,
+                               help="queue fraction past which sheddable "
+                                    "reads degrade to partial results")
+    serve_gateway.add_argument("--dispatchers", type=int, default=8,
+                               help="dispatcher coroutines draining queues")
+    serve_gateway.add_argument("--timeout-s", type=float, default=30.0,
+                               help="per-connection socket timeout to the "
+                                    "master")
+
     args = parser.parse_args(argv)
     handler = {
         "info": _cmd_info,
@@ -404,6 +451,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "query": _cmd_query,
         "serve-shard": _cmd_serve_shard,
         "serve-master": _cmd_serve_master,
+        "serve-gateway": _cmd_serve_gateway,
     }[args.command]
     return handler(args)
 

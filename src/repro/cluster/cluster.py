@@ -16,6 +16,8 @@ all-server broadcast for search queries.
 
 from __future__ import annotations
 
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Set
 
@@ -63,6 +65,10 @@ class ZipGCluster(ZipGSystem):
         # Per-server dispatch seam; None means "in-process against the
         # shared store", materialized lazily by the `transport` property.
         self._transport = None
+        # Awaitable-submission pool (gateway seam), created lazily so
+        # clusters that never serve a gateway pay no threads.
+        self._submitter: Optional[ThreadPoolExecutor] = None
+        self._submitter_lock = threading.Lock()
         if max_workers is not None:
             # Re-size the store's fan-out pool so the broadcast path
             # (get_node_ids / find_edges) matches the simulated cluster
@@ -94,6 +100,49 @@ class ZipGCluster(ZipGSystem):
     @transport.setter
     def transport(self, transport) -> None:
         self._transport = transport
+
+    # -- awaitable submission seam ---------------------------------------
+
+    #: Width of the lazily-created submission pool.  Sized for a
+    #: gateway front door, not for shard fan-out (the store's
+    #: ShardExecutor still owns that): each submission occupies one
+    #: thread for the life of one cluster call.
+    SUBMIT_WORKERS = 8
+
+    def submit(self, method: str, *args: object, **kwargs: object) -> "Future":
+        """Submit one cluster call; returns a ``concurrent.futures``
+        future an event loop can await via ``asyncio.wrap_future``.
+
+        This is the gateway's seam over the transport: the call runs
+        on a dedicated submission pool (never the store's fan-out
+        executor -- a submission that itself fans out must not be able
+        to deadlock the pool it fans out on), dispatches through
+        ``self.transport`` exactly like a direct call, and the future
+        carries the same result or typed exception the direct call
+        would have produced."""
+        handler = getattr(self, method)
+        return self._submit_pool().submit(handler, *args, **kwargs)
+
+    def _submit_pool(self) -> ThreadPoolExecutor:
+        pool = self._submitter
+        if pool is None:
+            with self._submitter_lock:
+                pool = self._submitter
+                if pool is None:
+                    pool = ThreadPoolExecutor(
+                        max_workers=self.SUBMIT_WORKERS,
+                        thread_name_prefix="zipg-submit",
+                    )
+                    self._submitter = pool
+        return pool
+
+    def close_submitter(self) -> None:
+        """Shut the submission pool down (idempotent; in-flight
+        submissions finish)."""
+        with self._submitter_lock:
+            pool, self._submitter = self._submitter, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     # -- placement -------------------------------------------------------
 

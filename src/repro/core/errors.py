@@ -93,6 +93,40 @@ class TransportError(ShardCallError):
     cluster's failover treat it as one failed, retryable attempt."""
 
 
+class GatewayError(ZipGError):
+    """Base class for failures originating in the query gateway's
+    admission/dispatch machinery (not in the store behind it)."""
+
+
+class RetryAfter(GatewayError):
+    """The gateway shed this request; retry after ``retry_after_s``.
+
+    Raised (and wire-encoded, carrying the hint) when admission
+    control rejects a request -- the tenant's queue is full or its
+    token bucket is empty.  This is *structured* load shedding: the
+    client knows the request never executed and knows when capacity is
+    expected back, so open-loop drivers can implement honest retry
+    schedules instead of hammering an overloaded front door."""
+
+    def __init__(self, message: str = "", retry_after_s: float = 0.0,
+                 reason: str = "overload") -> None:
+        #: Seconds the client should wait before retrying.
+        self.retry_after_s = float(retry_after_s)
+        #: Shed cause: ``"queue_full"``, ``"rate_limit"``, ...
+        self.reason = reason
+        super().__init__(
+            message or f"request shed ({reason}); "
+                       f"retry after {self.retry_after_s:.3f}s"
+        )
+
+
+class GatewayClosed(GatewayError):
+    """The gateway is draining for shutdown and admits nothing new.
+
+    Requests admitted before the drain began still complete; this is
+    only ever raised at the admission edge, never mid-flight."""
+
+
 class RemoteError(ZipGError):
     """An exception raised on a remote server whose type has no local
     reconstruction.  Carries the remote type name and message."""

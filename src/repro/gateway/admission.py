@@ -1,0 +1,237 @@
+"""Admission control: per-tenant token buckets and bounded queues.
+
+The front door's overload contract (PAPER.md §5.2's interactive-serving
+claim only means anything if saturation is handled, not assumed away):
+
+* every tenant owns a :class:`TokenBucket` (sustained rate + burst) and
+  a bounded FIFO queue;
+* a request that finds its tenant's queue **full** is rejected with a
+  structured :class:`~repro.core.errors.RetryAfter` -- never an
+  unbounded queue, never a timeout-shaped mystery;
+* a request that finds the bucket **empty** is rejected the same way,
+  with the bucket's time-to-next-token as the retry hint;
+* an admitted request whose queue is already deeper than the shed
+  threshold is flagged ``degrade`` -- the service turns sheddable reads
+  into ``partial_results=True`` calls instead of failing them.
+
+Everything here is event-loop confined: one coroutine mutates one
+tenant's state at a time, so there are no locks and nothing ever
+blocks.  Time is injected (``clock``) so tests drive the bucket
+deterministically.
+"""
+# zipg: gateway-path
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Callable, Deque, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.errors import RetryAfter
+
+#: Floor for retry hints so clients never busy-spin on a zero.
+MIN_RETRY_AFTER_S = 0.001
+
+
+class TokenBucket:
+    """A classic token bucket: ``rate`` tokens/s, ``burst`` capacity.
+
+    The bucket starts full (a quiet tenant may burst immediately).
+    Refill happens lazily on access from the injected monotonic clock.
+    """
+
+    def __init__(self, rate: float, burst: float,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be > 0 tokens/s")
+        if burst < 1:
+            raise ValueError("burst must be >= 1 token")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._stamp = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = now - self._stamp
+        if elapsed > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._stamp = now
+
+    @property
+    def tokens(self) -> float:
+        self._refill()
+        return self._tokens
+
+    def try_take(self) -> bool:
+        """Consume one token if available."""
+        self._refill()
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+    def time_to_token(self) -> float:
+        """Seconds until one full token has accumulated."""
+        self._refill()
+        if self._tokens >= 1.0:
+            return 0.0
+        return (1.0 - self._tokens) / self.rate
+
+
+class QueuedRequest:
+    """One admitted request waiting in its tenant's queue."""
+
+    __slots__ = ("tenant", "method", "args", "kwargs", "future",
+                 "degrade", "enqueued_at")
+
+    def __init__(self, tenant: str, method: str, args: tuple,
+                 kwargs: dict, future: object, degrade: bool,
+                 enqueued_at: float) -> None:
+        self.tenant = tenant
+        self.method = method
+        self.args = args
+        self.kwargs = kwargs
+        self.future = future
+        self.degrade = degrade
+        self.enqueued_at = enqueued_at
+
+
+class _TenantState:
+    __slots__ = ("bucket", "queue")
+
+    def __init__(self, bucket: TokenBucket, queue: "Deque[QueuedRequest]") -> None:
+        self.bucket = bucket
+        self.queue = queue
+
+
+class AdmissionController:
+    """Per-tenant token buckets + bounded queues, event-loop confined.
+
+    Args:
+        tenant_rate: sustained admissions per second per tenant.
+        tenant_burst: bucket capacity (instantaneous burst allowance).
+        queue_depth: per-tenant queue bound; the hard backpressure edge.
+        shed_threshold: fraction of ``queue_depth`` beyond which
+            admitted *sheddable* reads are flagged for degradation.
+        clock: injectable monotonic clock (tests).
+    """
+
+    def __init__(self, tenant_rate: float, tenant_burst: float,
+                 queue_depth: int, shed_threshold: float = 0.75,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        if not 0.0 < shed_threshold <= 1.0:
+            raise ValueError("shed_threshold must be in (0, 1]")
+        self.tenant_rate = float(tenant_rate)
+        self.tenant_burst = float(tenant_burst)
+        self.queue_depth = int(queue_depth)
+        self.shed_threshold = float(shed_threshold)
+        self._clock = clock
+        # Insertion-ordered so the dispatcher's round-robin ring is
+        # stable and newly-seen tenants join at the end.
+        self._tenants: "OrderedDict[str, _TenantState]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # Tenant state
+    # ------------------------------------------------------------------
+
+    def _state(self, tenant: str) -> _TenantState:
+        state = self._tenants.get(tenant)
+        if state is None:
+            from collections import deque
+
+            state = _TenantState(
+                TokenBucket(self.tenant_rate, self.tenant_burst,
+                            clock=self._clock),
+                deque(),
+            )
+            self._tenants[tenant] = state
+        return state
+
+    def tenants(self) -> List[str]:
+        return list(self._tenants)
+
+    def queue_depth_of(self, tenant: str) -> int:
+        state = self._tenants.get(tenant)
+        return len(state.queue) if state is not None else 0
+
+    def total_queued(self) -> int:
+        return sum(len(s.queue) for s in self._tenants.values())
+
+    # ------------------------------------------------------------------
+    # The admission decision
+    # ------------------------------------------------------------------
+
+    def admit(self, tenant: str, method: str, args: tuple, kwargs: dict,
+              future: object, sheddable: bool) -> QueuedRequest:
+        """Admit one request into its tenant's queue or shed it.
+
+        Raises :class:`RetryAfter` (``reason="queue_full"`` or
+        ``"rate_limit"``) when the request must not enter the system;
+        otherwise consumes a token, enqueues, and returns the entry
+        (``entry.degrade`` set when the queue is past the shed
+        threshold and the read supports partial results).
+        """
+        state = self._state(tenant)
+        depth = len(state.queue)
+        if depth >= self.queue_depth:
+            # Hint: the time the backlog needs to drain at the
+            # admitted rate -- the earliest a retry could find room.
+            raise RetryAfter(
+                retry_after_s=max(MIN_RETRY_AFTER_S,
+                                  depth / self.tenant_rate),
+                reason="queue_full",
+            )
+        if not state.bucket.try_take():
+            raise RetryAfter(
+                retry_after_s=max(MIN_RETRY_AFTER_S,
+                                  state.bucket.time_to_token()),
+                reason="rate_limit",
+            )
+        degrade = bool(
+            sheddable and depth >= self.shed_threshold * self.queue_depth
+        )
+        entry = QueuedRequest(tenant, method, args, kwargs, future,
+                              degrade, self._clock())
+        state.queue.append(entry)
+        return entry
+
+    # ------------------------------------------------------------------
+    # Dispatch-side draining
+    # ------------------------------------------------------------------
+
+    def next_entry(self, ring: List[str], cursor: int
+                   ) -> Tuple[Optional[QueuedRequest], int]:
+        """Pop the next queued request, round-robin across tenants.
+
+        ``ring``/``cursor`` are the caller's rotation state (the service
+        owns them so the rotation survives tenant churn); returns the
+        entry (or ``None`` when every queue is empty) plus the advanced
+        cursor.  One full pass visits every tenant once, so a hot
+        tenant's backlog cannot starve a quiet tenant's single request.
+        """
+        current = self.tenants()
+        for name in current:
+            if name not in ring:
+                ring.append(name)
+        if not ring:
+            return None, cursor
+        for step in range(len(ring)):
+            index = (cursor + step) % len(ring)
+            state = self._tenants.get(ring[index])
+            if state is not None and state.queue:
+                return state.queue.popleft(), (index + 1) % len(ring)
+        return None, cursor
+
+    def drain_all(self) -> Iterable[QueuedRequest]:
+        """Remove and yield every queued entry (shutdown path)."""
+        for state in self._tenants.values():
+            while state.queue:
+                yield state.queue.popleft()
+
+    def depths(self) -> Dict[str, int]:
+        return {name: len(state.queue)
+                for name, state in self._tenants.items()}

@@ -21,6 +21,8 @@ client instance is safe to share across threads.
 
 from __future__ import annotations
 
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Dict, List, Optional, Set
 
 from repro import obs
@@ -34,11 +36,19 @@ from repro.server.transport import _ConnectionPool
 class ZipGClient:
     """Speak the master protocol from anywhere on the network."""
 
+    #: Width of the lazily-created awaitable-submission pool.
+    SUBMIT_WORKERS = 8
+
     def __init__(self, host: str, port: int,
                  timeout_s: Optional[float] = 30.0) -> None:
         self.host = host
         self.port = port
         self._rpc_pool = _ConnectionPool(-1, host, port, timeout_s)
+        #: Envelope-level fields stamped on every request this client
+        #: sends (the gateway client sets ``{"tenant": ...}`` here).
+        self._request_extra: Dict[str, object] = {}
+        self._submitter: Optional[ThreadPoolExecutor] = None
+        self._submitter_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Plumbing
@@ -55,6 +65,7 @@ class ZipGClient:
             request_id = connection.send_request(
                 method, list(args), kwargs=kwargs or None,
                 trace=obs.current_trace_context(),
+                extra=self._request_extra or None,
             )
             response = connection.recv_response(request_id)
         except (OSError, ipc.FrameError) as exc:
@@ -69,7 +80,31 @@ class ZipGClient:
         self._rpc_pool.checkin(connection)
         return unpack_response(response)
 
+    def submit(self, method: str, *args: object, **kwargs: object) -> "Future":
+        """Submit one RPC; returns a ``concurrent.futures`` future an
+        event loop can await via ``asyncio.wrap_future``.
+
+        The client-side half of the cluster's awaitable submission
+        seam: a gateway fronting a remote master awaits these instead
+        of blocking its event loop on socket round trips."""
+        handler = getattr(self, method)
+        pool = self._submitter
+        if pool is None:
+            with self._submitter_lock:
+                pool = self._submitter
+                if pool is None:
+                    pool = ThreadPoolExecutor(
+                        max_workers=self.SUBMIT_WORKERS,
+                        thread_name_prefix="zipg-client-submit",
+                    )
+                    self._submitter = pool
+        return pool.submit(handler, *args, **kwargs)
+
     def close(self) -> None:
+        with self._submitter_lock:
+            pool, self._submitter = self._submitter, None
+        if pool is not None:
+            pool.shutdown(wait=True)
         self._rpc_pool.close()
 
     def __enter__(self) -> "ZipGClient":

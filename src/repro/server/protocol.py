@@ -35,11 +35,14 @@ from typing import Dict, List, Optional, Tuple, Type
 from repro.core.errors import (
     DeadlineExceeded,
     EdgeRecordNotFound,
+    GatewayClosed,
+    GatewayError,
     GraphFormatError,
     NodeNotFound,
     RecoveryError,
     RemoteError,
     ReplicaCallError,
+    RetryAfter,
     ShardCallError,
     TooManyProperties,
     TransportError,
@@ -64,6 +67,9 @@ _EXCEPTION_TYPES: Dict[str, Type[BaseException]] = {
         TransportError,
         RecoveryError,
         TooManyProperties,
+        GatewayError,
+        GatewayClosed,
+        RetryAfter,
         ipc.FrameError,
         ipc.FrameTooLarge,
         ipc.TornFrame,
@@ -212,6 +218,11 @@ def encode_exception(exc: BaseException) -> Dict[str, object]:
         encoded["attempts"] = [
             [server, encode_exception(attempt)] for server, attempt in exc.attempts
         ]
+    if isinstance(exc, RetryAfter):
+        # The shed hint must survive the wire: clients schedule their
+        # retries off it.
+        encoded["retry_after_s"] = exc.retry_after_s
+        encoded["reason"] = exc.reason
     if isinstance(exc, RemoteError):
         # Re-forwarding an already-remote error keeps the original type.
         encoded["type"] = exc.remote_type
@@ -221,6 +232,12 @@ def encode_exception(exc: BaseException) -> Dict[str, object]:
 def decode_exception(encoded: Dict[str, object]) -> BaseException:
     type_name = str(encoded.get("type", "Exception"))
     message = str(encoded.get("message", ""))
+    if type_name == "RetryAfter":
+        return RetryAfter(
+            message,
+            retry_after_s=float(encoded.get("retry_after_s", 0.0)),
+            reason=str(encoded.get("reason", "overload")),
+        )
     if type_name == "ReplicaCallError":
         attempts: List[Tuple[int, BaseException]] = [
             (server, decode_exception(attempt))
@@ -244,7 +261,8 @@ def decode_exception(encoded: Dict[str, object]) -> BaseException:
 def make_request(request_id: int, method: str, args: List[object],
                  unit: Optional[int] = None,
                  kwargs: Optional[Dict[str, object]] = None,
-                 trace: Optional[Dict[str, str]] = None) -> Dict[str, object]:
+                 trace: Optional[Dict[str, str]] = None,
+                 extra: Optional[Dict[str, object]] = None) -> Dict[str, object]:
     request: Dict[str, object] = {
         "id": request_id,
         "method": method,
@@ -256,6 +274,11 @@ def make_request(request_id: int, method: str, args: List[object],
         request["kwargs"] = {k: encode_value(v) for k, v in kwargs.items()}
     if trace:
         request["trace"] = trace
+    if extra:
+        # Envelope-level fields (e.g. the gateway's "tenant") -- never
+        # allowed to shadow the reserved envelope keys above.
+        for key, value in extra.items():
+            request.setdefault(key, value)
     return request
 
 
@@ -322,11 +345,12 @@ class RpcConnection:
     def send_request(self, method: str, args: List[object],
                      unit: Optional[int] = None,
                      kwargs: Optional[Dict[str, object]] = None,
-                     trace: Optional[Dict[str, str]] = None) -> int:
+                     trace: Optional[Dict[str, str]] = None,
+                     extra: Optional[Dict[str, object]] = None) -> int:
         """Frame and send one request; returns its correlation id."""
         request_id = next(self._ids)
         request = make_request(request_id, method, args, unit=unit,
-                               kwargs=kwargs, trace=trace)
+                               kwargs=kwargs, trace=trace, extra=extra)
         with self._send_lock:
             ipc.send_frame(self._sock, request, method=method, **self._tags)
         return request_id

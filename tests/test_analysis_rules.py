@@ -370,6 +370,66 @@ class TestRpcRule:
 
 
 # ----------------------------------------------------------------------
+# Gateway event-loop discipline
+# ----------------------------------------------------------------------
+
+
+class TestGatewayRule:
+    def test_time_sleep_and_bare_sleep_flagged(self):
+        path = fixture("gateway_blocking.py")
+        found = hits(findings_for("gateway_blocking.py", ["GATE001"]))
+        assert ("GATE001",
+                line_of(path, "GATE001: stalls every tenant")) in found
+        assert ("GATE001",
+                line_of(path, "GATE001: bare sleep")) in found
+
+    def test_sync_socket_io_flagged(self):
+        path = fixture("gateway_blocking.py")
+        found = hits(findings_for("gateway_blocking.py", ["GATE001"]))
+        assert ("GATE001",
+                line_of(path, "GATE001 (and RPC001)")) in found
+        assert ("GATE001",
+                line_of(path, "GATE001: sync socket read")) in found
+        assert ("GATE001",
+                line_of(path, "GATE001: blocking connect")) in found
+
+    def test_lock_acquire_flagged(self):
+        path = fixture("gateway_blocking.py")
+        found = hits(findings_for("gateway_blocking.py", ["GATE001"]))
+        assert ("GATE001",
+                line_of(path, "GATE001: thread lock parks")) in found
+
+    def test_executor_offload_function_exempt(self):
+        path = fixture("gateway_blocking.py")
+        found = findings_for("gateway_blocking.py", ["GATE001"])
+        offloaded = line_of(path, "this runs on the submission pool") + 1
+        assert not any(f.line == offloaded for f in found)
+        assert len(found) == 6  # nothing in idiomatic() either
+
+    def test_unmarked_modules_exempt(self):
+        # time.sleep in a module without gateway-path is out of scope
+        # (backoff loops in the threaded transport are legitimate).
+        found = findings_for("rpc_violations.py", ["GATE001"])
+        assert found == []
+
+    def test_gateway_package_is_clean(self):
+        # The shipped gateway really holds its own discipline, and its
+        # modules really are marked (a silently-unmarked module would
+        # pass vacuously).
+        src_path = os.path.join(SRC_REPRO, "gateway")
+        findings, context = analyze_paths([src_path], ["GATE001"])
+        assert findings == []
+        marked = {
+            module.name
+            for module in context.modules
+            if module.markers.module_has("gateway-path")
+        }
+        assert "repro.gateway.service" in marked
+        assert "repro.gateway.server" in marked
+        assert "repro.gateway.admission" in marked
+
+
+# ----------------------------------------------------------------------
 # Engine behaviour + CLI
 # ----------------------------------------------------------------------
 

@@ -81,6 +81,39 @@ class TestCheck:
         assert len(failures) == 1 and len(warnings) == 1
 
 
+class TestSelectMetrics:
+    BASELINE = {
+        "gateway.p99": _entry(2.0),
+        "gateway.shed": _entry(0.3),
+        "tao.orkut": _entry(1.3),
+        "micro.extract": _entry(26.0),
+    }
+
+    def test_no_filters_keeps_everything(self):
+        assert gate.select_metrics(self.BASELINE, [], []) == self.BASELINE
+
+    def test_only_keeps_matching_prefixes(self):
+        selected = gate.select_metrics(self.BASELINE, ["gateway."], [])
+        assert sorted(selected) == ["gateway.p99", "gateway.shed"]
+
+    def test_exclude_drops_matching_prefixes(self):
+        selected = gate.select_metrics(self.BASELINE, [], ["gateway."])
+        assert sorted(selected) == ["micro.extract", "tao.orkut"]
+
+    def test_only_then_exclude(self):
+        selected = gate.select_metrics(
+            self.BASELINE, ["gateway.", "tao."], ["gateway.shed"]
+        )
+        assert sorted(selected) == ["gateway.p99", "tao.orkut"]
+
+    def test_missing_is_still_a_failure_inside_the_selection(self):
+        selected = gate.select_metrics(self.BASELINE, ["gateway."], [])
+        _, failures, _ = gate.check(selected, {"gateway.p99": _entry(2.0)})
+        assert failures == [
+            "gateway.shed: missing from current bench artifacts"
+        ]
+
+
 class TestMain:
     def _write(self, tmp_path, baseline_metrics, gate_metrics):
         baseline = tmp_path / "baseline.json"
@@ -109,3 +142,24 @@ class TestMain:
         out = capsys.readouterr().out
         assert "WARN m:" in out
         assert "1 skipped" in out
+
+    def test_only_flag_scopes_the_gate(self, tmp_path, capsys):
+        # The load-test job produces only gateway.* artifacts; --only
+        # keeps the shared baseline's other pins out of its verdict.
+        argv = self._write(
+            tmp_path,
+            {"gateway.p99": _entry(2.0, "lower_better"),
+             "tao.orkut": _entry(1.3)},
+            {"gateway.p99": _entry(1.5, "lower_better")},
+        )
+        assert gate.main(argv + ["--only", "gateway."]) == 0
+        assert gate.main(argv) == 1  # unscoped: tao.orkut is missing
+
+    def test_exclude_flag_scopes_the_gate(self, tmp_path, capsys):
+        argv = self._write(
+            tmp_path,
+            {"gateway.p99": _entry(2.0, "lower_better"),
+             "tao.orkut": _entry(1.3)},
+            {"tao.orkut": _entry(1.3)},
+        )
+        assert gate.main(argv + ["--exclude", "gateway."]) == 0

@@ -1,0 +1,599 @@
+"""The async query gateway: admission, shedding, batching, drain.
+
+Most tests drive :class:`GatewayService` directly with a fake clock
+(deterministic token buckets) and a hand-completed backend
+(deterministic queue/dispatch interleavings); a final group goes over
+real sockets through :class:`GatewayServer` / :class:`GatewayClient`
+to pin the wire semantics -- typed ``RetryAfter`` with its hint
+intact, ``GatewayClosed`` after drain, partial results under
+degradation.
+"""
+
+import asyncio
+import threading
+from concurrent.futures import Future
+
+import pytest
+
+from conftest import chaos_seeds
+from repro import chaos, obs
+from repro.obs.metrics import Counter, Gauge
+from repro.chaos import ChaosInjector, FaultRule
+from repro.cluster import ReplicatedZipGCluster
+from repro.core import GraphData, ZipG
+from repro.core.errors import GatewayClosed, RetryAfter
+from repro.gateway import (
+    GatewayClient,
+    GatewayConfig,
+    GatewayServer,
+    GatewayService,
+    TokenBucket,
+    resolve,
+)
+from repro.gateway.admission import AdmissionController
+
+
+@pytest.fixture(autouse=True)
+def clean_slate():
+    obs.reset()
+    yield
+    chaos.uninstall()
+    obs.reset()
+
+
+class FakeClock:
+    def __init__(self, start=100.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class ManualBackend:
+    """submit() hands back futures the test completes explicitly."""
+
+    def __init__(self):
+        self.calls = []
+        self.futures = []
+        self.lock = threading.Lock()
+
+    def submit(self, method, *args, **kwargs):
+        future = Future()
+        with self.lock:
+            self.calls.append((method, args, kwargs))
+            self.futures.append(future)
+        return future
+
+    def complete_all(self, result="done"):
+        with self.lock:
+            pending = [f for f in self.futures if not f.done()]
+        for future in pending:
+            future.set_result(result)
+
+
+class EchoBackend:
+    """submit() resolves immediately with the call signature."""
+
+    def __init__(self):
+        self.calls = []
+
+    def submit(self, method, *args, **kwargs):
+        self.calls.append((method, args, kwargs))
+        future = Future()
+        future.set_result((method, args, tuple(sorted(kwargs.items()))))
+        return future
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def pump(backend, waiters, result="done"):
+    """Complete ManualBackend futures as the dispatchers create them.
+
+    Dispatch happens after ``start()``; a single ``complete_all()``
+    races it and strands futures created later, so keep completing
+    until every waiter settles.
+    """
+    for _ in range(2000):
+        backend.complete_all(result)
+        if all(w.done() for w in waiters):
+            return
+        await asyncio.sleep(0.005)
+    raise AssertionError("waiters never settled")
+
+
+def counter_total(name):
+    return sum(m.value for m in obs.get_registry().metrics()
+               if isinstance(m, Counter) and m.name == name)
+
+
+def gauge_values(name):
+    return [m.value for m in obs.get_registry().metrics()
+            if isinstance(m, Gauge) and m.name == name]
+
+
+# ----------------------------------------------------------------------
+# Token bucket
+# ----------------------------------------------------------------------
+
+
+class TestTokenBucket:
+    def test_starts_full_and_drains(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=3.0, clock=clock)
+        assert [bucket.try_take() for _ in range(4)] == [True, True, True, False]
+
+    def test_refills_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=2.0, clock=clock)
+        bucket.try_take(), bucket.try_take()
+        assert not bucket.try_take()
+        # A hair past one token's worth of time at 10/s (0.1 exactly
+        # loses to float rounding in monotonic-delta arithmetic).
+        clock.advance(0.101)
+        assert bucket.try_take()
+        assert not bucket.try_take()
+
+    def test_burst_caps_accumulation(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=2.0, clock=clock)
+        clock.advance(60.0)
+        assert bucket.tokens == pytest.approx(2.0)
+
+    def test_time_to_token(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=4.0, burst=1.0, clock=clock)
+        assert bucket.time_to_token() == 0.0
+        bucket.try_take()
+        assert bucket.time_to_token() == pytest.approx(0.25)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.5)
+
+
+# ----------------------------------------------------------------------
+# Routing
+# ----------------------------------------------------------------------
+
+
+class TestRouter:
+    def test_read_write_admin_classification(self):
+        assert resolve("get_neighbor_ids").kind == "read"
+        assert resolve("append_edge").kind == "write"
+        assert resolve("ping").kind == "admin"
+
+    def test_admin_bypasses_admission(self):
+        assert not resolve("topology").admission
+        assert resolve("edge_count").admission
+
+    def test_only_broadcast_reads_are_sheddable(self):
+        assert resolve("get_node_ids").sheddable
+        assert resolve("find_edges").sheddable
+        assert not resolve("get_neighbor_ids").sheddable
+        assert not resolve("append_node").sheddable
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(KeyError):
+            resolve("drop_all_tables")
+
+
+# ----------------------------------------------------------------------
+# Admission control
+# ----------------------------------------------------------------------
+
+
+class TestAdmission:
+    def make(self, clock, rate=100.0, burst=50.0, depth=4, shed=0.75):
+        return AdmissionController(
+            tenant_rate=rate, tenant_burst=burst, queue_depth=depth,
+            shed_threshold=shed, clock=clock,
+        )
+
+    def admit(self, controller, tenant="t", method="edge_count",
+              sheddable=False):
+        return controller.admit(tenant, method, (), {}, object(),
+                                sheddable=sheddable)
+
+    def test_queue_full_rejection_carries_retry_hint(self):
+        clock = FakeClock()
+        controller = self.make(clock, rate=2.0, depth=4)
+        for _ in range(4):
+            self.admit(controller)
+        with pytest.raises(RetryAfter) as info:
+            self.admit(controller)
+        assert info.value.reason == "queue_full"
+        # 4 queued at 2 admissions/s: the earliest useful retry is ~2s.
+        assert info.value.retry_after_s == pytest.approx(2.0)
+
+    def test_rate_limit_rejection_carries_time_to_token(self):
+        clock = FakeClock()
+        controller = self.make(clock, rate=4.0, burst=1.0, depth=100)
+        self.admit(controller)
+        with pytest.raises(RetryAfter) as info:
+            self.admit(controller)
+        assert info.value.reason == "rate_limit"
+        assert info.value.retry_after_s == pytest.approx(0.25)
+
+    def test_degrade_flag_past_shed_threshold(self):
+        clock = FakeClock()
+        controller = self.make(clock, depth=4, shed=0.5)
+        flags = [self.admit(controller, sheddable=True).degrade
+                 for _ in range(4)]
+        # Depth at admit time: 0, 1, 2, 3 against a threshold of 2.
+        assert flags == [False, False, True, True]
+
+    def test_unsheddable_methods_never_degrade(self):
+        clock = FakeClock()
+        controller = self.make(clock, depth=2, shed=0.5)
+        assert not self.admit(controller).degrade
+        assert not self.admit(controller).degrade
+
+    def test_tenants_do_not_share_buckets_or_queues(self):
+        clock = FakeClock()
+        controller = self.make(clock, rate=100.0, burst=2.0, depth=100)
+        self.admit(controller, tenant="hot")
+        self.admit(controller, tenant="hot")
+        with pytest.raises(RetryAfter):
+            self.admit(controller, tenant="hot")
+        # The quiet tenant's bucket is untouched by the hot tenant.
+        self.admit(controller, tenant="quiet")
+        assert controller.queue_depth_of("hot") == 2
+        assert controller.queue_depth_of("quiet") == 1
+
+    def test_round_robin_across_tenants(self):
+        clock = FakeClock()
+        controller = self.make(clock, depth=100)
+        for _ in range(3):
+            self.admit(controller, tenant="hot")
+        self.admit(controller, tenant="quiet")
+        ring, cursor = [], 0
+        order = []
+        while True:
+            entry, cursor = controller.next_entry(ring, cursor)
+            if entry is None:
+                break
+            order.append(entry.tenant)
+        assert order == ["hot", "quiet", "hot", "hot"]
+
+
+# ----------------------------------------------------------------------
+# The service pipeline
+# ----------------------------------------------------------------------
+
+
+class TestGatewayService:
+    def test_request_flows_end_to_end(self):
+        async def scenario():
+            service = GatewayService(EchoBackend(), GatewayConfig(
+                dispatchers=2))
+            await service.start()
+            result = await service.handle("edge_count", [7, 0], tenant="a")
+            await service.drain()
+            return result
+
+        assert run(scenario()) == ("edge_count", (7, 0), ())
+
+    def test_queue_full_sheds_with_retry_after(self):
+        async def scenario():
+            backend = ManualBackend()
+            # No dispatchers started: everything admitted stays queued.
+            service = GatewayService(backend, GatewayConfig(
+                tenant_rate=1000.0, tenant_burst=1000.0, queue_depth=3))
+            waiters = [asyncio.ensure_future(
+                service.handle("edge_count", [i, 0], tenant="a"))
+                for i in range(3)]
+            await asyncio.sleep(0)  # let the waiters admit
+            with pytest.raises(RetryAfter) as info:
+                await service.handle("edge_count", [99, 0], tenant="a")
+            # Release the queued work so the drain below is clean.
+            await service.start()
+            await pump(backend, waiters)
+            await asyncio.gather(*waiters)
+            await service.drain()
+            return info.value
+
+        shed = run(scenario())
+        assert shed.reason == "queue_full"
+        assert shed.retry_after_s > 0
+
+    def test_hot_tenant_cannot_starve_quiet_tenant(self):
+        async def order_scenario():
+            backend = EchoBackend()
+            service = GatewayService(backend, GatewayConfig(
+                tenant_rate=1000.0, tenant_burst=1000.0,
+                queue_depth=64, dispatchers=1))
+            hot = [asyncio.ensure_future(
+                service.handle("get_node_property", [i, "*"], tenant="hot"))
+                for i in range(20)]
+            await asyncio.sleep(0)
+            quiet = asyncio.ensure_future(
+                service.handle("get_node_property", [777, "*"],
+                               tenant="quiet"))
+            await asyncio.sleep(0)
+            await service.start()
+            await asyncio.gather(quiet, *hot)
+            await service.drain()
+            return [args[0] for _, args, _ in backend.calls]
+
+        order = run(order_scenario())
+        assert order.index(777) <= 2
+
+    def test_identical_reads_coalesce_onto_one_backend_call(self):
+        async def scenario():
+            backend = ManualBackend()
+            service = GatewayService(backend, GatewayConfig(
+                tenant_rate=1000.0, tenant_burst=1000.0,
+                queue_depth=64, dispatchers=4))
+            await service.start()
+            waiters = [asyncio.ensure_future(
+                service.handle("edge_count", [5, 0], tenant="a"))
+                for _ in range(6)]
+            # Let dispatchers park on the (single) in-flight call
+            # before anything completes, so the riders pile up.
+            for _ in range(20):
+                await asyncio.sleep(0)
+            await pump(backend, waiters, result=42)
+            results = await asyncio.gather(*waiters)
+            await service.drain()
+            return results, len(backend.calls)
+
+        results, calls = run(scenario())
+        assert results == [42] * 6
+        # 4 dispatchers, 6 requests, 1 identical in-flight read: far
+        # fewer backend calls than requests (first dispatch leads, the
+        # rest ride).
+        assert calls < 6
+        assert counter_total("zipg_gateway_batched_total") + calls == 6
+
+    def test_writes_never_coalesce(self):
+        async def scenario():
+            backend = ManualBackend()
+            service = GatewayService(backend, GatewayConfig(
+                tenant_rate=1000.0, tenant_burst=1000.0,
+                queue_depth=64, dispatchers=4))
+            await service.start()
+            waiters = [asyncio.ensure_future(
+                service.handle("append_edge", [1, 0, 2, 0, {}], tenant="a"))
+                for _ in range(4)]
+            await pump(backend, waiters, result=None)
+            await asyncio.gather(*waiters)
+            await service.drain()
+            return len(backend.calls)
+
+        assert run(scenario()) == 4
+
+    def test_degraded_reads_dispatch_with_partial_results(self):
+        async def scenario():
+            backend = EchoBackend()
+            clock = FakeClock()
+            service = GatewayService(backend, GatewayConfig(
+                tenant_rate=1000.0, tenant_burst=1000.0,
+                queue_depth=4, shed_threshold=0.5, dispatchers=1),
+                clock=clock)
+            waiters = [asyncio.ensure_future(
+                service.handle("find_edges", ["kind", str(i)], tenant="a"))
+                for i in range(4)]
+            await asyncio.sleep(0)  # queue them all before dispatch
+            await service.start()
+            await asyncio.gather(*waiters)
+            await service.drain()
+            return backend.calls
+
+        calls = run(scenario())
+        degraded = [kwargs for _, _, kwargs in calls
+                    if kwargs.get("partial_results")]
+        # Depths 2 and 3 sat past the 0.5 * 4 threshold at admit time.
+        assert len(degraded) == 2
+
+    def test_admin_bypasses_a_full_queue(self):
+        async def scenario():
+            backend = ManualBackend()
+            service = GatewayService(backend, GatewayConfig(
+                tenant_rate=1000.0, tenant_burst=1000.0, queue_depth=1))
+            waiter = asyncio.ensure_future(
+                service.handle("edge_count", [1, 0], tenant="a"))
+            await asyncio.sleep(0)
+            with pytest.raises(RetryAfter):
+                await service.handle("edge_count", [2, 0], tenant="a")
+            # Admin still answers (local shim: ManualBackend has no ping).
+            pong = await service.handle("ping", [], tenant="a")
+            await service.start()
+            await pump(backend, [waiter])
+            await waiter
+            await service.drain()
+            return pong
+
+        assert run(scenario()) == "pong"
+
+    def test_clean_drain_completes_queued_work(self):
+        async def scenario():
+            backend = ManualBackend()
+            service = GatewayService(backend, GatewayConfig(
+                tenant_rate=1000.0, tenant_burst=1000.0,
+                queue_depth=16, dispatchers=2))
+            waiters = [asyncio.ensure_future(
+                service.handle("edge_count", [i, 0], tenant=f"t{i % 3}"))
+                for i in range(9)]
+            await asyncio.sleep(0)  # all queued, none dispatched
+            await service.start()
+            drainer = asyncio.ensure_future(service.drain())
+            # Drain must not reject queued work: complete the backend
+            # and every waiter resolves with its result.
+            await pump(backend, waiters, result="ok")
+            results = await asyncio.gather(*waiters)
+            await drainer
+            with pytest.raises(GatewayClosed):
+                await service.handle("edge_count", [0, 0], tenant="t0")
+            return results, service.queue_depths()
+
+        results, depths = run(scenario())
+        assert results == ["ok"] * 9
+        assert all(depth == 0 for depth in depths.values())
+
+    def test_shed_metrics_and_depth_gauge(self):
+        async def scenario():
+            backend = ManualBackend()
+            service = GatewayService(backend, GatewayConfig(
+                tenant_rate=1000.0, tenant_burst=1000.0, queue_depth=2))
+            waiters = [asyncio.ensure_future(
+                service.handle("edge_count", [i, 0], tenant="m"))
+                for i in range(2)]
+            await asyncio.sleep(0)
+            for _ in range(3):
+                with pytest.raises(RetryAfter):
+                    await service.handle("edge_count", [9, 0], tenant="m")
+            await service.start()
+            await pump(backend, waiters)
+            await asyncio.gather(*waiters)
+            await service.drain()
+
+        run(scenario())
+        assert counter_total("zipg_gateway_shed_total") == 3
+        assert counter_total("zipg_gateway_admitted_total") == 2
+        depths = gauge_values("zipg_gateway_queue_depth")
+        assert depths and all(value == 0 for value in depths)
+
+
+# ----------------------------------------------------------------------
+# Shed-path chaos: structured failures only
+# ----------------------------------------------------------------------
+
+
+class TestGatewayChaos:
+    @pytest.mark.parametrize("seed", chaos_seeds())
+    def test_admit_faults_stay_structured(self, seed):
+        async def scenario():
+            backend = EchoBackend()
+            service = GatewayService(backend, GatewayConfig(
+                tenant_rate=1000.0, tenant_burst=1000.0,
+                queue_depth=64, dispatchers=2))
+            await service.start()
+            outcomes = {"ok": 0, "shed": 0}
+            for i in range(40):
+                try:
+                    await service.handle("edge_count", [i, 0], tenant="c")
+                    outcomes["ok"] += 1
+                except RetryAfter:
+                    outcomes["shed"] += 1
+            await service.drain()
+            return outcomes
+
+        injector = ChaosInjector(seed=seed, rules=[
+            FaultRule(site=chaos.SITE_GATEWAY_ADMIT, fault="error",
+                      probability=0.4,
+                      error=RetryAfter("chaos shed", 0.01, "injected")),
+        ])
+        with chaos.injected(injector):
+            outcomes = run(scenario())
+        # Deterministic per seed; every request either succeeded or
+        # shed with the typed error -- nothing leaked unstructured.
+        assert outcomes["ok"] + outcomes["shed"] == 40
+        assert outcomes["shed"] > 0
+
+    @pytest.mark.parametrize("seed", chaos_seeds())
+    def test_dispatch_faults_surface_per_request(self, seed):
+        async def scenario():
+            backend = EchoBackend()
+            service = GatewayService(backend, GatewayConfig(
+                tenant_rate=1000.0, tenant_burst=1000.0,
+                queue_depth=64, dispatchers=2))
+            await service.start()
+            ok = failed = 0
+            for i in range(30):
+                try:
+                    await service.handle("append_node", [i, {}], tenant="c")
+                    ok += 1
+                except KeyError:
+                    failed += 1
+            await service.drain()
+            return ok, failed, len(backend.calls)
+
+        injector = ChaosInjector(seed=seed, rules=[
+            FaultRule(site=chaos.SITE_GATEWAY_DISPATCH, fault="error",
+                      probability=0.3, error=KeyError),
+        ])
+        with chaos.injected(injector):
+            ok, failed, calls = run(scenario())
+        assert ok + failed == 30
+        assert failed > 0
+        # A dispatch-site fault costs the backend nothing.
+        assert calls == ok
+
+
+# ----------------------------------------------------------------------
+# Over the wire
+# ----------------------------------------------------------------------
+
+
+def make_cluster():
+    graph = GraphData()
+    for i in range(16):
+        graph.add_node(i, {"name": f"n{i}", "kind": "x" if i % 2 else "y"})
+        graph.add_edge(i, (i + 1) % 16, 0, timestamp=i)
+    store = ZipG.compress(graph, num_shards=2, alpha=8,
+                          logstore_threshold_bytes=1 << 20)
+    return ReplicatedZipGCluster(store, num_servers=2, replication_factor=1)
+
+
+class TestGatewayWire:
+    def test_queries_writes_and_admin_round_trip(self):
+        cluster = make_cluster()
+        try:
+            with GatewayServer(cluster, GatewayConfig(
+                    tenant_rate=1000.0, tenant_burst=500.0,
+                    queue_depth=64, dispatchers=4)) as server:
+                host, port = server.address
+                with GatewayClient(host, port, tenant="alice") as client:
+                    assert client.ping()
+                    assert client.topology()["num_shards"] == 2
+                    assert client.get_neighbor_ids(0) == [1]
+                    client.append_edge(0, 0, 5, timestamp=99)
+                    assert sorted(client.get_neighbor_ids(0)) == [1, 5]
+                    assert len(client.get_node_ids({"kind": "x"})) == 8
+        finally:
+            cluster.close_submitter()
+
+    def test_retry_after_decodes_with_hint(self):
+        cluster = make_cluster()
+        try:
+            with GatewayServer(cluster, GatewayConfig(
+                    tenant_rate=0.001, tenant_burst=1.0,
+                    queue_depth=2, dispatchers=1)) as server:
+                host, port = server.address
+                with GatewayClient(host, port, tenant="bob") as client:
+                    assert client.edge_count(0, 0) == 1
+                    with pytest.raises(RetryAfter) as info:
+                        for _ in range(3):
+                            client.edge_count(0, 0)
+                    assert info.value.retry_after_s > 0
+                    assert info.value.reason == "rate_limit"
+        finally:
+            cluster.close_submitter()
+
+    def test_tenants_are_isolated_over_the_wire(self):
+        cluster = make_cluster()
+        try:
+            with GatewayServer(cluster, GatewayConfig(
+                    tenant_rate=0.001, tenant_burst=2.0,
+                    queue_depth=64, dispatchers=2)) as server:
+                host, port = server.address
+                with GatewayClient(host, port, tenant="hog") as hog, \
+                        GatewayClient(host, port, tenant="fair") as fair:
+                    shed = 0
+                    for _ in range(4):
+                        try:
+                            hog.edge_count(0, 0)
+                        except RetryAfter:
+                            shed += 1
+                    assert shed >= 2  # the hog exhausted its own bucket
+                    # A different tenant's bucket is untouched.
+                    assert fair.edge_count(0, 0) == 1
+        finally:
+            cluster.close_submitter()
