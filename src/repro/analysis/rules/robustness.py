@@ -6,8 +6,8 @@ failures are never silently discarded: a swallowed ``OSError`` in
 "successful" save, and a swallowed exception in the chaos or
 replication layers hides exactly the faults those layers exist to
 surface.  In robustness-critical modules -- ``repro.core.persistence``,
-``repro.core.wal``, everything under ``repro.chaos`` and
-``repro.cluster``, plus any module marked ``# zipg: robust-path`` --
+``repro.core.wal``, everything under ``repro.chaos``, ``repro.cluster``
+and ``repro.ec``, plus any module marked ``# zipg: robust-path`` --
 ROBUST001 flags:
 
 * bare ``except:`` handlers (they also swallow ``SimulatedCrash``,
@@ -31,7 +31,7 @@ from typing import Iterator, List
 from repro.analysis.engine import AnalysisContext, Finding, ModuleInfo, rule
 
 #: Dotted-module prefixes that are always on the robustness path.
-ROBUST_MODULE_PREFIXES = ("repro.chaos", "repro.cluster")
+ROBUST_MODULE_PREFIXES = ("repro.chaos", "repro.cluster", "repro.ec")
 #: Individual modules that are always on the robustness path.
 ROBUST_MODULES = frozenset({"repro.core.persistence", "repro.core.wal"})
 

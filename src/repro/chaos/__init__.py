@@ -37,6 +37,9 @@ __all__ = [
     "FaultInjected",
     "FaultRule",
     "SimulatedCrash",
+    "SITE_EC_DECODE",
+    "SITE_EC_ENCODE",
+    "SITE_EC_REBUILD",
     "SITE_EXECUTOR_CALL",
     "SITE_GATEWAY_ADMIT",
     "SITE_GATEWAY_DISPATCH",
@@ -55,6 +58,19 @@ __all__ = [
     "write_bytes",
 ]
 
+#: Erasure reconstruction of a snapshot file from fragments (tags:
+#: ``file``).  An ``error`` rule makes the degraded read fail over to
+#: the partial-result path; a ``latency`` rule models slow decodes.
+SITE_EC_DECODE = "ec.decode"
+#: Erasure-coded fragment write during initial encode (tags: ``file``,
+#: ``fragment``).  ``torn_write`` rules tear a fragment on disk; the
+#: CRC'd read path must then treat it as an erasure.
+SITE_EC_ENCODE = "ec.encode"
+#: Fragment re-creation onto a recovering server (tags: ``file``,
+#: ``fragment``, ``server``).  ``crash`` rules kill the rebuild
+#: mid-flight -- the server must stay held out and the next
+#: ``recover_server`` must converge.
+SITE_EC_REBUILD = "ec.rebuild"
 #: Executor work-item invocation (tags: ``index``, ``attempt``).
 SITE_EXECUTOR_CALL = "executor.shard_call"
 #: Gateway admission decision (tags: ``tenant``, ``method``).  An

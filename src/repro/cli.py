@@ -8,7 +8,13 @@ Commands:
 * ``workload [--dataset D] [--workload W] [--ops N]``
                                  -- run a workload across all systems
 * ``query --file PATH "ZIPQL"``  -- compress a graph file and query it
-* ``serve-shard --file PATH --server-id N [--port P]``
+* ``verify-store PATH``          -- offline store-integrity audit
+                                    (manifest, CRCs, WAL tail; non-zero
+                                    exit on any issue)
+* ``ec-encode --file PATH --ec-root DIR --num-servers N``
+                                 -- erasure-code a graph's snapshot into
+                                    per-server fragment directories
+* ``serve-shard --file PATH --server-id N [--port P] [--ec-dir DIR]``
                                  -- run one shard-server process
 * ``serve-master --file PATH --shard ID=HOST:PORT ...``
                                  -- run the client-facing master
@@ -220,6 +226,59 @@ def _cmd_query(args) -> int:
     return 0
 
 
+def _cmd_verify_store(args) -> int:
+    from repro.core.persistence import verify_store
+
+    report = verify_store(args.root, ec_root=args.ec_root)
+    if args.json:
+        import json
+
+        print(json.dumps(report.to_payload(), indent=2))
+    else:
+        checked = f"{report.files_checked} snapshot file(s)"
+        if args.ec_root:
+            checked += f", {report.fragments_checked} fragment(s)"
+        status = "OK" if report.ok else f"{len(report.issues)} ISSUE(S)"
+        print(f"{args.root}: {status} "
+              f"(generation {report.generation}, {checked}, "
+              f"{report.wal_records} WAL record(s))")
+        for issue in report.issues:
+            print(f"  [{issue.kind}] {issue.detail}")
+    return 0 if report.ok else 1
+
+
+def _cmd_ec_encode(args) -> int:
+    """Erasure-code a graph's committed snapshot for an ec cluster.
+
+    Builds the store the same deterministic way the ``serve-*``
+    commands do, snapshots it under ``<ec-root>/snapshot``, and splits
+    every snapshot file into ``k+m`` placed fragments under
+    ``<ec-root>/server-<id>/``."""
+    import os
+
+    from repro.core.persistence import save_store
+    from repro.ec import ErasureCodedSnapshots
+
+    graph = _load_graph_file(args.file)
+    store = ZipGSystem.load(
+        graph, num_shards=args.shards, alpha=args.alpha
+    ).store
+    snapshot_root = os.path.join(args.ec_root, "snapshot")
+    save_store(store, snapshot_root)
+    snaps = ErasureCodedSnapshots.encode_snapshot(
+        snapshot_root, args.ec_root, num_servers=args.num_servers,
+        k=args.k, m=args.m,
+    )
+    manifest = snaps.manifest
+    ratio = (manifest.storage_bytes() / manifest.data_bytes()
+             if manifest.data_bytes() else 0.0)
+    print(f"ENCODED {args.ec_root} generation={manifest.generation} "
+          f"k={manifest.k} m={manifest.m} files={len(manifest.files)} "
+          f"fragment_bytes={manifest.storage_bytes()} "
+          f"overhead={ratio:.3f}x", flush=True)
+    return 0
+
+
 def _parse_shard_address(text: str) -> tuple:
     """``"2=127.0.0.1:7002"`` -> ``(2, ("127.0.0.1", 7002))``."""
     server, eq, hostport = text.partition("=")
@@ -256,6 +315,15 @@ def _cmd_serve_shard(args) -> int:
     store = ZipGSystem.load(
         graph, num_shards=args.shards, alpha=args.alpha
     ).store
+    if args.ec_dir:
+        from repro.ec import FragmentStore
+
+        # This process answers ec_fetch_fragment / ec_store_fragment
+        # for its own server id only; fragments for other servers live
+        # in other processes.
+        store.ec_fragment_stores = {
+            args.server_id: FragmentStore(args.ec_dir)
+        }
     server = ShardServer(
         store, server_id=args.server_id, host=args.host, port=args.port,
         max_workers=args.workers,
@@ -277,11 +345,21 @@ def _cmd_serve_master(args) -> int:
     store = ZipGSystem.load(
         graph, num_shards=args.shards, alpha=args.alpha
     ).store
+    ec_snapshots = None
+    if args.placement == "ec":
+        from repro.ec import ErasureCodedSnapshots
+
+        if not args.ec_root:
+            raise SystemExit("--placement ec requires --ec-root "
+                             "(see `repro ec-encode`)")
+        ec_snapshots = ErasureCodedSnapshots(args.ec_root)
     cluster = ReplicatedZipGCluster(
         store, num_servers,
         replication_factor=min(args.replication, num_servers),
         retries=args.retries, backoff_s=args.backoff_s,
         deadline_s=args.deadline_s,
+        placement=args.placement, ec_snapshots=ec_snapshots,
+        rebuild_rate_bytes_s=args.rebuild_rate_bytes_s,
     )
     cluster.transport = SocketTransport(addresses, timeout_s=args.timeout_s)
     server = MasterServer(cluster, host=args.host, port=args.port,
@@ -377,6 +455,35 @@ def main(argv: Optional[List[str]] = None) -> int:
     query.add_argument("--alpha", type=int, default=16)
     query.add_argument("zipql", help="the ZipQL query text")
 
+    verify_store = commands.add_parser(
+        "verify-store", help="offline store-integrity audit"
+    )
+    verify_store.add_argument("root", help="store root to audit")
+    verify_store.add_argument("--ec-root", default=None,
+                              help="also verify the erasure-coding "
+                                   "manifest and fragments under this "
+                                   "directory")
+    verify_store.add_argument("--json", action="store_true",
+                              help="emit the typed report as JSON")
+
+    ec_encode = commands.add_parser(
+        "ec-encode", help="erasure-code a graph's snapshot into placed "
+                          "fragments"
+    )
+    ec_encode.add_argument("--file", required=True,
+                           help="graph file (N/E lines)")
+    ec_encode.add_argument("--ec-root", required=True,
+                           help="output directory (snapshot/, server-*/ "
+                                "and ec-manifest.json land here)")
+    ec_encode.add_argument("--num-servers", type=int, required=True,
+                           help="servers to spread fragments across")
+    ec_encode.add_argument("--k", type=int, default=4,
+                           help="data fragments per file")
+    ec_encode.add_argument("--m", type=int, default=2,
+                           help="parity fragments per file")
+    ec_encode.add_argument("--shards", type=int, default=2)
+    ec_encode.add_argument("--alpha", type=int, default=16)
+
     serve_shard = commands.add_parser(
         "serve-shard", help="run one shard-server process"
     )
@@ -390,6 +497,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     serve_shard.add_argument("--shards", type=int, default=2)
     serve_shard.add_argument("--alpha", type=int, default=16)
     serve_shard.add_argument("--workers", type=int, default=8)
+    serve_shard.add_argument("--ec-dir", default=None,
+                             help="this server's erasure-coded fragment "
+                                  "directory (from `repro ec-encode`; "
+                                  "enables the ec_* fragment RPCs)")
 
     serve_master = commands.add_parser(
         "serve-master", help="run the client-facing master process"
@@ -414,6 +525,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     serve_master.add_argument("--deadline-s", type=float, default=None)
     serve_master.add_argument("--timeout-s", type=float, default=30.0,
                               help="per-connection socket timeout to shards")
+    serve_master.add_argument("--placement", default="replication",
+                              choices=["replication", "ec"],
+                              help="fault-tolerance scheme: whole-shard "
+                                   "replicas or erasure-coded fragments")
+    serve_master.add_argument("--ec-root", default=None,
+                              help="erasure-coding root holding "
+                                   "ec-manifest.json (required with "
+                                   "--placement ec)")
+    serve_master.add_argument("--rebuild-rate-bytes-s", type=float,
+                              default=None,
+                              help="throttle for background fragment "
+                                   "rebuilds (default: unthrottled)")
 
     serve_gateway = commands.add_parser(
         "serve-gateway", help="run the admission-controlled query gateway"
@@ -449,6 +572,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "check": _cmd_check,
         "stats": _cmd_stats,
         "query": _cmd_query,
+        "verify-store": _cmd_verify_store,
+        "ec-encode": _cmd_ec_encode,
         "serve-shard": _cmd_serve_shard,
         "serve-master": _cmd_serve_master,
         "serve-gateway": _cmd_serve_gateway,

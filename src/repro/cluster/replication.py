@@ -50,20 +50,39 @@ cluster queries fan out on the store's thread pool, so ``fail_server``
 can race ``server_of_shard`` from a worker thread.  Writes and
 catch-up serialize on a separate write lock (always taken *before*
 the state lock) so the oplog and the commit LSN stay consistent.
+
+**Erasure-coded placement** (``placement="ec"``, :mod:`repro.ec`):
+instead of ``replication_factor`` whole-shard copies, each immutable
+snapshot file is split into ``k`` data + ``m`` parity fragments spread
+round-robin across the servers (the hot oplog tail stays fully
+replicated exactly as above).  Shard-unit reads route to the single
+owning server; when it is down, the cluster reconstructs the shard
+from any ``k`` surviving fragments (``zipg_ec_reconstructions_total``,
+``ec.decode`` span) and answers *completely* -- no ``partial_results``
+degradation for single-server loss.  Reconstructions replay the
+post-snapshot oplog deletes before serving, so degraded reads stay
+epoch-fresh.  ``recover_server`` replays the missed oplog tail, then
+re-creates the returning server's missing fragments in a rate-limited
+background rebuild (``ec.rebuild`` chaos site) and only then re-admits
+it -- the same catching-up hold-out replication uses.  Lock order:
+``_ec_lock`` before ``_write_lock`` before ``_state_lock``.
 """
 # zipg: query-api
 
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro import chaos, obs
 from repro.cluster.cluster import ZipGCluster
-from repro.core.errors import ReplicaCallError
+from repro.core.errors import FragmentCorruptError, ReconstructionFailed, ReplicaCallError
 from repro.core.graph_store import ZipG
 from repro.core.model import PropertyList
+from repro.core.shard import CompressedShard
+from repro.ec import ErasureCodedSnapshots
 
 
 class ShardUnavailable(RuntimeError):
@@ -109,17 +128,56 @@ class ReplicatedZipGCluster(ZipGCluster):
             on top of replica failover (passed to ``executor.map``).
         backoff_s: base exponential backoff between those retries.
         deadline_s: cooperative per-shard-call deadline.
+        placement: ``"replication"`` (whole-shard copies, the paper's
+            scheme) or ``"ec"`` (erasure-coded snapshot fragments;
+            forces ``replication_factor`` to 1 -- redundancy comes
+            from parity, not copies).
+        ec_snapshots: the encoded snapshot handle
+            (:class:`repro.ec.ErasureCodedSnapshots`); required with
+            ``placement="ec"``.  The snapshot must reflect the store's
+            state at cluster construction -- reconstruction replays
+            only the *cluster's* oplog on top of it.
+        rebuild_rate_bytes_s: throttle for the background fragment
+            rebuild (None = unthrottled).
     """
 
     def __init__(self, store: ZipG, num_servers: int,
                  replication_factor: int = 2, retries: int = 0,
                  backoff_s: float = 0.0,
-                 deadline_s: Optional[float] = None):
+                 deadline_s: Optional[float] = None,
+                 placement: str = "replication",
+                 ec_snapshots: Optional[ErasureCodedSnapshots] = None,
+                 rebuild_rate_bytes_s: Optional[float] = None):
         super().__init__(store, num_servers, retries=retries,
                          backoff_s=backoff_s, deadline_s=deadline_s)
+        if placement not in ("replication", "ec"):
+            raise ValueError(f"unknown placement {placement!r}")
+        if placement == "ec":
+            if ec_snapshots is None:
+                raise ValueError("placement='ec' requires ec_snapshots")
+            # Fragments are the redundancy; each shard serves from its
+            # one owning server and loss is covered by reconstruction.
+            replication_factor = 1
+        elif ec_snapshots is not None:
+            raise ValueError("ec_snapshots is only valid with placement='ec'")
         if not 1 <= replication_factor <= num_servers:
             raise ValueError("replication_factor must be in [1, num_servers]")
+        self.placement = placement
         self.replication_factor = replication_factor
+        self.rebuild_rate_bytes_s = rebuild_rate_bytes_s
+        self._ec = ec_snapshots
+        # Reconstructed-shard cache: shard_id -> [shard, oplog records
+        # already replayed onto it].  _ec_lock may acquire _write_lock /
+        # _state_lock; never the reverse.
+        self._ec_lock = threading.Lock()
+        self._ec_shards: Dict[int, List] = {}
+        self._rebuild_threads: Dict[int, threading.Thread] = {}
+        self._rebuild_errors: Dict[int, BaseException] = {}
+        if self._ec is not None and not store.ec_fragment_stores:
+            # In-process deployment: this process fronts every server's
+            # fragment directory.  Socket shard servers attach only
+            # their own (see `repro serve-shard --ec-dir`).
+            store.ec_fragment_stores = dict(self._ec.fragment_stores())
         self._state_lock = threading.Lock()
         self._down: Set[int] = set()
         self._rotation: Dict[int, int] = {}
@@ -195,9 +253,18 @@ class ReplicatedZipGCluster(ZipGCluster):
         reads from a replica missing acknowledged writes is the bug
         this method used to have.  A server whose replay fails stays
         down.  Holding the write lock freezes the commit LSN for the
-        duration, so "caught up" is exact, not racy."""
+        duration, so "caught up" is exact, not racy.
+
+        Under ``placement="ec"`` the oplog replay is followed by a
+        rate-limited *background* fragment rebuild: the returning
+        server's missing fragments are re-encoded from the survivors
+        and pushed to it (``ec_store_fragment``), and only then is the
+        server re-admitted -- see :meth:`wait_for_rebuild`."""
         if not 0 <= server_id < self.num_servers:
             raise IndexError(f"server {server_id} out of range")
+        if self._ec is not None:
+            self._ec_recover_server(server_id)
+            return
         with self._write_lock:
             with self._state_lock:
                 if server_id not in self._down:
@@ -239,6 +306,266 @@ class ReplicatedZipGCluster(ZipGCluster):
             self.transport.call(server_id, "apply_write", [lsn, op, list(args)])
             self._applied_lsn[server_id] = lsn
 
+    # ------------------------------------------------------------------
+    # Erasure-coded placement: degraded reads + background rebuild
+    # ------------------------------------------------------------------
+
+    def _catchup_gauge(self):
+        return obs.gauge(
+            "zipg_replicas_catching_up",
+            help="recovered replicas still replaying missed writes",
+        )
+
+    def _ec_skip_servers(self) -> Tuple[int, ...]:
+        """Servers reconstruction must not use as fragment sources."""
+        with self._state_lock:
+            return tuple(self._down | self._catching_up)
+
+    def _ec_fetch(self, server: int, name: str, index: int) -> bytes:
+        """Fetch one fragment over the transport (degraded reads pull
+        from whichever servers still answer)."""
+        data = self.transport.call(
+            server, "ec_fetch_fragment", [server, name, index]
+        )
+        if not isinstance(data, (bytes, bytearray)):
+            raise FragmentCorruptError(
+                f"server {server} returned {type(data).__name__} for "
+                f"fragment {name!r}[{index}]"
+            )
+        return bytes(data)
+
+    def _ec_reconstructed_shard(self, shard_id: int) -> CompressedShard:
+        """A served-from-parity stand-in for a shard whose server is
+        down: decode the shard's snapshot file from any ``k`` live
+        fragments, then replay the post-snapshot oplog deletes so the
+        reconstruction is epoch-fresh (appends live in the replicated
+        LogStore, and freezes only ever *create* shards, so deletes
+        are the only mutations an encoded shard can miss)."""
+        if self._ec is None:
+            raise ReconstructionFailed("cluster has no erasure-coded snapshots")
+        with self._ec_lock:
+            entry = self._ec_shards.get(shard_id)
+            if entry is None:
+                name = self._ec.shard_file(shard_id)
+                blob = self._ec.reconstruct_file(
+                    name, self._ec_fetch, skip_servers=self._ec_skip_servers()
+                )
+                entry = [
+                    CompressedShard.from_bytes(blob, self.store.delimiters),
+                    0,
+                ]
+                self._ec_shards[shard_id] = entry
+            shard, replayed = entry
+            with self._write_lock:
+                tail = self._oplog[replayed:]
+            for _lsn, op, args in tail:
+                if op == "del_node":
+                    shard.delete_node(int(args[0]))
+                elif op == "del_edge":
+                    shard.delete_edges(int(args[0]), int(args[1]),
+                                       int(args[2]))
+            entry[1] = replayed + len(tail)
+            return shard
+
+    def _ec_degraded_op(self, shard_id: int, method: str,
+                        wire_args: List) -> object:
+        """Answer one shard-unit op from a reconstructed shard."""
+        shard = self._ec_reconstructed_shard(shard_id)
+        if method == "find_live_nodes":
+            return shard.find_live_nodes(dict(wire_args[0]))
+        if method == "find_edges_by_property":
+            return shard.find_edges_by_property(str(wire_args[0]),
+                                                str(wire_args[1]))
+        raise ReconstructionFailed(
+            f"no degraded dispatch for shard op {method!r}"
+        )
+
+    def _shard_unit_call(self, shard_id: int, method: str,
+                         wire_args: List) -> object:
+        """Route one shard-unit op with replica failover; under ec
+        placement a shard whose server(s) cannot answer falls back to
+        fragment reconstruction -- a *complete* answer, not a
+        ``ShardError``."""
+        transport = self.transport
+        try:
+            return self.call_on_shard(
+                shard_id,
+                lambda server: transport.call(
+                    server, method, wire_args, unit=shard_id
+                ),
+            )
+        except (ShardUnavailable, ReplicaCallError):
+            if self._ec is None:
+                raise
+            return self._ec_degraded_op(shard_id, method, wire_args)
+
+    def _ec_any_server_call(self, shard_id: int, method: str,
+                            wire_args: List, exclude: Set[int],
+                            unit: Optional[int] = None) -> object:
+        """Store-level fallback: the pointer tables and hot tail are
+        replicated on every server, so a store-routed op a down owner
+        cannot answer is retried on the remaining live servers."""
+        with self._state_lock:
+            out = self._down | self._catching_up
+        candidates = [
+            server for server in range(self.num_servers)
+            if server not in out and server not in exclude
+        ]
+        attempts: List[Tuple[int, BaseException]] = []
+        for server in candidates:
+            try:
+                chaos.kick(chaos.SITE_REPLICA_CALL,
+                           shard=shard_id, server=server)
+                return self.transport.call(server, method, wire_args,
+                                           unit=unit)
+            except Exception as exc:
+                attempts.append((server, exc))
+        raise ReplicaCallError(shard_id, attempts)
+
+    def _ec_recover_server(self, server_id: int) -> None:
+        """ec-placement recovery: synchronous oplog catch-up, then a
+        background fragment rebuild; re-admission happens only when
+        both are done (the server stays in the catching-up hold-out
+        throughout, so reads never route to it early)."""
+        with self._write_lock:
+            with self._state_lock:
+                if server_id not in self._down:
+                    return
+                if server_id in self._rebuild_threads:
+                    return
+                self._down.discard(server_id)
+                self._catching_up.add(server_id)
+                self._rebuild_errors.pop(server_id, None)
+            self._catchup_gauge().inc()
+            try:
+                self._replay_tail_locked(server_id)
+            except Exception:
+                obs.counter(
+                    "zipg_replica_catchup_failures_total",
+                    help="recover_server catch-ups that could not replay",
+                ).inc()
+                with self._state_lock:
+                    self._down.add(server_id)
+                    self._catching_up.discard(server_id)
+                self._catchup_gauge().inc(-1)
+                return
+        thread = threading.Thread(
+            target=self._rebuild_and_admit, args=(server_id,),
+            name=f"zipg-ec-rebuild-{server_id}", daemon=True,
+        )
+        with self._state_lock:
+            self._rebuild_threads[server_id] = thread
+        thread.start()
+
+    def _rebuild_and_admit(self, server_id: int) -> None:
+        """Background half of ec recovery: rebuild the server's
+        fragments, top up its oplog tail, re-admit.  Any failure --
+        including a :class:`~repro.chaos.SimulatedCrash` from the
+        ``ec.rebuild`` site -- sends the server back to down (a later
+        ``recover_server`` retries from scratch)."""
+        try:
+            self._rebuild_fragments(server_id)
+        except BaseException as exc:  # SimulatedCrash is a BaseException
+            with self._state_lock:
+                self._rebuild_errors[server_id] = exc
+            obs.counter(
+                "zipg_ec_rebuild_failures_total",
+                help="background fragment rebuilds that died mid-flight",
+                labels={"server": str(server_id)},
+            ).inc()
+            self._finish_rebuild(server_id, admit=False)
+            return
+        # Writes kept flowing during the rebuild; ship the tail the
+        # server missed while held out before letting reads route to it.
+        with self._write_lock:
+            try:
+                self._replay_tail_locked(server_id)
+            except Exception as exc:
+                with self._state_lock:
+                    self._rebuild_errors[server_id] = exc
+                obs.counter(
+                    "zipg_replica_catchup_failures_total",
+                    help="recover_server catch-ups that could not replay",
+                ).inc()
+                self._finish_rebuild(server_id, admit=False)
+                return
+            self._finish_rebuild(server_id, admit=True)
+        # Healthy topology again: reconstructed stand-ins are no longer
+        # needed (and would pin memory).
+        with self._ec_lock:
+            self._ec_shards.clear()
+
+    def _finish_rebuild(self, server_id: int, admit: bool) -> None:
+        with self._state_lock:
+            self._catching_up.discard(server_id)
+            if not admit:
+                self._down.add(server_id)
+            self._rebuild_threads.pop(server_id, None)
+        self._catchup_gauge().inc(-1)
+
+    def _rebuild_fragments(self, server_id: int) -> int:
+        """Re-create the server's missing fragments from the survivors,
+        throttled to ``rebuild_rate_bytes_s``; returns how many were
+        rebuilt (verified-intact fragments are skipped -- a bounce is
+        not a disk loss)."""
+        assert self._ec is not None
+        manifest = self._ec.manifest
+        rate = self.rebuild_rate_bytes_s
+        started = time.monotonic()
+        sent = 0
+        rebuilt = 0
+        with obs.span("ec.rebuild", layer="ec", server=server_id):
+            for name, index in manifest.server_fragments(server_id):
+                info = manifest.files[name].fragments[index]
+                chaos.kick(chaos.SITE_EC_REBUILD, file=name, fragment=index,
+                           server=server_id)
+                try:
+                    present = bool(self.transport.call(
+                        server_id, "ec_has_fragment",
+                        [server_id, name, index, info.crc32, info.bytes],
+                    ))
+                except Exception:
+                    present = False  # probe failed -> rebuild it anyway
+                if present:
+                    continue
+                fragment = self._ec.rebuild_fragment(
+                    name, index, self._ec_fetch,
+                    skip_servers=self._ec_skip_servers(),
+                )
+                self.transport.call(
+                    server_id, "ec_store_fragment",
+                    [server_id, name, index, fragment],
+                )
+                rebuilt += 1
+                sent += len(fragment)
+                if rate:
+                    # Pace the stream: sleep until the bytes shipped so
+                    # far fit under the configured rate.
+                    deficit = sent / rate - (time.monotonic() - started)
+                    if deficit > 0:
+                        time.sleep(deficit)
+        obs.counter(
+            "zipg_ec_rebuilt_fragments_total",
+            help="fragments re-encoded onto recovering servers",
+        ).inc(rebuilt)
+        return rebuilt
+
+    def wait_for_rebuild(self, server_id: int,
+                         timeout_s: Optional[float] = None) -> bool:
+        """Block until the server's background rebuild finishes (or no
+        rebuild is running); True unless the wait timed out."""
+        with self._state_lock:
+            thread = self._rebuild_threads.get(server_id)
+        if thread is None:
+            return True
+        thread.join(timeout_s)
+        return not thread.is_alive()
+
+    def rebuild_error(self, server_id: int) -> Optional[BaseException]:
+        """Why the server's last rebuild failed (None if it did not)."""
+        with self._state_lock:
+            return self._rebuild_errors.get(server_id)
+
     @property
     def down_servers(self) -> Set[int]:
         with self._state_lock:
@@ -263,9 +590,29 @@ class ReplicatedZipGCluster(ZipGCluster):
         return all(self.live_replicas(s.shard_id) for s in self.store.shards)
 
     def storage_footprint_bytes(self) -> int:
-        """Replication multiplies the stored bytes (no storage-efficient
-        erasure coding -- the paper leaves that as future work)."""
-        return super().storage_footprint_bytes() * self.replication_factor
+        """Bytes the deployment stores under its placement mode.
+
+        Replication multiplies the single-copy footprint by
+        ``replication_factor``; erasure coding keeps one served copy
+        and adds only the parity fragments -- ``(k+m)/k`` of the
+        *snapshot* bytes instead of a whole-store multiplier.  Either
+        way the result is published as the mode-labeled
+        ``zipg_storage_footprint_bytes`` gauge, so the overhead claim
+        is observable at runtime."""
+        single = super().storage_footprint_bytes()
+        if self._ec is not None:
+            manifest = self._ec.manifest
+            footprint = single + manifest.storage_bytes() - manifest.data_bytes()
+            mode = "ec"
+        else:
+            footprint = single * self.replication_factor
+            mode = "replication"
+        obs.gauge(
+            "zipg_storage_footprint_bytes",
+            help="bytes stored cluster-wide under the active placement",
+            labels={"mode": mode},
+        ).set(footprint)
+        return footprint
 
     # ------------------------------------------------------------------
     # Replicated writes
@@ -421,17 +768,24 @@ class ReplicatedZipGCluster(ZipGCluster):
 
         def run(unit):
             if unit is None:
-                return self._call_on_logstore(
-                    lambda server: transport.call(
-                        server, method, wire_args, unit=LOGSTORE_UNIT
+                try:
+                    return self._call_on_logstore(
+                        lambda server: transport.call(
+                            server, method, wire_args, unit=LOGSTORE_UNIT
+                        )
                     )
-                )
-            return self.call_on_shard(
-                unit.shard_id,
-                lambda server: transport.call(
-                    server, method, wire_args, unit=unit.shard_id
-                ),
-            )
+                except Exception:
+                    # Under ec placement the hot tail is replicated to
+                    # every server, so the unreplicated-LogStore rule
+                    # softens: any live server can answer for it.
+                    if self._ec is None:
+                        raise
+                    return self._ec_any_server_call(
+                        LOGSTORE_UNIT, method, wire_args,
+                        exclude={self.logstore_server},
+                        unit=LOGSTORE_UNIT,
+                    )
+            return self._shard_unit_call(unit.shard_id, method, wire_args)
 
         flight_key = None
         if args_key is not None:
@@ -519,11 +873,24 @@ class ReplicatedZipGCluster(ZipGCluster):
     @obs.traced("replication.get_node_property", layer="cluster")
     def get_node_property(self, node_id: int, property_ids="*") -> PropertyList:
         """Node-property read routed through the owning shard's live
-        replicas (failover instead of failing on the first dead one)."""
+        replicas (failover instead of failing on the first dead one).
+
+        Under ec placement this is a *store-level* op (it walks the
+        replicated pointer tables and hot tail), so a down owner fails
+        over to any other live server rather than reconstructing."""
         shard_id = self.store.route(node_id)
-        return self.call_on_shard(
-            shard_id,
-            lambda server: self.transport.call(
-                server, "get_node_property", [node_id, property_ids]
-            ),
-        )
+        wire_args = [node_id, property_ids]
+        try:
+            return self.call_on_shard(
+                shard_id,
+                lambda server: self.transport.call(
+                    server, "get_node_property", wire_args
+                ),
+            )
+        except (ShardUnavailable, ReplicaCallError):
+            if self._ec is None:
+                raise
+            return self._ec_any_server_call(
+                shard_id, "get_node_property", wire_args,
+                exclude=set(self.replica_servers(shard_id)),
+            )

@@ -61,6 +61,21 @@ class UnsupportedVersionError(RecoveryError, ValueError):
     that predate the typed recovery hierarchy."""
 
 
+class FragmentCorruptError(RecoveryError):
+    """An erasure-coded fragment is missing, truncated, or fails its
+    manifest CRC.  Reconstruction treats the fragment as an erasure
+    and decodes from the survivors; only the *loss of too many
+    fragments* escalates to :class:`ReconstructionFailed`."""
+
+
+class ReconstructionFailed(RecoveryError):
+    """An erasure-coded snapshot file could not be reconstructed:
+    fewer than ``k`` verified fragments were reachable, or the decoded
+    payload failed the whole-file CRC.  Degraded reads surface this
+    through the shard-error path (the data is temporarily gone, not
+    silently wrong)."""
+
+
 class StoreVersionConflictError(RecoveryError):
     """Refusing to overwrite a store root whose manifest was written by
     a *newer* format version -- saving would produce a mixed-version

@@ -211,6 +211,12 @@ class ZipG:
         self._cache: Optional[HotSetCache] = None
         self._cache_tag = 0
         self._coalesce_window_s = 0.0
+        # Erasure-coded fragment stores this process serves, keyed by
+        # server id (repro.ec; attached by the cluster layer or the
+        # serve-shard CLI).  The ec_fetch_fragment / ec_store_fragment
+        # RPC ops resolve through this mapping; empty means this
+        # process holds no fragments.
+        self.ec_fragment_stores: Dict[int, object] = {}
         # Fan-out failure-semantics knobs (plumbed from the cluster
         # layer); passed to every executor.map a query issues.
         self.retries = 0

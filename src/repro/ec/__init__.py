@@ -1,0 +1,54 @@
+"""``repro.ec``: erasure-coded shard fault tolerance (§4.1).
+
+ZipG's fault-tolerance story replicates every shard
+``replication_factor`` times -- a 2-3x storage multiplier on a system
+whose whole point is memory efficiency.  This package keeps the
+availability at **sub-2x overhead** by Reed-Solomon-encoding the
+immutable, generation-numbered snapshot files that
+:func:`repro.core.persistence.save_store` produces (they never mutate
+in place, so fragments never go stale within a generation), while the
+hot WAL tail stays fully replicated through the cluster oplog.
+
+Three layers:
+
+* :mod:`repro.ec.gf256` -- GF(2^8) arithmetic as vectorized numpy
+  table lookups (the codec's inner loop touches every snapshot byte).
+* :mod:`repro.ec.rs` -- a systematic Reed-Solomon codec:
+  ``k`` data fragments pass through verbatim, ``m`` parity fragments
+  are GF(256) linear combinations, and the original data decodes from
+  *any* ``k`` surviving fragments.
+* :mod:`repro.ec.striping` -- splits each snapshot file into ``k+m``
+  CRC'd fragments, spreads them round-robin across servers, and
+  records the layout in a manifest extending the
+  :mod:`repro.core.persistence` commit idiom (write temp + atomic
+  rename).
+
+:class:`repro.cluster.replication.ReplicatedZipGCluster` consumes this
+package through its ``placement="ec"`` mode: reads of a shard whose
+server is down reconstruct a *complete* answer from any ``k``
+surviving fragments, and ``recover_server`` re-encodes the returning
+server's missing fragments in a rate-limited background rebuild before
+re-admission.
+"""
+
+from repro.ec.rs import RSCodec
+from repro.ec.striping import (
+    EC_MANIFEST_NAME,
+    ECManifest,
+    ErasureCodedSnapshots,
+    FragmentStore,
+    encode_store,
+    fragment_server,
+    max_tolerable_server_failures,
+)
+
+__all__ = [
+    "EC_MANIFEST_NAME",
+    "ECManifest",
+    "ErasureCodedSnapshots",
+    "FragmentStore",
+    "RSCodec",
+    "encode_store",
+    "fragment_server",
+    "max_tolerable_server_failures",
+]

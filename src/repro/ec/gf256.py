@@ -1,0 +1,147 @@
+"""GF(2^8) arithmetic as numpy table lookups.
+
+The Reed-Solomon codec multiplies every byte of every snapshot file by
+small field constants, so the field operations must be vectorized:
+scalar Python GF multiplies would put a ~100ns interpreter dispatch on
+every byte.  This module precomputes the standard exp/log tables for
+the AES-adjacent primitive polynomial ``x^8+x^4+x^3+x^2+1`` (0x11d,
+the polynomial every RS storage system uses) plus a full 256x256
+product table, so multiplying a constant into a fragment is one fancy
+index: ``MUL_TABLE[c][buf]``.
+
+Addition in GF(2^8) is XOR; ``numpy.bitwise_xor`` already covers it.
+"""
+# zipg: robust-path
+
+from __future__ import annotations
+
+import numpy as np
+
+#: The field's primitive polynomial (degree-8 terms reduced away).
+PRIMITIVE_POLY = 0x11D
+#: Field order.
+ORDER = 256
+
+
+def _build_tables() -> tuple:
+    exp = np.zeros(512, dtype=np.uint8)
+    log = np.zeros(256, dtype=np.int32)
+    value = 1
+    for power in range(255):
+        exp[power] = value
+        log[value] = power
+        value <<= 1
+        if value & 0x100:
+            value ^= PRIMITIVE_POLY
+    # Doubled exp table lets mul skip the mod-255 on the exponent sum.
+    exp[255:510] = exp[:255]
+    mul = np.zeros((256, 256), dtype=np.uint8)
+    for a in range(1, 256):
+        # Row a = a * [0..255]: one vectorized exp/log lookup per row.
+        mul[a, 1:] = exp[log[a] + log[1:]]
+    return exp, log, mul
+
+
+EXP_TABLE, LOG_TABLE, MUL_TABLE = _build_tables()
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Scalar product in GF(256)."""
+    return int(MUL_TABLE[a, b])
+
+
+def gf_inv(a: int) -> int:
+    """Multiplicative inverse; ``a`` must be non-zero."""
+    if a == 0:
+        raise ValueError("0 has no inverse in GF(256)")
+    return int(EXP_TABLE[255 - int(LOG_TABLE[a])])
+
+
+def gf_mul_bytes(coefficient: int, data: np.ndarray) -> np.ndarray:
+    """``coefficient * data`` elementwise over GF(256).
+
+    ``data`` must be a ``uint8`` array; the result is a fresh array
+    (one table row fancy-indexed by the payload)."""
+    if coefficient == 0:
+        return np.zeros_like(data)
+    if coefficient == 1:
+        return data.copy()
+    return MUL_TABLE[coefficient][data]
+
+
+def gf_addmul_bytes(accumulator: np.ndarray, coefficient: int,
+                    data: np.ndarray) -> None:
+    """``accumulator ^= coefficient * data`` in place (the codec's
+    inner loop: one lookup + one XOR per fragment byte)."""
+    if coefficient == 0:
+        return
+    if coefficient == 1:
+        np.bitwise_xor(accumulator, data, out=accumulator)
+    else:
+        np.bitwise_xor(accumulator, MUL_TABLE[coefficient][data],
+                       out=accumulator)
+
+
+def gf_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Matrix product over GF(256) (small matrices: generator /
+    decode matrices, never payload-sized)."""
+    rows, inner = a.shape
+    inner2, cols = b.shape
+    if inner != inner2:
+        raise ValueError(f"shape mismatch: {a.shape} @ {b.shape}")
+    out = np.zeros((rows, cols), dtype=np.uint8)
+    for r in range(rows):
+        for i in range(inner):
+            gf_addmul_bytes(out[r], int(a[r, i]), b[i])
+    return out
+
+
+def gf_inv_matrix(matrix: np.ndarray) -> np.ndarray:
+    """Invert a square GF(256) matrix by Gauss-Jordan elimination.
+
+    Raises :class:`ValueError` on a singular matrix -- for the RS
+    decode matrix that means the surviving fragment set is not
+    decodable, which the Vandermonde construction rules out for any
+    ``k`` distinct fragments (so hitting this is a caller bug)."""
+    size = matrix.shape[0]
+    if matrix.shape != (size, size):
+        raise ValueError(f"matrix is not square: {matrix.shape}")
+    work = matrix.astype(np.uint8).copy()
+    inverse = np.eye(size, dtype=np.uint8)
+    for col in range(size):
+        pivot = -1
+        for row in range(col, size):
+            if work[row, col]:
+                pivot = row
+                break
+        if pivot < 0:
+            raise ValueError("singular matrix over GF(256)")
+        if pivot != col:
+            work[[col, pivot]] = work[[pivot, col]]
+            inverse[[col, pivot]] = inverse[[pivot, col]]
+        scale = gf_inv(int(work[col, col]))
+        work[col] = gf_mul_bytes(scale, work[col])
+        inverse[col] = gf_mul_bytes(scale, inverse[col])
+        for row in range(size):
+            if row == col or not work[row, col]:
+                continue
+            factor = int(work[row, col])
+            gf_addmul_bytes(work[row], factor, work[col])
+            gf_addmul_bytes(inverse[row], factor, inverse[col])
+    return inverse
+
+
+def vandermonde(rows: int, cols: int) -> np.ndarray:
+    """The ``rows x cols`` Vandermonde matrix over GF(256)
+    (row ``r`` is ``[r^0, r^1, ...]`` with distinct evaluation points
+    ``0..rows-1``); any ``cols`` rows are linearly independent while
+    ``rows <= 256``."""
+    if rows > ORDER:
+        raise ValueError(f"at most {ORDER} fragments (got {rows})")
+    out = np.zeros((rows, cols), dtype=np.uint8)
+    for r in range(rows):
+        acc = 1
+        for c in range(cols):
+            out[r, c] = acc
+            acc = gf_mul(acc, r)
+    return out

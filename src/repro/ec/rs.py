@@ -1,0 +1,134 @@
+"""Systematic Reed-Solomon erasure codec over GF(256).
+
+``RSCodec(k, m)`` turns a byte payload into ``k`` data fragments plus
+``m`` parity fragments such that the payload decodes from **any** ``k``
+surviving fragments -- the §4.1 availability property at ``(k+m)/k``
+storage overhead instead of ``replication_factor``x.
+
+Construction: the generator is the ``(k+m) x k`` matrix
+``G = V @ inv(V[:k])`` where ``V`` is a Vandermonde matrix with
+distinct evaluation points.  The top ``k`` rows of ``G`` are the
+identity (fragments 0..k-1 hold the payload verbatim -- *systematic*,
+so the healthy read path never touches the codec), and any ``k`` rows
+remain invertible, which is exactly the any-``k``-survivors decode
+guarantee.  Encode and decode are vectorized: each output fragment is
+a GF(256) linear combination of ``k`` input fragments computed with
+one table-lookup + XOR pass per coefficient (:mod:`repro.ec.gf256`),
+so cost is O(k*m) numpy passes over the data, never per-byte Python.
+
+The codec is pure math -- no I/O, no chaos sites; fragment CRCs,
+placement, and fault injection live in :mod:`repro.ec.striping`.
+"""
+# zipg: robust-path
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.ec.gf256 import ORDER, gf_addmul_bytes, gf_inv_matrix, gf_matmul, vandermonde
+
+
+class RSCodec:
+    """A systematic ``k``-data / ``m``-parity Reed-Solomon code.
+
+    Args:
+        k: data fragments per stripe (the payload splits into ``k``).
+        m: parity fragments (tolerated erasures).
+    """
+
+    def __init__(self, k: int, m: int) -> None:
+        if k < 1 or m < 0:
+            raise ValueError(f"need k >= 1 and m >= 0 (got k={k}, m={m})")
+        if k + m > ORDER:
+            raise ValueError(f"k+m must be <= {ORDER} (got {k + m})")
+        self.k = k
+        self.m = m
+        v = vandermonde(k + m, k)
+        self.generator = gf_matmul(v, gf_inv_matrix(v[:k]))
+
+    @property
+    def num_fragments(self) -> int:
+        return self.k + self.m
+
+    def fragment_length(self, size: int) -> int:
+        """Per-fragment byte length for a ``size``-byte payload
+        (payloads pad up to a multiple of ``k``; the original size is
+        the manifest's job to remember)."""
+        return (size + self.k - 1) // self.k if size else 0
+
+    def _data_matrix(self, data: bytes) -> np.ndarray:
+        length = self.fragment_length(len(data))
+        matrix = np.zeros((self.k, length), dtype=np.uint8)
+        flat = np.frombuffer(data, dtype=np.uint8)
+        matrix.reshape(-1)[: len(flat)] = flat
+        return matrix
+
+    def encode(self, data: bytes) -> List[bytes]:
+        """All ``k+m`` fragments of ``data`` (systematic: the first
+        ``k`` concatenate -- minus padding -- back to the payload)."""
+        data = bytes(memoryview(data))
+        matrix = self._data_matrix(data)
+        fragments = [matrix[row].tobytes() for row in range(self.k)]
+        for row in range(self.k, self.k + self.m):
+            fragments.append(self._combine(self.generator[row], matrix))
+        return fragments
+
+    def parity_of(self, index: int, data: bytes) -> bytes:
+        """One fragment of ``data`` by index (0-based over ``k+m``)
+        without materializing the rest -- the targeted-rebuild path."""
+        if not 0 <= index < self.num_fragments:
+            raise IndexError(f"fragment index {index} out of range")
+        matrix = self._data_matrix(bytes(memoryview(data)))
+        if index < self.k:
+            return matrix[index].tobytes()
+        return self._combine(self.generator[index], matrix)
+
+    def _combine(self, coefficients: Sequence[int],
+                 matrix: np.ndarray) -> bytes:
+        out = np.zeros(matrix.shape[1], dtype=np.uint8)
+        for column, coefficient in enumerate(coefficients):
+            gf_addmul_bytes(out, int(coefficient), matrix[column])
+        return out.tobytes()
+
+    def decode(self, fragments: Dict[int, bytes], size: int) -> bytes:
+        """Reconstruct the ``size``-byte payload from any ``k`` of its
+        fragments (``index -> bytes``).
+
+        Raises :class:`ValueError` with the shortfall when fewer than
+        ``k`` fragments (or ragged lengths) are supplied."""
+        length = self.fragment_length(size)
+        usable = {
+            index: fragment for index, fragment in fragments.items()
+            if 0 <= index < self.num_fragments and len(fragment) == length
+        }
+        if len(usable) < self.k:
+            raise ValueError(
+                f"need {self.k} fragments to decode, have {len(usable)} "
+                f"usable of {len(fragments)} supplied"
+            )
+        chosen = sorted(usable)[: self.k]
+        # Survivors that are data fragments pass through; only the
+        # erased data rows cost a matrix solve.
+        rows = np.stack([
+            np.frombuffer(usable[index], dtype=np.uint8) for index in chosen
+        ])
+        if chosen == list(range(self.k)):
+            data = rows
+        else:
+            decode_matrix = gf_inv_matrix(self.generator[chosen])
+            data = np.zeros((self.k, length), dtype=np.uint8)
+            for row in range(self.k):
+                for column in range(self.k):
+                    gf_addmul_bytes(data[row],
+                                    int(decode_matrix[row, column]),
+                                    rows[column])
+        return data.reshape(-1)[:size].tobytes()
+
+    def rebuild_fragment(self, index: int, fragments: Dict[int, bytes],
+                         size: int) -> bytes:
+        """Re-encode the single missing fragment ``index`` from any
+        ``k`` survivors (decode, then re-apply one generator row)."""
+        data = self.decode(fragments, size)
+        return self.parity_of(index, data)

@@ -132,6 +132,11 @@ class ZipGClient:
     def down_servers(self) -> List[int]:
         return list(self._call("down_servers"))
 
+    def catching_up_servers(self) -> List[int]:
+        """Servers held out of read rotation mid-catch-up (under ec
+        placement this includes the background fragment rebuild)."""
+        return list(self._call("catching_up_servers"))
+
     # ------------------------------------------------------------------
     # Queries (GraphStoreInterface surface)
     # ------------------------------------------------------------------

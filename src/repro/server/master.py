@@ -55,6 +55,7 @@ WRITE_METHODS = frozenset({
 
 #: Cluster-administration verbs (handled in :meth:`MasterServer._admin`).
 ADMIN_METHODS = frozenset({
+    "catching_up_servers",
     "down_servers",
     "fail_server",
     "ping",
@@ -103,10 +104,16 @@ class MasterServer(RpcServerBase):
                 "replication_factor": getattr(
                     self.cluster, "replication_factor", 1
                 ),
+                "placement": getattr(self.cluster, "placement",
+                                     "replication"),
                 "num_shards": len(self.cluster.store.shards),
             }
         if method == "down_servers":
             return sorted(self.cluster.down_servers)
+        if method == "catching_up_servers":
+            # ec rebuilds are asynchronous: clients poll this (together
+            # with down_servers) to observe re-admission.
+            return sorted(getattr(self.cluster, "catching_up_servers", ()))
         if method == "fail_server":
             self.cluster.fail_server(int(args[0]))
             return True

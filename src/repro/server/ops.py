@@ -137,6 +137,56 @@ def _get_node_property(ctx: _Context, node_id: int, property_ids: object = "*"):
     return ctx.store.get_node_property(node_id, property_ids)
 
 
+def _fragment_store(ctx: _Context, server_id: int):
+    """The fragment store this process serves for ``server_id``.
+
+    In-process deployments attach every server's store to the shared
+    ZipG object; a socket shard-server process attaches only its own,
+    so a fetch addressed to a server that does not hold the fragment
+    directory fails loudly (and the reconstruction treats it as an
+    erasure)."""
+    stores = ctx.store.ec_fragment_stores
+    store = stores.get(int(server_id)) if stores else None
+    if store is None:
+        raise KeyError(f"server {server_id} serves no ec fragment store")
+    return store
+
+
+@_op("ec_fetch_fragment")
+def _ec_fetch_fragment(ctx: _Context, server_id: int, name: str,
+                       index: int) -> bytes:
+    """One erasure-coded fragment's raw payload (degraded-read path).
+
+    Integrity is the *caller's* job -- the EC manifest (which this
+    server may not hold) has the fragment CRC, and the reconstruction
+    verifies every fetched fragment against it."""
+    return _fragment_store(ctx, server_id).read(str(name), int(index))
+
+
+@_op("ec_store_fragment")
+def _ec_store_fragment(ctx: _Context, server_id: int, name: str,
+                       index: int, data: bytes) -> int:
+    """Persist one rebuilt fragment onto this server (rebuild path);
+    returns the byte count as the ack."""
+    _fragment_store(ctx, server_id).write(
+        str(name), int(index), bytes(data), site="ec.rebuild"
+    )
+    return len(data)
+
+
+@_op("ec_has_fragment")
+def _ec_has_fragment(ctx: _Context, server_id: int, name: str, index: int,
+                     crc32: int, num_bytes: int) -> bool:
+    """Whether this server holds a verified copy of the fragment --
+    lets the rebuild skip fragments that survived the outage intact
+    (a server bounce is not a disk loss)."""
+    return bool(
+        _fragment_store(ctx, server_id).has(
+            str(name), int(index), int(crc32), int(num_bytes)
+        )
+    )
+
+
 @_op("apply_write")
 def _apply_write(ctx: _Context, lsn: int, op: str, args: List[object]) -> int:
     """Apply one replicated mutation; returns the LSN as the ack.

@@ -27,6 +27,7 @@ rather than losing the failure).
 
 from __future__ import annotations
 
+import base64
 import itertools
 import socket
 import threading
@@ -35,17 +36,23 @@ from typing import Dict, List, Optional, Tuple, Type
 from repro.core.errors import (
     DeadlineExceeded,
     EdgeRecordNotFound,
+    FragmentCorruptError,
     GatewayClosed,
     GatewayError,
     GraphFormatError,
+    ManifestCorruptError,
+    ManifestMissingError,
     NodeNotFound,
+    ReconstructionFailed,
     RecoveryError,
     RemoteError,
     ReplicaCallError,
     RetryAfter,
     ShardCallError,
+    SnapshotCorruptError,
     TooManyProperties,
     TransportError,
+    UnsupportedVersionError,
     ZipGError,
 )
 from repro.core.model import EdgeData
@@ -66,6 +73,12 @@ _EXCEPTION_TYPES: Dict[str, Type[BaseException]] = {
         DeadlineExceeded,
         TransportError,
         RecoveryError,
+        ManifestCorruptError,
+        ManifestMissingError,
+        SnapshotCorruptError,
+        UnsupportedVersionError,
+        FragmentCorruptError,
+        ReconstructionFailed,
         TooManyProperties,
         GatewayError,
         GatewayClosed,
@@ -116,6 +129,13 @@ def encode_value(value: object) -> object:
     """Lower ``value`` into JSON-safe form (tagged where needed)."""
     if value is None or isinstance(value, (bool, int, float, str)):
         return value
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        # Binary payloads (erasure-coded fragments) ride as base64 --
+        # the envelope stays pure JSON for every transport.
+        return {
+            _TAG: "bytes",
+            "v": base64.b64encode(bytes(value)).decode("ascii"),
+        }
     if isinstance(value, EdgeData):
         return {
             _TAG: "edgedata",
@@ -166,6 +186,8 @@ def decode_value(value: object) -> object:
     tag = value.get(_TAG)
     if tag is None:
         return {key: decode_value(item) for key, item in value.items()}
+    if tag == "bytes":
+        return base64.b64decode(str(value["v"]).encode("ascii"))
     if tag == "edgedata":
         return EdgeData(value["d"], value["t"], dict(value["p"]))
     if tag == "tuple":
