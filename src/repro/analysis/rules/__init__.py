@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import repro.analysis.rules.cache  # noqa: F401
 import repro.analysis.rules.chaos_cov  # noqa: F401
+import repro.analysis.rules.copies  # noqa: F401
 import repro.analysis.rules.deadlock  # noqa: F401
 import repro.analysis.rules.excflow  # noqa: F401
 import repro.analysis.rules.gateway  # noqa: F401

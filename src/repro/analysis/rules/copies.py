@@ -1,0 +1,137 @@
+"""Hidden-copy lint (COPY001).
+
+The zero-copy storage path exists so a memory-mapped shard never pulls
+its payload through the Python heap: :mod:`repro.succinct.serialize`
+returns ``memoryview``/``np.frombuffer`` *views* over the caller's
+buffer and every decoder keeps them.  One stray full-buffer copy --
+``view.tobytes()``, ``bytes(view)``, ``np.frombuffer(...).copy()`` --
+silently reverts a load path to eager materialization and defeats
+``load_store(mode="mmap")`` without failing a single test.
+
+In the storage-critical modules (everything under ``repro.succinct``,
+the ``repro.core`` storage files, and any module marked ``# zipg:
+hot-path``) this rule flags:
+
+* zero-argument ``.tobytes()`` calls (ndarray/memoryview -> bytes);
+* ``bytes(x)`` where ``x`` is a bare name or attribute (wrapping an
+  existing buffer; ``bytes(n)`` literals and slices are not flagged);
+* ``.copy()`` chained onto an ``np.frombuffer(...)`` call (a view
+  materialized the instant it was created).
+
+A copy that is *supposed* to own its storage (a mutable deletion
+bitmap, a ``bytes`` return the public API promises) declares so with
+``# zipg: owned-copy`` on the statement -- the marker is the reviewable
+record that someone decided the allocation is the point.  The generic
+``# zipg: ignore[COPY001]`` works too.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import AnalysisContext, Finding, ModuleInfo, rule
+
+#: ``repro.core`` modules on the shard serialization path.  The rest of
+#: the scope comes from the package prefix / ``hot-path`` marker.
+STORAGE_MODULES = frozenset(
+    {
+        "repro.core.persistence",
+        "repro.core.shard",
+        "repro.core.nodefile",
+        "repro.core.edgefile",
+    }
+)
+
+
+def _in_scope(module: ModuleInfo) -> bool:
+    if module.name in STORAGE_MODULES:
+        return True
+    if module.name.startswith("repro.succinct"):
+        return True
+    return module.markers.module_has("hot-path")
+
+
+def _owned_copy(module: ModuleInfo, line: int) -> bool:
+    """``# zipg: owned-copy`` anywhere on the enclosing statement."""
+    start, end = module.statement_span(line)
+    return any(
+        directive.name == "owned-copy"
+        for lineno in range(start, end + 1)
+        for directive in module.markers.at(lineno)
+    )
+
+
+def _is_frombuffer(node: ast.AST) -> bool:
+    """``np.frombuffer(...)`` / ``frombuffer(...)`` call expression."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr == "frombuffer"
+    return isinstance(func, ast.Name) and func.id == "frombuffer"
+
+
+def _describe(node: ast.expr) -> str:
+    try:
+        return ast.unparse(node)
+    except Exception:  # zipg: ignore[ROBUST001]
+        return "<expression>"
+
+
+def _copy_call(node: ast.Call) -> Iterator[str]:
+    """Yield a description for each full-buffer copy this call makes."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        if func.attr == "tobytes" and not node.args and not node.keywords:
+            yield (
+                f"'{_describe(func.value)}.tobytes()' materializes the "
+                f"whole buffer"
+            )
+        if (
+            func.attr == "copy"
+            and not node.args
+            and _is_frombuffer(func.value)
+        ):
+            yield (
+                "'frombuffer(...).copy()' copies a view the moment it "
+                "is created"
+            )
+    elif (
+        isinstance(func, ast.Name)
+        and func.id == "bytes"
+        and len(node.args) == 1
+        and not node.keywords
+        and isinstance(node.args[0], (ast.Name, ast.Attribute))
+    ):
+        yield (
+            f"'bytes({_describe(node.args[0])})' copies the full "
+            f"underlying buffer"
+        )
+
+
+@rule(
+    "COPY001",
+    "storage/succinct hot paths must stay zero-copy: full-buffer "
+    "copies need an explicit '# zipg: owned-copy' marker",
+)
+def check_hidden_copies(context: AnalysisContext) -> Iterator[Finding]:
+    for module in context.modules:
+        if not _in_scope(module):
+            continue
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            for description in _copy_call(node):
+                if _owned_copy(module, node.lineno):
+                    continue
+                yield Finding(
+                    "COPY001",
+                    f"{description} -- on the zero-copy storage path "
+                    f"this silently re-materializes mmap-backed data; "
+                    f"keep the view, or mark the statement "
+                    f"'# zipg: owned-copy' if owning the bytes is "
+                    f"intended",
+                    module.path,
+                    node.lineno,
+                )

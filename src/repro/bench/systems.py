@@ -37,6 +37,7 @@ class ZipGSystem(GraphStoreInterface):
         alpha: int = 32,
         logstore_threshold_bytes: int = 1 << 20,
         extra_property_ids: Optional[Sequence[str]] = None,
+        encoding: str = "succinct",
     ) -> "ZipGSystem":
         return cls(
             ZipG.compress(
@@ -45,6 +46,7 @@ class ZipGSystem(GraphStoreInterface):
                 alpha=alpha,
                 logstore_threshold_bytes=logstore_threshold_bytes,
                 extra_property_ids=extra_property_ids,
+                encoding=encoding,
             )
         )
 

@@ -14,8 +14,12 @@ Commands:
 * ``ec-encode --file PATH --ec-root DIR --num-servers N``
                                  -- erasure-code a graph's snapshot into
                                     per-server fragment directories
-* ``serve-shard --file PATH --server-id N [--port P] [--ec-dir DIR]``
-                                 -- run one shard-server process
+* ``serve-shard (--file PATH | --store-root DIR [--load-mode mmap])
+  --server-id N [--port P] [--ec-dir DIR]``
+                                 -- run one shard-server process, either
+                                    compressing a graph file or serving
+                                    a saved snapshot (optionally
+                                    memory-mapped, zero-copy)
 * ``serve-master --file PATH --shard ID=HOST:PORT ...``
                                  -- run the client-facing master
 * ``serve-gateway --master-port P``
@@ -203,6 +207,10 @@ def _cmd_stats(args) -> int:
         for name, summary in sorted(tracer.span_summary().items()):
             print(f"{name:<32}{summary['count']:>8.0f}{summary['p50']:>10.1f}"
                   f"{summary['p95']:>10.1f}{summary['p99']:>10.1f}")
+        storage = system.store.snapshot_metrics()["storage"]
+        print(f"\nstorage: load_mode={storage['load_mode']} "
+              f"encoding={storage['encoding']} "
+              f"mmap_bytes={storage['mmap_bytes']:.0f}")
         if cache is not None:
             snap = cache.stats()
             print(f"\nhot-set cache (budget {snap['budget_bytes']} B):")
@@ -229,7 +237,8 @@ def _cmd_query(args) -> int:
 def _cmd_verify_store(args) -> int:
     from repro.core.persistence import verify_store
 
-    report = verify_store(args.root, ec_root=args.ec_root)
+    report = verify_store(args.root, ec_root=args.ec_root,
+                          chunk_bytes=args.chunk_bytes)
     if args.json:
         import json
 
@@ -311,10 +320,22 @@ def _serve(server) -> int:
 def _cmd_serve_shard(args) -> int:
     from repro.server.shard_server import ShardServer
 
-    graph = _load_graph_file(args.file)
-    store = ZipGSystem.load(
-        graph, num_shards=args.shards, alpha=args.alpha
-    ).store
+    if (args.file is None) == (args.store_root is None):
+        raise SystemExit("serve-shard needs exactly one of --file "
+                         "(compress a graph) or --store-root (serve a "
+                         "saved snapshot)")
+    if args.store_root is not None:
+        from repro.core.persistence import load_store
+
+        store = load_store(args.store_root, mode=args.load_mode)
+        print(f"LOADED {args.store_root} mode={store.load_mode} "
+              f"encoding={store.encoding} shards={store.num_shards} "
+              f"mmap_bytes={store.mapped_bytes}", flush=True)
+    else:
+        graph = _load_graph_file(args.file)
+        store = ZipGSystem.load(
+            graph, num_shards=args.shards, alpha=args.alpha
+        ).store
     if args.ec_dir:
         from repro.ec import FragmentStore
 
@@ -465,6 +486,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                                    "directory")
     verify_store.add_argument("--json", action="store_true",
                               help="emit the typed report as JSON")
+    verify_store.add_argument("--chunk-bytes", type=int, default=1 << 20,
+                              help="streaming CRC chunk size; the audit "
+                                   "never holds more than this per file, "
+                                   "so larger-than-RAM stores verify fine")
 
     ec_encode = commands.add_parser(
         "ec-encode", help="erasure-code a graph's snapshot into placed "
@@ -487,8 +512,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     serve_shard = commands.add_parser(
         "serve-shard", help="run one shard-server process"
     )
-    serve_shard.add_argument("--file", required=True,
-                             help="graph file (N/E lines)")
+    serve_shard.add_argument("--file", default=None,
+                             help="graph file (N/E lines) to compress "
+                                  "at startup (exclusive with "
+                                  "--store-root)")
+    serve_shard.add_argument("--store-root", default=None,
+                             help="saved store root to serve instead of "
+                                  "compressing --file (see save_store)")
+    serve_shard.add_argument("--load-mode", default="eager",
+                             choices=["eager", "mmap"],
+                             help="with --store-root: read shard files "
+                                  "into memory (eager) or memory-map "
+                                  "them zero-copy (mmap)")
     serve_shard.add_argument("--server-id", type=int, required=True,
                              help="this server's cluster id")
     serve_shard.add_argument("--host", default="127.0.0.1")

@@ -42,7 +42,6 @@ from repro.core.delimiters import (
 from repro.core.errors import EdgeRecordNotFound
 from repro.core.model import Edge, EdgeData
 from repro.succinct.stats import AccessStats
-from repro.succinct.succinct_file import SuccinctFile
 
 if TYPE_CHECKING:
     from repro.perf.cache import HotSetCache
@@ -260,6 +259,7 @@ class EdgeFile:
         base_edge_index: int = 0,
         stats: Optional[AccessStats] = None,
         width_policy: str = "per-record",
+        encoding: str = "succinct",
     ) -> None:
         if width_policy not in ("per-record", "global"):
             raise ValueError("width_policy must be 'per-record' or 'global'")
@@ -285,7 +285,12 @@ class EdgeFile:
             next_base += len(bucket)
         self._record_offsets = np.asarray(record_offsets, dtype=np.int64)
         self._num_edges = next_base - base_edge_index
-        self._file = SuccinctFile(bytes(buffer), alpha=alpha, stats=stats)
+        from repro.succinct.encodings import build_flat_file
+
+        self._file = build_flat_file(
+            # Compression owns its input.  # zipg: owned-copy
+            bytes(buffer), alpha=alpha, stats=stats, encoding=encoding
+        )
         self.stats = self._file.stats
         self._init_cache_state()
 
@@ -356,7 +361,7 @@ class EdgeFile:
         for payload in payloads:
             out.extend(payload)
         out.append(END_OF_RECORD)
-        return bytes(out)
+        return bytes(out)  # zipg: owned-copy
 
     # ------------------------------------------------------------------
     # Record lookup
@@ -527,21 +532,31 @@ class EdgeFile:
     # Binary serialization (§4.1)
     # ------------------------------------------------------------------
 
-    def to_bytes(self) -> bytes:
-        """Serialize the compressed EdgeFile (Succinct structures plus
-        the record-offset directory)."""
-        from repro.succinct.serialize import pack_array, pack_ints, pack_sections
+    def sections(self) -> dict:
+        """Write-side sections (codec structures plus the record-offset
+        directory); array payloads are zero-copy chunks, the codec a
+        nested section dict."""
+        from repro.succinct.serialize import array_chunks, pack_ints
 
-        return pack_sections({
+        return {
             "meta": pack_ints(self._num_edges),
-            "record_offsets": pack_array(self._record_offsets),
-            "file": self._file.to_bytes(),
-        })
+            "record_offsets": array_chunks(self._record_offsets),
+            "file": self._file.sections(),
+        }
+
+    def to_bytes(self) -> bytes:
+        """Serialize the compressed EdgeFile to one owned blob."""
+        from repro.succinct.serialize import pack_sections
+
+        return pack_sections(self.sections())
 
     @classmethod
     def from_bytes(cls, blob: bytes, delimiters: DelimiterMap,
                    stats: Optional[AccessStats] = None) -> "EdgeFile":
-        """Reconstruct an EdgeFile serialized with :meth:`to_bytes`."""
+        """Reconstruct an EdgeFile serialized with :meth:`to_bytes`
+        without copying payloads (views over ``blob``); the flat-file
+        codec is rebuilt through its self-describing format tag."""
+        from repro.succinct.encodings import decode_flat_file
         from repro.succinct.serialize import unpack_array, unpack_ints, unpack_sections
 
         sections = unpack_sections(blob)
@@ -550,7 +565,7 @@ class EdgeFile:
         instance._global_widths = None
         (instance._num_edges,) = unpack_ints(sections["meta"])
         instance._record_offsets = unpack_array(sections["record_offsets"])
-        instance._file = SuccinctFile.from_bytes(sections["file"], stats=stats)
+        instance._file = decode_flat_file(sections["file"], stats=stats)
         instance.stats = instance._file.stats
         instance._init_cache_state()
         return instance

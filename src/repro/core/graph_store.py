@@ -186,6 +186,7 @@ class ZipG:
         alpha: int,
         logstore_threshold_bytes: int,
         max_workers: Optional[int] = None,
+        encoding: str = "succinct",
     ) -> None:
         self._delimiters = delimiters
         self._num_initial = len(shards)
@@ -194,6 +195,17 @@ class ZipG:
         self._logstore = LogStore()
         self._alpha = alpha
         self._threshold = logstore_threshold_bytes
+        # Flat-file codec new shards (LogStore freezes, compaction) are
+        # built with; recorded in the v4 store manifest.
+        self.encoding = encoding
+        # How this store's shards arrived in memory ("memory" =
+        # compressed in-process, "eager" / "mmap" = load_store modes)
+        # and how many bytes are memory-mapped rather than resident.
+        self.load_mode = "memory"
+        self.mapped_bytes = 0
+        # mmap keepalive: load_store(mode="mmap") parks its open maps
+        # here because every shard holds zero-copy views into them.
+        self._mmaps: List[object] = []
         self.executor = ShardExecutor(max_workers)
         self.freeze_count = 0
         # Optional write-ahead log (repro.core.wal): attached by the
@@ -237,6 +249,7 @@ class ZipG:
         logstore_threshold_bytes: int = 1 << 20,
         extra_property_ids: Optional[Sequence[str]] = None,
         max_workers: Optional[int] = None,
+        encoding: str = "succinct",
     ) -> "ZipG":
         """Compress ``graph`` into a ZipG store (the paper's
         ``g = compress(graph)``).
@@ -253,6 +266,10 @@ class ZipG:
                 delimiter map is immutable once built).
             max_workers: width of the store's shard fan-out thread pool
                 (``None`` -> per-core default, ``1`` -> serial).
+            encoding: flat-file codec for every shard (see
+                :mod:`repro.succinct.encodings`; ``"succinct"`` is the
+                paper's representation, ``"offsets"`` the Log(Graph)-
+                style fixed-width ablation codec).
         """
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
@@ -273,11 +290,12 @@ class ZipG:
                     node_id, edge_type
                 )
         shards = [
-            CompressedShard(i, node_parts[i], edge_parts[i], delimiters, alpha=alpha)
+            CompressedShard(i, node_parts[i], edge_parts[i], delimiters,
+                            alpha=alpha, encoding=encoding)
             for i in range(num_shards)
         ]
         return cls(delimiters, shards, alpha, logstore_threshold_bytes,
-                   max_workers=max_workers)
+                   max_workers=max_workers, encoding=encoding)
 
     # ------------------------------------------------------------------
     # Routing helpers
@@ -731,7 +749,8 @@ class ZipG:
         if nodes or edges:
             shard_id = len(self._shards)
             new_shard = CompressedShard(
-                shard_id, nodes, edges, self._delimiters, alpha=self._alpha
+                shard_id, nodes, edges, self._delimiters, alpha=self._alpha,
+                encoding=self.encoding,
             )
             if self._cache is not None:
                 new_shard.attach_cache(
@@ -782,7 +801,7 @@ class ZipG:
         if merged_nodes or merged_edges:
             merged_shard = CompressedShard(
                 new_shard_id, merged_nodes, merged_edges, self._delimiters,
-                alpha=self._alpha,
+                alpha=self._alpha, encoding=self.encoding,
             )
             if self._cache is not None:
                 merged_shard.attach_cache(
@@ -883,5 +902,10 @@ class ZipG:
                 "graph_store": {
                     "time_us": _time_us("graph_store", "executor", "other"),
                 },
+            },
+            "storage": {
+                "load_mode": self.load_mode,
+                "encoding": self.encoding,
+                "mmap_bytes": float(self.mapped_bytes),
             },
         }

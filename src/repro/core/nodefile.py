@@ -37,7 +37,6 @@ from repro.core.delimiters import END_OF_RECORD, DelimiterMap
 from repro.core.errors import NodeNotFound
 from repro.core.model import PropertyList
 from repro.succinct.stats import AccessStats
-from repro.succinct.succinct_file import SuccinctFile
 
 if TYPE_CHECKING:
     from repro.perf.cache import HotSetCache
@@ -51,6 +50,8 @@ class NodeFile:
         delimiters: the graph-wide delimiter map.
         alpha: Succinct sampling rate.
         stats: optional shared access meter.
+        encoding: flat-file codec tag (see
+            :mod:`repro.succinct.encodings`).
     """
 
     # zipg: layout-writer[node-record]
@@ -60,6 +61,7 @@ class NodeFile:
         delimiters: DelimiterMap,
         alpha: int = 32,
         stats: Optional[AccessStats] = None,
+        encoding: str = "succinct",
     ) -> None:
         self._delimiters = delimiters
         serialized: Dict[int, tuple] = {
@@ -84,7 +86,12 @@ class NodeFile:
             buffer.append(END_OF_RECORD)
         self._node_ids = np.asarray(node_ids, dtype=np.int64)
         self._offsets = np.asarray(offsets, dtype=np.int64)
-        self._file = SuccinctFile(bytes(buffer), alpha=alpha, stats=stats)
+        from repro.succinct.encodings import build_flat_file
+
+        self._file = build_flat_file(
+            # Compression owns its input.  # zipg: owned-copy
+            bytes(buffer), alpha=alpha, stats=stats, encoding=encoding
+        )
         self.stats = self._file.stats
         self._init_cache_state()
 
@@ -293,23 +300,33 @@ class NodeFile:
     # Binary serialization (§4.1)
     # ------------------------------------------------------------------
 
-    def to_bytes(self) -> bytes:
-        """Serialize the compressed NodeFile (Succinct structures plus
-        the NodeID/offset directory and length-field width)."""
-        from repro.succinct.serialize import pack_array, pack_ints, pack_sections
+    def sections(self) -> dict:
+        """Write-side sections (codec structures plus the NodeID/offset
+        directory and length-field width); array payloads are zero-copy
+        chunks, the codec a nested section dict."""
+        from repro.succinct.serialize import array_chunks, pack_ints
 
-        return pack_sections({
+        return {
             "meta": pack_ints(self._len_width),
-            "node_ids": pack_array(self._node_ids),
-            "offsets": pack_array(self._offsets),
-            "file": self._file.to_bytes(),
-        })
+            "node_ids": array_chunks(self._node_ids),
+            "offsets": array_chunks(self._offsets),
+            "file": self._file.sections(),
+        }
+
+    def to_bytes(self) -> bytes:
+        """Serialize the compressed NodeFile to one owned blob."""
+        from repro.succinct.serialize import pack_sections
+
+        return pack_sections(self.sections())
 
     @classmethod
     def from_bytes(cls, blob: bytes, delimiters: DelimiterMap,
                    stats: Optional[AccessStats] = None) -> "NodeFile":
         """Reconstruct a NodeFile serialized with :meth:`to_bytes`
-        without re-running compression."""
+        without re-running compression or copying payloads: the
+        directory arrays are views over ``blob`` and the flat-file
+        codec is rebuilt through its self-describing format tag."""
+        from repro.succinct.encodings import decode_flat_file
         from repro.succinct.serialize import unpack_array, unpack_ints, unpack_sections
 
         sections = unpack_sections(blob)
@@ -318,7 +335,7 @@ class NodeFile:
         (instance._len_width,) = unpack_ints(sections["meta"])
         instance._node_ids = unpack_array(sections["node_ids"])
         instance._offsets = unpack_array(sections["offsets"])
-        instance._file = SuccinctFile.from_bytes(sections["file"], stats=stats)
+        instance._file = decode_flat_file(sections["file"], stats=stats)
         instance.stats = instance._file.stats
         instance._init_cache_state()
         return instance

@@ -19,12 +19,13 @@ Python reproduction -- with real crash safety:
 * :func:`attach_wal` arms an in-memory store with a WAL under the
   store root, closing the snapshot-to-snapshot loss window.
 
-On-disk layout (format version 3)::
+On-disk layout (format version 4; version-3 roots remain readable)::
 
     <root>/
-      manifest.json            commit point: store metadata + the file
-                               list of generation <g> with per-file
-                               CRC32/size + the WAL replay cutoff LSN
+      manifest.json            commit point: store metadata (incl. the
+                               shard codec tag) + the file list of
+                               generation <g> with per-file CRC32/size
+                               + the WAL replay cutoff LSN
       shard-<k>.g<g>.bin       serialized compressed shard structures
       logstore.g<g>.json       live LogStore contents + tombstones
       pointers.g<g>.json       per-initial-shard update pointer tables
@@ -32,7 +33,15 @@ On-disk layout (format version 3)::
 
 Shards load straight from their serialized structures -- no
 recompression at startup -- matching §4.1, where NodeFiles/EdgeFiles
-are persisted as serialized flat files and mapped into memory.
+are persisted as serialized flat files and mapped into memory.  With
+``load_store(..., mode="mmap")`` that mapping is literal: each shard
+file is opened once with ``mmap.mmap(..., ACCESS_READ)`` and the shard
+structures are built as zero-copy views over the map, so load time is
+O(#files) rather than O(bytes) and pages fault in lazily on first
+query access (see ``docs/STORAGE.md``).  Shard files are streamed to
+disk section-by-section at save time (:func:`save_store` never
+materialises a whole shard blob), and ``verify_store`` CRC-checks
+files in fixed-size chunks so audits run in constant memory.
 
 Every step of ``save_store`` and every WAL append carries a
 :mod:`repro.chaos` crash point (see :data:`SAVE_CRASH_POINTS`), so the
@@ -44,11 +53,13 @@ assumed.
 from __future__ import annotations
 
 import json
+import mmap
 import os
 import re
+import time
 import zlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import IO, Dict, List, Optional, Tuple
 
 from repro import chaos, obs
 from repro.core.delimiters import DelimiterMap
@@ -63,6 +74,7 @@ from repro.core.graph_store import ZipG
 from repro.core.logstore import LogStore
 from repro.core.pointers import UpdatePointerTable
 from repro.core.shard import CompressedShard
+from repro.succinct.serialize import SectionPayload, write_sections
 from repro.core.wal import (
     WAL_FILENAME,
     WalConfig,
@@ -71,9 +83,18 @@ from repro.core.wal import (
     repair_torn_tail,
 )
 
-MANIFEST_VERSION = 3
+MANIFEST_VERSION = 4
+
+#: Manifest versions :func:`load_store` accepts.  Version 3 predates
+#: the pluggable shard codec: its manifests carry no ``encoding`` key
+#: (read as ``"succinct"``) and its shard blobs no ``__format__``
+#: section (decoded as Succinct, the only codec that existed).
+_SUPPORTED_VERSIONS = (3, MANIFEST_VERSION)
 
 MANIFEST_NAME = "manifest.json"
+
+#: Chunk size for streaming CRC audits (:func:`verify_store`).
+DEFAULT_VERIFY_CHUNK_BYTES = 1 << 20
 
 #: Crash points fired (in order) during :func:`save_store`.  The chaos
 #: suite kills the process model at each of them and asserts
@@ -106,6 +127,50 @@ def _write_file(root: str, name: str, data: bytes, fsync: bool) -> Dict[str, int
         if fsync:
             os.fsync(handle.fileno())
     return {"crc32": _crc32(data), "bytes": len(data)}
+
+
+class _MeteredWriter:
+    """File-handle facade for streaming section writes.
+
+    Every chunk goes through the same chaos torn-write site as
+    :func:`_write_file` (so fault-injected saves can still crash
+    mid-shard with only a prefix persisted) while the CRC32 and byte
+    count the manifest records accumulate incrementally -- the full
+    serialized blob never exists in memory.
+    """
+
+    def __init__(self, handle: IO[bytes], name: str) -> None:
+        self._handle = handle
+        self._name = name
+        self.crc32 = 0
+        self.nbytes = 0
+
+    def write(self, data: bytes) -> int:
+        chaos.write_bytes(chaos.SITE_SAVE_WRITE, self._handle, data,
+                          file=self._name)
+        # Only reached if the chunk landed whole; a torn write raises
+        # out of chaos.write_bytes and the partial CRC is discarded.
+        self.crc32 = zlib.crc32(data, self.crc32) & 0xFFFFFFFF
+        self.nbytes += len(data)
+        return len(data)
+
+
+def _write_file_sections(
+    root: str, name: str, sections: Dict[str, SectionPayload], fsync: bool
+) -> Dict[str, int]:
+    """Stream one snapshot file section-by-section and fsync it.
+
+    Equivalent to ``_write_file(root, name, pack_sections(sections))``
+    -- byte-identical output, same crash points -- without ever
+    concatenating the payload chunks."""
+    path = os.path.join(root, name)
+    with open(path, "wb") as handle:
+        writer = _MeteredWriter(handle, name)
+        write_sections(writer, sections)
+        handle.flush()
+        if fsync:
+            os.fsync(handle.fileno())
+    return {"crc32": writer.crc32, "bytes": writer.nbytes}
 
 
 def _fsync_dir(root: str) -> None:
@@ -177,7 +242,11 @@ def save_store(store: ZipG, root: str, fsync: bool = True) -> None:
         chaos.crash_point("save.file", file=name)
 
     for shard in store.shards:
-        emit(f"shard-{shard.shard_id}.g{generation}.bin", shard.to_bytes())
+        # Shards stream out section-by-section -- the serialized blob
+        # (the dominant snapshot cost) is never materialised in memory.
+        name = f"shard-{shard.shard_id}.g{generation}.bin"
+        files[name] = _write_file_sections(root, name, shard.sections(), fsync)
+        chaos.crash_point("save.file", file=name)
     emit(f"logstore.g{generation}.json",
          json.dumps(store.logstore.to_payload()).encode("utf-8"))
     pointer_payload = [table.to_payload() for table in store._pointer_tables]
@@ -194,6 +263,7 @@ def save_store(store: ZipG, root: str, fsync: bool = True) -> None:
         "num_initial_shards": store.num_initial_shards,
         "num_shards": store.num_shards,
         "freeze_count": store.freeze_count,
+        "encoding": store.encoding,
         "property_ids": store.delimiters.property_ids(),
         "files": files,
         "wal_last_lsn": wal.last_lsn if isinstance(wal, WriteAheadLog) else 0,
@@ -249,10 +319,36 @@ def _verified_read(root: str, name: str, meta: Dict) -> bytes:
     return data
 
 
+def _mapped_view(root: str, name: str, meta: Dict) -> Tuple[memoryview, mmap.mmap]:
+    """Map one snapshot file read-only; O(1) in file size.
+
+    Only the recorded size is validated here -- the point of mmap
+    loading is that payload pages fault in lazily on first query
+    access, and a CRC pass would touch every page up front.  Size
+    alone still catches truncation (the common torn-file shape); the
+    full streaming CRC audit lives in :func:`verify_store`.  Structural
+    damage inside a page surfaces as a decode error at first access,
+    never as silently wrong data being trusted as a manifest match.
+    """
+    path = os.path.join(root, name)
+    if not os.path.exists(path):
+        raise SnapshotCorruptError(f"snapshot file missing: {path}")
+    size = os.path.getsize(path)
+    if size != meta.get("bytes") or size == 0:
+        raise SnapshotCorruptError(
+            f"snapshot file torn or corrupt: {path} ({size} bytes; "
+            f"manifest says {meta.get('bytes')} bytes)"
+        )
+    with open(path, "rb") as handle:
+        mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+    return memoryview(mapped), mapped
+
+
 def load_store(
     root: str,
     wal_config: Optional[WalConfig] = None,
     attach_wal: bool = True,
+    mode: str = "eager",
 ) -> ZipG:
     """Recover a :class:`ZipG` from ``root``.
 
@@ -264,40 +360,86 @@ def load_store(
     (the manifest only ever points at fully fsync'd files) and so
     indicate external damage that must not be silently repaired.
 
-    With ``attach_wal`` (default) the recovered store continues
-    durable logging into the same ``wal.log``, LSNs continuing where
-    the log left off.
+    ``mode`` selects how shard bytes reach memory:
+
+    * ``"eager"`` (default): each shard file is read fully and
+      CRC-verified, and the store owns private copies -- required for
+      stores that will be mutated and saved again.
+    * ``"mmap"``: each shard file is memory-mapped read-only and the
+      shard structures are zero-copy views over the map, so load cost
+      is O(#shards) regardless of shard bytes and the OS pages data in
+      on demand.  Only file sizes are checked at load; run
+      ``repro verify-store`` for the full CRC audit.  The store keeps
+      the maps alive for its lifetime; mutations still work (they land
+      in the LogStore / fresh shards), but freezes and compactions
+      allocate new in-memory shards as usual.
+
+    Non-shard files (logstore/pointers JSON, the manifest, the WAL)
+    are small and always read eagerly.  With ``attach_wal`` (default)
+    the recovered store continues durable logging into the same
+    ``wal.log``, LSNs continuing where the log left off.
     """
+    if mode not in ("eager", "mmap"):
+        raise ValueError(f"unknown load mode {mode!r}; expected eager|mmap")
     manifest_path = os.path.join(root, MANIFEST_NAME)
     if not os.path.exists(manifest_path):
         raise ManifestMissingError(f"no committed manifest under {root}")
     manifest = _read_manifest(root)
     assert manifest is not None
     version = manifest.get("version")
-    if version != MANIFEST_VERSION:
+    if version not in _SUPPORTED_VERSIONS:
         raise UnsupportedVersionError(
             f"unsupported manifest version {version!r} "
-            f"(this build reads version {MANIFEST_VERSION})"
+            f"(this build reads versions {_SUPPORTED_VERSIONS})"
         )
     generation = manifest.get("generation")
     files = manifest.get("files")
     if not isinstance(generation, int) or not isinstance(files, dict):
         raise ManifestCorruptError(f"{manifest_path}: missing generation/files")
+    # v3 manifests predate the pluggable codec; their shards are
+    # Succinct-encoded and carry no tag.
+    encoding = manifest.get("encoding", "succinct")
+    if not isinstance(encoding, str):
+        raise ManifestCorruptError(f"{manifest_path}: bad encoding tag")
 
+    load_seconds = obs.histogram(
+        "zipg_shard_load_seconds",
+        help="wall seconds constructing each shard in load_store",
+    )
     delimiters = DelimiterMap(manifest["property_ids"])
     shards: List[CompressedShard] = []
+    mmaps: List[mmap.mmap] = []
+    mapped_bytes = 0
     for shard_id in range(manifest["num_shards"]):
         name = f"shard-{shard_id}.g{generation}.bin"
         if name not in files:
             raise ManifestCorruptError(f"manifest lists no entry for {name}")
-        shards.append(
-            CompressedShard.from_bytes(_verified_read(root, name, files[name]),
-                                       delimiters)
-        )
+        started = time.perf_counter()
+        if mode == "mmap":
+            view, mapped = _mapped_view(root, name, files[name])
+            mmaps.append(mapped)
+            mapped_bytes += len(mapped)
+            shards.append(CompressedShard.from_bytes(view, delimiters))
+        else:
+            shards.append(
+                CompressedShard.from_bytes(
+                    _verified_read(root, name, files[name]), delimiters
+                )
+            )
+        load_seconds.observe(time.perf_counter() - started)
 
     initial = shards[: manifest["num_initial_shards"]]
     store = ZipG(delimiters, initial, manifest["alpha"],
-                 manifest["logstore_threshold_bytes"])
+                 manifest["logstore_threshold_bytes"], encoding=encoding)
+    store.load_mode = mode
+    store.mapped_bytes = mapped_bytes
+    # Keepalive: every shard built in mmap mode is a web of views over
+    # these maps; closing them would invalidate the store in place.
+    store._mmaps = mmaps
+    obs.gauge(
+        "zipg_mmap_bytes",
+        help="shard snapshot bytes memory-mapped rather than copied",
+    ).set(float(mapped_bytes))
     # Attach the post-freeze shards (ZipG's constructor only takes the
     # initial set; freezes are replayed structurally).
     for shard in shards[manifest["num_initial_shards"]:]:
@@ -391,17 +533,48 @@ class IntegrityReport:
         }
 
 
-def verify_store(root: str, ec_root: Optional[str] = None) -> IntegrityReport:
+def _verified_crc_stream(root: str, name: str, meta: Dict,
+                         chunk_bytes: int = DEFAULT_VERIFY_CHUNK_BYTES) -> None:
+    """CRC/size-check one snapshot file in fixed-size chunks.
+
+    Same acceptance criteria as :func:`_verified_read`, but constant
+    memory -- ``repro verify-store`` can audit stores larger than RAM
+    without ever holding a whole file."""
+    path = os.path.join(root, name)
+    if not os.path.exists(path):
+        raise SnapshotCorruptError(f"snapshot file missing: {path}")
+    if chunk_bytes <= 0:
+        raise ValueError(f"chunk_bytes must be positive, got {chunk_bytes}")
+    crc = 0
+    total = 0
+    with open(path, "rb") as handle:
+        while True:
+            chunk = handle.read(chunk_bytes)
+            if not chunk:
+                break
+            crc = zlib.crc32(chunk, crc) & 0xFFFFFFFF
+            total += len(chunk)
+    if total != meta.get("bytes") or crc != meta.get("crc32"):
+        raise SnapshotCorruptError(
+            f"snapshot file torn or corrupt: {path} "
+            f"({total} bytes, crc {crc:08x}; manifest says "
+            f"{meta.get('bytes')} bytes, crc {int(meta.get('crc32', 0)):08x})"
+        )
+
+
+def verify_store(root: str, ec_root: Optional[str] = None,
+                 chunk_bytes: int = DEFAULT_VERIFY_CHUNK_BYTES) -> IntegrityReport:
     """Audit a store root **offline** -- no store is built, nothing is
     repaired, nothing is mutated.
 
     Checks: committed manifest present and parseable at a supported
     version, every referenced data file matches its recorded CRC/size
-    (the :func:`_verified_read` discipline), and the WAL tail is not
-    torn.  With ``ec_root``, also verifies the erasure-coding manifest
-    and every fragment it places against the fragment CRCs.  Each
-    failure becomes one typed :class:`IntegrityIssue`; operators gate
-    on :attr:`IntegrityReport.ok`."""
+    (streamed ``chunk_bytes`` at a time, so memory use is constant no
+    matter how large the shards are), and the WAL tail is not torn.
+    With ``ec_root``, also verifies the erasure-coding manifest and
+    every fragment it places against the fragment CRCs.  Each failure
+    becomes one typed :class:`IntegrityIssue`; operators gate on
+    :attr:`IntegrityReport.ok`."""
     report = IntegrityReport(root=root)
     try:
         manifest = _read_manifest(root)
@@ -414,11 +587,11 @@ def verify_store(root: str, ec_root: Optional[str] = None) -> IntegrityReport:
                        f"no committed manifest under {root}")
     else:
         version = manifest.get("version")
-        if version != MANIFEST_VERSION:
+        if version not in _SUPPORTED_VERSIONS:
             report.add(
                 "unsupported-version",
                 f"manifest version {version!r}; this build reads "
-                f"{MANIFEST_VERSION}",
+                f"{_SUPPORTED_VERSIONS}",
             )
         generation = manifest.get("generation")
         files = manifest.get("files")
@@ -430,7 +603,7 @@ def verify_store(root: str, ec_root: Optional[str] = None) -> IntegrityReport:
             files = {}
         for name in sorted(files):
             try:
-                _verified_read(root, name, files[name])
+                _verified_crc_stream(root, name, files[name], chunk_bytes)
             except SnapshotCorruptError as exc:
                 report.add("file-corrupt", str(exc))
             report.files_checked += 1

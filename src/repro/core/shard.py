@@ -90,6 +90,8 @@ class CompressedShard:
         delimiters: graph-wide delimiter map.
         alpha: Succinct sampling rate.
         stats: optional shared access meter (one per simulated server).
+        encoding: flat-file codec tag for both files (see
+            :mod:`repro.succinct.encodings`).
     """
 
     def __init__(
@@ -100,13 +102,18 @@ class CompressedShard:
         delimiters: DelimiterMap,
         alpha: int = 32,
         stats: Optional[AccessStats] = None,
+        encoding: str = "succinct",
     ) -> None:
         from repro.core.nodefile import NodeFile  # local import: avoid cycle at module load
 
         self.shard_id = shard_id
         self.stats = stats if stats is not None else AccessStats()
-        self.node_file = NodeFile(nodes, delimiters, alpha=alpha, stats=self.stats)
-        self.edge_file = EdgeFile(edges, delimiters, alpha=alpha, stats=self.stats)
+        self.node_file = NodeFile(
+            nodes, delimiters, alpha=alpha, stats=self.stats, encoding=encoding
+        )
+        self.edge_file = EdgeFile(
+            edges, delimiters, alpha=alpha, stats=self.stats, encoding=encoding
+        )
         self.deletions = DeletionIndex(len(self.node_file), self.edge_file.num_edges)
         # Generation counter covering this shard's only mutable state
         # (the deletion bitmaps); cache keys embed it.
@@ -212,24 +219,43 @@ class CompressedShard:
     # Binary serialization (§4.1)
     # ------------------------------------------------------------------
 
-    def to_bytes(self) -> bytes:
-        """Serialize the shard: compressed files + deletion bitmaps."""
-        from repro.succinct.serialize import pack_array, pack_ints, pack_sections
+    def sections(self) -> dict:
+        """Write-side sections: compressed files (nested section dicts)
+        plus deletion bitmaps, all as zero-copy chunks suitable for
+        :func:`repro.succinct.serialize.write_sections`."""
+        from repro.succinct.serialize import array_chunks, pack_ints
 
-        return pack_sections({
+        return {
             "meta": pack_ints(self.shard_id, len(self.node_file),
                               self.edge_file.num_edges),
-            "node_file": self.node_file.to_bytes(),
-            "edge_file": self.edge_file.to_bytes(),
-            "deleted_nodes": pack_array(self.deletions._nodes.blocks),
-            "deleted_edges": pack_array(self.deletions._edges.blocks),
-        })
+            "node_file": self.node_file.sections(),
+            "edge_file": self.edge_file.sections(),
+            "deleted_nodes": array_chunks(
+                self.deletions._nodes.blocks_for_write()
+            ),
+            "deleted_edges": array_chunks(
+                self.deletions._edges.blocks_for_write()
+            ),
+        }
+
+    def to_bytes(self) -> bytes:
+        """Serialize the shard to one owned blob."""
+        from repro.succinct.serialize import pack_sections
+
+        return pack_sections(self.sections())
 
     @classmethod
     def from_bytes(cls, blob: bytes, delimiters: DelimiterMap,
                    stats: Optional[AccessStats] = None) -> "CompressedShard":
         """Reconstruct a shard serialized with :meth:`to_bytes` -- no
-        recompression, matching the paper's load-serialized-files model."""
+        recompression, matching the paper's load-serialized-files model.
+
+        ``blob`` may be any buffer (bytes or an ``mmap``): the
+        compressed files become zero-copy views over it, so the caller
+        must keep the buffer alive for the shard's lifetime. Only the
+        deletion bitmaps are copied -- they are this shard's one piece
+        of mutable state, and an ``ACCESS_READ`` map could not back
+        them."""
         from repro.core.nodefile import NodeFile
         from repro.succinct.bitvector import BitVector
         from repro.succinct.serialize import unpack_array, unpack_ints, unpack_sections

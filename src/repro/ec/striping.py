@@ -452,6 +452,39 @@ class ErasureCodedSnapshots:
         ).observe(time.perf_counter() - start)
         return data
 
+    def materialize_file(self, name: str, fetch: FragmentFetch,
+                         out_path: str,
+                         skip_servers: Tuple[int, ...] = ()) -> int:
+        """Reconstruct ``name`` and land it at ``out_path`` as a real,
+        CRC-verified file -- the shape ``load_store(mode="mmap")``
+        needs, since a memory map requires an on-disk byte range, not
+        an in-memory blob.
+
+        The write is atomic (temp file in the destination directory,
+        fsync, rename, directory fsync), so a crash mid-materialize
+        leaves either no file or the complete verified file -- never a
+        torn one that a later mmap would trust by size alone.  Returns
+        the number of bytes written."""
+        data = self.reconstruct_file(name, fetch, skip_servers=skip_servers)
+        out_dir = os.path.dirname(os.path.abspath(out_path))
+        os.makedirs(out_dir, exist_ok=True)
+        tmp_path = out_path + ".tmp"
+        with open(tmp_path, "wb") as handle:
+            chaos.write_bytes(chaos.SITE_EC_REBUILD, handle, data,
+                              file=name, materialize=True)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, out_path)
+        try:
+            dir_fd = os.open(out_dir, os.O_RDONLY)
+        except OSError:
+            return len(data)  # no directory fds; rename already issued
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+        return len(data)
+
     def rebuild_fragment(self, name: str, index: int,
                          fetch: FragmentFetch,
                          skip_servers: Tuple[int, ...] = ()) -> bytes:

@@ -32,20 +32,44 @@ class BitVector:
         self._rank_prefix: np.ndarray | None = None
 
     @classmethod
-    def from_blocks(cls, num_bits: int, blocks: np.ndarray) -> "BitVector":
+    def from_blocks(
+        cls, num_bits: int, blocks: np.ndarray, copy: bool = True
+    ) -> "BitVector":
         """Rebuild a vector from its packed ``uint64`` block array
-        (deserialization path)."""
-        vec = cls(num_bits)
+        (deserialization path).
+
+        With ``copy=False`` the vector adopts ``blocks`` as-is -- for
+        the zero-copy mmap load path, where the blocks are a read-only
+        ``np.frombuffer`` view and the vector is never mutated (sampled
+        row marks). Mutable bitmaps (lazy deletes) must keep the
+        default owned copy.
+        """
+        if num_bits < 0:
+            raise ValueError("num_bits must be non-negative")
         blocks = np.asarray(blocks, dtype=np.uint64)
-        if blocks.shape != vec._blocks.shape:
+        expected = (num_bits + _BLOCK_BITS - 1) // _BLOCK_BITS
+        if blocks.shape != (expected,):
             raise ValueError("block array does not match num_bits")
-        vec._blocks = blocks.copy()
+        # Bypass __init__: allocating-and-discarding a zeroed block
+        # array would make every mmap-backed load O(n).
+        vec = cls.__new__(cls)
+        vec._num_bits = num_bits
+        vec._blocks = blocks.copy() if copy else blocks  # zipg: owned-copy
+        vec._rank_prefix = None
         return vec
 
     @property
     def blocks(self) -> np.ndarray:
-        """The packed ``uint64`` bit blocks (for serialization)."""
-        return self._blocks.copy()
+        """The packed ``uint64`` bit blocks (an owned copy)."""
+        return self._blocks.copy()  # zipg: owned-copy
+
+    def blocks_for_write(self) -> np.ndarray:
+        """The internal block array, *not* copied.
+
+        Write-side zero-copy serialization only -- callers must treat
+        the result as read-only.
+        """
+        return self._blocks
 
     @classmethod
     def from_indices(cls, num_bits: int, indices: Iterable[int]) -> "BitVector":

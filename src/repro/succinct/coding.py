@@ -70,7 +70,7 @@ def varint_encode(value: int) -> bytes:
             out.append(byte | 0x80)
         else:
             out.append(byte)
-            return bytes(out)
+            return bytes(out)  # zipg: owned-copy
 
 
 def varint_decode(data: bytes, offset: int = 0) -> Tuple[int, int]:
@@ -94,7 +94,7 @@ def varint_encode_all(values: Iterable[int]) -> bytes:
     out = bytearray()
     for value in values:
         out.extend(varint_encode(value))
-    return bytes(out)
+    return bytes(out)  # zipg: owned-copy
 
 
 def varint_decode_all(data: bytes, count: int, offset: int = 0) -> Tuple[List[int], int]:

@@ -48,7 +48,7 @@ class SuccinctKV:
             buffer.append(RECORD_DELIMITER)
         self._keys = np.asarray(keys, dtype=np.int64)
         self._offsets = np.asarray(offsets, dtype=np.int64)
-        self._file = SuccinctFile(bytes(buffer), alpha=alpha, stats=stats)
+        self._file = SuccinctFile(bytes(buffer), alpha=alpha, stats=stats)  # zipg: owned-copy
         self.stats = self._file.stats
 
     def __len__(self) -> int:
@@ -91,7 +91,7 @@ class SuccinctKV:
 
     def search(self, value_substring: bytes) -> List[int]:
         """Keys whose value contains ``value_substring`` (ascending)."""
-        matches = self._file.search(bytes(value_substring))
+        matches = self._file.search(bytes(value_substring))  # zipg: owned-copy
         keys = {self.offset_to_key(int(offset)) for offset in matches}
         return sorted(keys)
 

@@ -49,20 +49,48 @@ class NextPointerArray:
         self._bucket_ends = np.concatenate(
             (self._bucket_starts[1:], [len(self._npa)])
         )
-        # Plain-python mirrors for the per-hop hot path: list indexing
-        # and bisect beat numpy scalar indexing in tight loops by ~5x.
-        self._npa_list = self._npa.tolist()
-        self._bucket_starts_list = self._bucket_starts.tolist()
-        self._bucket_chars_list = self._bucket_chars.tolist()
-        # Dense row -> first-character map for the vectorized kernels
-        # (one gather instead of a searchsorted per lockstep round).
-        self._row_chars = np.repeat(
-            self._bucket_chars, self._bucket_ends - self._bucket_starts
-        )
+        # Derived acceleration structures are built lazily on first
+        # query, never at construction: an mmap-backed load must stay
+        # O(1) and not fault the NPA pages (docs/STORAGE.md).
+        self._npa_list_cache: list | None = None
+        self._bucket_starts_list_cache: list | None = None
+        self._bucket_chars_list_cache: list | None = None
+        self._row_chars_cache: np.ndarray | None = None
         # Hop-doubling tables (npa^1, npa^2, npa^4, ...), built lazily by
         # the batched kernels: expanding anchors to `steps` consecutive
         # positions then costs O(log steps) gathers, not O(steps).
         self._hop_tables = [self._npa]
+
+    @property
+    def _npa_list(self) -> list:
+        """Plain-python NPA mirror for the per-hop hot path: list
+        indexing and bisect beat numpy scalar indexing in tight loops
+        by ~5x."""
+        if self._npa_list_cache is None:
+            self._npa_list_cache = self._npa.tolist()
+        return self._npa_list_cache
+
+    @property
+    def _bucket_starts_list(self) -> list:
+        if self._bucket_starts_list_cache is None:
+            self._bucket_starts_list_cache = self._bucket_starts.tolist()
+        return self._bucket_starts_list_cache
+
+    @property
+    def _bucket_chars_list(self) -> list:
+        if self._bucket_chars_list_cache is None:
+            self._bucket_chars_list_cache = self._bucket_chars.tolist()
+        return self._bucket_chars_list_cache
+
+    @property
+    def _row_chars(self) -> np.ndarray:
+        """Dense row -> first-character map for the vectorized kernels
+        (one gather instead of a searchsorted per lockstep round)."""
+        if self._row_chars_cache is None:
+            self._row_chars_cache = np.repeat(
+                self._bucket_chars, self._bucket_ends - self._bucket_starts
+            )
+        return self._row_chars_cache
 
     @classmethod
     def from_text(cls, data: bytes, suffix_array: np.ndarray, isa: np.ndarray) -> "NextPointerArray":
@@ -71,7 +99,7 @@ class NextPointerArray:
         npa = isa[(suffix_array + 1) % n] if n else np.empty(0, dtype=np.int64)
         counts = np.bincount(
             np.frombuffer(bytes(data), dtype=np.uint8), minlength=256
-        )
+        )  # zipg: owned-copy
         present = np.nonzero(counts)[0]
         starts = np.concatenate(([0], np.cumsum(counts[present])))[:-1]
         return cls(npa, present.astype(np.uint8), starts)
@@ -81,16 +109,24 @@ class NextPointerArray:
 
     @property
     def npa_array(self) -> np.ndarray:
-        """The raw NPA values (for serialization)."""
-        return self._npa.copy()
+        """The raw NPA values (an owned copy)."""
+        return self._npa.copy()  # zipg: owned-copy
 
     @property
     def bucket_chars(self) -> np.ndarray:
-        return self._bucket_chars.copy()
+        return self._bucket_chars.copy()  # zipg: owned-copy
 
     @property
     def bucket_starts(self) -> np.ndarray:
-        return self._bucket_starts.copy()
+        return self._bucket_starts.copy()  # zipg: owned-copy
+
+    def arrays_for_write(self) -> tuple:
+        """``(npa, bucket_chars, bucket_starts)`` without copies.
+
+        Write-side zero-copy serialization only; callers must treat
+        the arrays as read-only.
+        """
+        return self._npa, self._bucket_chars, self._bucket_starts
 
     def __getitem__(self, row: int) -> int:
         return self._npa_list[row]

@@ -67,7 +67,7 @@ class SuccinctFile:
             raise ValueError("alpha must be >= 1")
         if sa_algorithm not in ("doubling", "sais"):
             raise ValueError("sa_algorithm must be 'doubling' or 'sais'")
-        data = bytes(data)
+        data = bytes(data)  # zipg: owned-copy
         if SENTINEL in data:
             raise ValueError("input data must not contain the sentinel byte 0x00")
         self._alpha = alpha
@@ -297,7 +297,7 @@ class SuccinctFile:
             append(char_of_row(row))
             row = npa_list[row]
         self.stats.npa_hops += length
-        return bytes(out)
+        return bytes(out)  # zipg: owned-copy
 
     def _anchor_span(self, offset: int, length: int):
         """Anchor range covering ``[offset, offset + length)`` and the
@@ -320,7 +320,7 @@ class SuccinctFile:
         self.stats.batch_kernel_calls += 1
         # With more than one anchor ``steps == alpha``, so the flattened
         # matrix is the contiguous text from the first anchor position.
-        return chars.ravel()[head : head + length].tobytes()
+        return chars.ravel()[head : head + length].tobytes()  # zipg: owned-copy
 
     @obs.traced("succinct.extract_batch", layer="succinct")
     def extract_batch(self, requests: Sequence[Tuple[int, int]]) -> List[bytes]:
@@ -395,7 +395,7 @@ class SuccinctFile:
             # request's flattened block contiguous text; single-anchor
             # requests only read their first row.
             block = chars[start : start + count]
-            results[index] = block.ravel()[head : head + length].tobytes()
+            results[index] = block.ravel()[head : head + length].tobytes()  # zipg: owned-copy
         return results
 
     def char_at_batch(self, offsets: Sequence[int]) -> np.ndarray:
@@ -456,7 +456,7 @@ class SuccinctFile:
             row = npa_list[row]
         self.stats.npa_hops += len(out)
         self.stats.sequential_bytes += len(out)
-        return bytes(out)
+        return bytes(out)  # zipg: owned-copy
 
     def _pattern_row_range(self, pattern: bytes) -> tuple:
         """Row range ``[low, high)`` of suffixes prefixed by ``pattern``."""
@@ -475,7 +475,7 @@ class SuccinctFile:
     def count(self, pattern: bytes) -> int:
         """Number of occurrences of ``pattern`` in the input."""
         self.stats.searches += 1
-        low, high = self._pattern_row_range(bytes(pattern))
+        low, high = self._pattern_row_range(bytes(pattern))  # zipg: owned-copy
         return high - low
 
     @obs.traced("succinct.search", layer="succinct")
@@ -486,7 +486,7 @@ class SuccinctFile:
         values in one batched lockstep walk instead of a per-row
         ``_lookup_sa`` loop.
         """
-        pattern = bytes(pattern)
+        pattern = bytes(pattern)  # zipg: owned-copy
         cache = self._cache
         if cache is None:
             return self._search_uncached(pattern)
@@ -522,7 +522,7 @@ class SuccinctFile:
         """Reference scalar ``search`` (per-row ``_lookup_sa`` loop);
         byte-identical results to :meth:`search`."""
         self.stats.searches += 1
-        low, high = self._pattern_row_range(bytes(pattern))
+        low, high = self._pattern_row_range(bytes(pattern))  # zipg: owned-copy
         offsets = [self._lookup_sa(row) for row in range(low, high)]
         self.stats.random_accesses += high - low
         return np.asarray(sorted(offsets), dtype=np.int64)
@@ -536,28 +536,45 @@ class SuccinctFile:
     # reconstructed, at startup)
     # ------------------------------------------------------------------
 
-    def to_bytes(self) -> bytes:
-        """Serialize the compressed structures (samples, row bitmap,
-        NPA + bucket directory) -- no text, no suffix array."""
-        from repro.succinct.serialize import pack_array, pack_ints, pack_sections
+    #: Self-describing codec tag written into the section framing
+    #: (see :mod:`repro.succinct.encodings`).
+    encoding_name = "succinct"
 
-        return pack_sections({
+    def sections(self) -> dict:
+        """Write-side sections (samples, row bitmap, NPA + bucket
+        directory) -- no text, no suffix array. Array payloads are
+        zero-copy chunks over the live structures, suitable for
+        :func:`repro.succinct.serialize.write_sections`."""
+        from repro.succinct.serialize import FORMAT_SECTION, array_chunks, pack_ints
+
+        npa, bucket_chars, bucket_starts = self._npa.arrays_for_write()
+        return {
+            FORMAT_SECTION: self.encoding_name.encode("ascii"),
             "meta": pack_ints(self._alpha, self._input_size, self._n),
-            "sa_samples": pack_array(self._sa_samples),
-            "isa_samples": pack_array(self._isa_samples),
-            "row_marks": pack_array(self._sampled_row_marks.blocks),
-            "npa": pack_array(self._npa.npa_array),
-            "bucket_chars": pack_array(self._npa.bucket_chars),
-            "bucket_starts": pack_array(self._npa.bucket_starts),
-        })
+            "sa_samples": array_chunks(self._sa_samples),
+            "isa_samples": array_chunks(self._isa_samples),
+            "row_marks": array_chunks(self._sampled_row_marks.blocks_for_write()),
+            "npa": array_chunks(npa),
+            "bucket_chars": array_chunks(bucket_chars),
+            "bucket_starts": array_chunks(bucket_starts),
+        }
+
+    def to_bytes(self) -> bytes:
+        """Serialize the compressed structures to one owned blob."""
+        from repro.succinct.serialize import pack_sections
+
+        return pack_sections(self.sections())
 
     @classmethod
-    def from_bytes(cls, blob: bytes, stats: Optional[AccessStats] = None) -> "SuccinctFile":
-        """Reconstruct a file from :meth:`to_bytes` output without
-        re-running suffix-array construction."""
-        from repro.succinct.serialize import unpack_array, unpack_ints, unpack_sections
+    def from_sections(
+        cls, sections: dict, stats: Optional[AccessStats] = None
+    ) -> "SuccinctFile":
+        """Reconstruct a file from unpacked sections **without copying**:
+        every array is an ``np.frombuffer`` view over the caller-owned
+        buffer, so an mmap-backed load is O(1) and payload pages fault
+        only when a query first touches them."""
+        from repro.succinct.serialize import unpack_array, unpack_ints
 
-        sections = unpack_sections(blob)
         alpha, input_size, n = unpack_ints(sections["meta"])
         instance = cls.__new__(cls)
         instance._alpha = alpha
@@ -567,7 +584,7 @@ class SuccinctFile:
         instance._sa_samples = unpack_array(sections["sa_samples"])
         instance._isa_samples = unpack_array(sections["isa_samples"])
         instance._sampled_row_marks = BitVector.from_blocks(
-            n, unpack_array(sections["row_marks"])
+            n, unpack_array(sections["row_marks"]), copy=False
         )
         instance._npa = NextPointerArray(
             unpack_array(sections["npa"]),
@@ -576,3 +593,11 @@ class SuccinctFile:
         )
         instance._init_cache_state()
         return instance
+
+    @classmethod
+    def from_bytes(cls, blob: bytes, stats: Optional[AccessStats] = None) -> "SuccinctFile":
+        """Reconstruct a file from :meth:`to_bytes` output without
+        re-running suffix-array construction."""
+        from repro.succinct.serialize import unpack_sections
+
+        return cls.from_sections(unpack_sections(blob), stats=stats)

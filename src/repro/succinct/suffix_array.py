@@ -23,7 +23,7 @@ def build_suffix_array(data: bytes) -> np.ndarray:
     n = len(data)
     if n == 0:
         return np.empty(0, dtype=np.int64)
-    rank = np.frombuffer(bytes(data), dtype=np.uint8).astype(np.int64)
+    rank = np.frombuffer(bytes(data), dtype=np.uint8).astype(np.int64)  # zipg: owned-copy
     shift = 1
     while True:
         # Secondary key: rank of the suffix `shift` positions ahead, -1 past end.

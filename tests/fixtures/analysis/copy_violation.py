@@ -1,0 +1,39 @@
+"""Fixture: COPY001 violations (never imported, only analyzed)."""
+
+# zipg: hot-path
+
+import numpy as np
+
+
+def full_tobytes(view):
+    return view.tobytes()  # COPY001: whole-buffer materialization
+
+
+def wrap_in_bytes(payload):
+    return bytes(payload)  # COPY001: copies the underlying buffer
+
+
+def attribute_in_bytes(shard):
+    return bytes(shard.blob)  # COPY001: attribute arg is still a copy
+
+
+def frombuffer_copy(payload):
+    return np.frombuffer(payload, dtype=np.uint8).copy()  # COPY001
+
+
+def sanctioned_copy(view):
+    return view.tobytes()  # zipg: owned-copy
+
+
+def generic_ignore(view):
+    return bytes(view)  # zipg: ignore[COPY001]
+
+
+def not_a_buffer_copy(n, view):
+    padding = bytes(n + 1)  # allocation from an int: not flagged
+    header = bytes(view[:4])  # slice arg: bounded, not flagged
+    return padding + header
+
+
+def struct_tobytes(array):
+    return array.tobytes("F")  # ordered form: not the zero-arg pattern
